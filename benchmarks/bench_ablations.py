@@ -1,0 +1,113 @@
+"""Design-choice ablations (DESIGN.md §6).
+
+* **Best Fit load measure** — Section 2.2 lists L∞ / L1 / Lp as candidate
+  multi-dimensional load notions; this bench compares their average-case
+  cost on the Section 7 workload.
+* **Clairvoyant value** — how much does knowing departure times buy over
+  the best non-clairvoyant policy (paper §8 future work)?
+* **Distribution sensitivity** — does the MF-leads ranking survive
+  Poisson arrivals, heavy-tailed durations, and correlated dimensions?
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.clairvoyant import AlignmentBestFit, DurationClassifiedFirstFit
+from repro.analysis.aggregate import summarize
+from repro.analysis.report import format_table
+from repro.analysis.sweep import sweep_cell
+from repro.optimum.lower_bounds import height_lower_bound
+from repro.simulation.runner import run
+from repro.workloads.base import generate_batch
+from repro.workloads.correlated import CorrelatedWorkload
+from repro.workloads.distributions import DirichletSize, ParetoDuration
+from repro.workloads.poisson import PoissonWorkload
+from repro.workloads.uniform import UniformWorkload
+
+
+def test_bestfit_load_measure_ablation(benchmark):
+    """Compare Best Fit under L-inf / L1 / L2 load measures (d = 5)."""
+    gen = UniformWorkload(d=5, n=400, mu=20, T=400, B=100)
+    instances = generate_batch(gen, 8, seed=0)
+    measures = ["best_fit", "best_fit_l1", "best_fit_l2"]
+
+    cell = benchmark.pedantic(
+        sweep_cell, args=(measures, instances), rounds=1, iterations=1
+    )
+    rows = [
+        [name, cell.stats[name].mean, cell.stats[name].std] for name in measures
+    ]
+    print()
+    print(format_table(["measure", "mean ratio", "std"], rows,
+                       title="Best Fit load-measure ablation (d=5)"))
+    # all variants must stay within a few percent of each other: the
+    # measure choice is second-order (which is why the paper only pins
+    # it down for the experiments)
+    means = [cell.stats[m].mean for m in measures]
+    assert max(means) / min(means) < 1.05
+
+
+def test_clairvoyant_value(benchmark):
+    """Duration knowledge vs the best non-clairvoyant policy under heavy
+    load with heavy-tailed durations."""
+    gen = PoissonWorkload(
+        d=2, rate=25.0, horizon=60,
+        durations=ParetoDuration(alpha=1.1, floor=1, cap=500),
+        sizes=DirichletSize(min_mag=0.1, max_mag=0.9),
+    )
+    instances = [gen.sample_seeded(s) for s in range(4)]
+
+    def measure():
+        out = {}
+        for name, algo in [
+            ("move_to_front", "move_to_front"),
+            ("first_fit", "first_fit"),
+            ("alignment_best_fit", AlignmentBestFit()),
+            ("duration_classified_ff", DurationClassifiedFirstFit(base=4.0)),
+        ]:
+            ratios = []
+            for inst in instances:
+                lb = height_lower_bound(inst)
+                ratios.append(run(algo, inst).cost / lb)
+            out[name] = summarize(ratios)
+        return out
+
+    stats = benchmark.pedantic(measure, rounds=1, iterations=1)
+    rows = [[k, v.mean, v.std] for k, v in stats.items()]
+    print()
+    print(format_table(["policy", "mean ratio", "std"], rows,
+                       title="Clairvoyant-value ablation (heavy load, Pareto durations)"))
+    # departure knowledge should help at this load level
+    assert stats["alignment_best_fit"].mean <= stats["first_fit"].mean
+
+
+@pytest.mark.parametrize(
+    "workload",
+    ["poisson", "pareto", "correlated"],
+)
+def test_distribution_sensitivity(benchmark, workload):
+    """The MF-near-best conclusion should survive distribution changes."""
+    if workload == "poisson":
+        gen = PoissonWorkload(d=2, rate=2.0, horizon=200,
+                              sizes=DirichletSize(min_mag=0.05, max_mag=0.8))
+    elif workload == "pareto":
+        gen = PoissonWorkload(d=2, rate=2.0, horizon=200,
+                              durations=ParetoDuration(alpha=1.3, floor=1, cap=200),
+                              sizes=DirichletSize(min_mag=0.05, max_mag=0.8))
+    else:
+        gen = CorrelatedWorkload(d=3, n=400, rho=0.8, mu=20, T=400,
+                                 min_size=0.05, max_size=0.7)
+    instances = [gen.sample_seeded(s) for s in range(5)]
+    algos = ["move_to_front", "first_fit", "next_fit", "worst_fit"]
+
+    cell = benchmark.pedantic(
+        sweep_cell, args=(algos, instances), rounds=1, iterations=1
+    )
+    rows = [[a, cell.stats[a].mean, cell.stats[a].std] for a in algos]
+    print()
+    print(format_table(["policy", "mean ratio", "std"], rows,
+                       title=f"Distribution sensitivity: {workload}"))
+    best = cell.stats[cell.ranking()[0]].mean
+    assert cell.stats["move_to_front"].mean <= 1.15 * best

@@ -1,0 +1,59 @@
+"""Resource-augmentation ablation.
+
+How much extra per-bin capacity buys back the online-vs-OPT gap, on both
+the average case (uniform workload) and the knife-edge adversarial
+constructions (which collapse under slivers of augmentation).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.augmentation import augmentation_curve, augmented_run
+from repro.analysis.report import format_table
+from repro.workloads.adversarial import theorem5_instance
+from repro.workloads.uniform import UniformWorkload
+
+BETAS = (0.0, 0.05, 0.1, 0.25, 0.5, 1.0)
+
+
+def test_augmentation_average_case(benchmark):
+    inst = UniformWorkload(d=2, n=500, mu=20, T=500, B=100).sample_seeded(0)
+
+    def curves():
+        return {
+            algo: augmentation_curve(algo, inst, betas=BETAS)
+            for algo in ("move_to_front", "first_fit", "next_fit")
+        }
+
+    results = benchmark.pedantic(curves, rounds=1, iterations=1)
+    rows = []
+    for algo, points in results.items():
+        rows.append([algo] + [p.ratio for p in points])
+        ratios = [p.ratio for p in points]
+        assert ratios == sorted(ratios, reverse=True), f"{algo} curve not monotone"
+    print()
+    print(format_table(
+        ["algorithm"] + [f"beta={b:g}" for b in BETAS], rows,
+        title="Resource augmentation: cost / capacity-1 LB (uniform, d=2, mu=20)",
+    ))
+
+
+def test_augmentation_collapses_adversarial(benchmark):
+    adv = theorem5_instance(d=2, k=8, mu=5.0)
+
+    def measure():
+        return {
+            beta: augmented_run("first_fit", adv.instance, beta).cost
+            for beta in BETAS
+        }
+
+    costs = benchmark.pedantic(measure, rounds=1, iterations=1)
+    rows = [[f"beta={b:g}", costs[b], costs[b] / adv.opt_upper] for b in BETAS]
+    print()
+    print(format_table(
+        ["augmentation", "FF cost", "vs OPT(cap 1) upper"], rows,
+        title=f"Theorem 5 family (d=2, k=8, mu=5) under augmentation",
+    ))
+    # the knife-edge construction collapses with 10% extra capacity
+    assert costs[0.1] < 0.6 * costs[0.0]

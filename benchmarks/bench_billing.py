@@ -1,0 +1,57 @@
+"""Quantised-billing ablation ("pay-as-you-go is hourly", Section 1).
+
+Measures each policy's bill under increasingly coarse billing quanta and
+the gain from the quantum-aware Move To Front variant.  Shape
+assertions: bills grow with the quantum; the ranking of the continuous
+objective carries over approximately; quantum-aware MF never loses to
+plain MF under its own billing model (in aggregate).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.simulation.billing import QuantumAwareMoveToFront, billed_cost
+from repro.simulation.runner import run
+from repro.workloads.base import generate_batch
+from repro.workloads.uniform import UniformWorkload
+
+QUANTA = (0.0, 1.0, 5.0, 20.0)
+ALGOS = ("move_to_front", "first_fit", "next_fit")
+
+
+def test_billing_quanta(benchmark):
+    instances = generate_batch(
+        UniformWorkload(d=2, n=300, mu=20, T=200, B=100), 6, seed=0
+    )
+
+    def measure():
+        bills = {algo: {q: 0.0 for q in QUANTA} for algo in ALGOS}
+        bills["quantum_aware_mf(q=5)"] = {q: 0.0 for q in QUANTA}
+        for inst in instances:
+            for algo in ALGOS:
+                packing = run(algo, inst)
+                for q in QUANTA:
+                    bills[algo][q] += billed_cost(packing, q)
+            aware = run(QuantumAwareMoveToFront(quantum=5.0), inst)
+            for q in QUANTA:
+                bills["quantum_aware_mf(q=5)"][q] += billed_cost(aware, q)
+        return bills
+
+    bills = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    rows = [[name] + [vals[q] for q in QUANTA] for name, vals in bills.items()]
+    print()
+    print(format_table(
+        ["policy"] + [f"q={q:g}" for q in QUANTA], rows,
+        title="Total bill vs billing quantum (uniform, d=2, mu=20, 6 instances)",
+    ))
+
+    for name, vals in bills.items():
+        series = [vals[q] for q in QUANTA]
+        assert series == sorted(series), f"{name}: bill should grow with quantum"
+    # quantum-aware MF doesn't lose to plain MF at its design quantum
+    assert bills["quantum_aware_mf(q=5)"][5.0] <= bills["move_to_front"][5.0] * 1.05
+    # NF still worst under coarse billing
+    assert bills["next_fit"][20.0] >= bills["move_to_front"][20.0]

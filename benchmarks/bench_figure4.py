@@ -1,0 +1,57 @@
+"""Figure 4 regeneration bench: average-case performance sweep.
+
+One bench per ``d`` panel.  Each run executes the full μ-sweep for that
+panel at quick scale (same grid as the paper, smaller ``n``/``m``; pass
+``--paper-scale`` for the full Table 2 configuration) and prints the
+mean±std series — the rows behind the paper's 18-panel figure.
+
+Shape assertions: every ratio ≥ 1; Move To Front within 1% of the best
+mean in every cell; Next Fit's gap to MF grows with μ.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import FULL, QUICK
+from repro.experiments.figure4 import render_figure4, run_figure4
+
+
+def _config(paper_scale: bool, d: int):
+    base = FULL if paper_scale else QUICK.scaled(n=300, m=10)
+    return type(base)(
+        d_values=(d,),
+        mu_values=base.mu_values,
+        n=base.n,
+        T=base.T,
+        B=base.B,
+        m=base.m,
+        seed=base.seed,
+    )
+
+
+def _check_shape(result, d: int) -> None:
+    mus = result.config.mu_values
+    for mu in mus:
+        cell = result.cells[(d, mu)]
+        best = cell.stats[cell.ranking()[0]].mean
+        mf = cell.stats["move_to_front"].mean
+        assert mf >= 1.0 - 1e-9
+        assert mf <= 1.01 * best, f"MF not near-best at d={d}, mu={mu}"
+    nf_gap = [
+        result.cells[(d, mu)].stats["next_fit"].mean
+        / result.cells[(d, mu)].stats["move_to_front"].mean
+        for mu in mus
+    ]
+    assert nf_gap[-1] > nf_gap[0], "NF should degrade relative to MF as mu grows"
+
+
+@pytest.mark.parametrize("d", [1, 2, 5])
+def test_figure4_panel(benchmark, paper_scale, d):
+    config = _config(paper_scale, d)
+    result = benchmark.pedantic(
+        run_figure4, kwargs={"config": config}, rounds=1, iterations=1
+    )
+    _check_shape(result, d)
+    print()
+    print(render_figure4(result))

@@ -1,0 +1,69 @@
+"""Figures 1-3 regeneration benches: the analysis diagrams.
+
+Each bench runs the instrumented simulation behind one diagram, prints
+the ASCII rendering, and asserts the structural fact the figure
+illustrates (Figure 1: leading intervals tile the span; Figure 2: the
+``Q_i`` suffixes tile the span; Figure 3: ``dk`` bins survive into
+``[1, μ+1)`` holding one small item each).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.first_fit import FirstFit
+from repro.algorithms.move_to_front import MoveToFront
+from repro.experiments.figures123 import run_figure1, run_figure2, run_figure3
+from repro.simulation.engine import Engine
+from repro.simulation.instrumentation import LeaderTracker, UsagePeriodTracker
+from repro.workloads.uniform import UniformWorkload
+
+
+@pytest.fixture(scope="module")
+def diagram_instance():
+    # a contiguous-activity instance so span == horizon and the Claim 1 /
+    # Claim 4 checks are exact
+    return UniformWorkload(d=2, n=200, mu=8, T=60, B=10).sample_seeded(5)
+
+
+def test_figure1_mf_decomposition(benchmark, diagram_instance):
+    def run_instrumented():
+        tracker = LeaderTracker()
+        Engine(diagram_instance, MoveToFront(), observers=[tracker]).run()
+        return tracker
+
+    tracker = benchmark(run_instrumented)
+    total_leading = sum(
+        iv.length for ivs in tracker.leading_intervals().values() for iv in ivs
+    )
+    assert total_leading == pytest.approx(diagram_instance.span, rel=1e-9)
+    print()
+    print(run_figure1())
+
+
+def test_figure2_ff_decomposition(benchmark, diagram_instance):
+    def run_instrumented():
+        tracker = UsagePeriodTracker()
+        Engine(diagram_instance, FirstFit(), observers=[tracker]).run()
+        return tracker
+
+    tracker = benchmark(run_instrumented)
+    if len(diagram_instance.active_components()) == 1:
+        q_total = sum(q.length for _, q in tracker.decomposition())
+        assert q_total == pytest.approx(diagram_instance.span, rel=1e-9)
+    print()
+    print(run_figure2())
+
+
+@pytest.mark.parametrize("algorithm", ["first_fit", "move_to_front", "best_fit"])
+def test_figure3_theorem5_phases(benchmark, algorithm):
+    out = benchmark.pedantic(
+        run_figure3,
+        kwargs={"d": 2, "k": 3, "mu": 4.0, "algorithm": algorithm},
+        rounds=1,
+        iterations=1,
+    )
+    # phase (c): all dk = 6 bins still open
+    assert "6 open bins" in out
+    print()
+    print(out)

@@ -1,0 +1,69 @@
+"""Heterogeneous-fleet ablation: opening rules and the value of a menu.
+
+Compares the typed Any Fit opening rules (cheapest-rate vs best-value)
+against each single-type fleet at several load levels, measuring the
+rate-weighted bill.  Shape assertions: under heavy load the economies-
+of-scale rule wins; under light load small boxes win; the menu is never
+much worse than the best single type.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.heterogeneous import DEFAULT_FLEET, Fleet, ServerType, TypedAnyFit, typed_run
+from repro.workloads.distributions import DirichletSize
+from repro.workloads.poisson import PoissonWorkload
+
+RATES = (0.5, 3.0, 12.0)
+
+
+def _policies():
+    out = {
+        "menu/cheapest": TypedAnyFit(DEFAULT_FLEET, opening_rule="cheapest"),
+        "menu/best_value": TypedAnyFit(DEFAULT_FLEET, opening_rule="best_value"),
+    }
+    for t in DEFAULT_FLEET:
+        out[f"only-{t.name}"] = TypedAnyFit(Fleet([t]), opening_rule="cheapest")
+    return out
+
+
+def test_fleet_economics(benchmark):
+    def measure():
+        bills = {}
+        for rate in RATES:
+            gen = PoissonWorkload(d=2, rate=rate, horizon=40,
+                                  sizes=DirichletSize(min_mag=0.05, max_mag=0.8))
+            instances = [gen.sample_seeded(s) for s in range(4)]
+            for name, algo_builder in _policies().items():
+                total = 0.0
+                for inst in instances:
+                    # fresh policy per run (policies are stateful)
+                    algo = TypedAnyFit(
+                        algo_builder.fleet, opening_rule=algo_builder.opening_rule
+                    )
+                    total += typed_run(algo, inst).cost
+                bills[(rate, name)] = total
+        return bills
+
+    bills = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    names = sorted({name for (_, name) in bills})
+    rows = [[name] + [bills[(rate, name)] for rate in RATES] for name in names]
+    print()
+    print(format_table(
+        ["policy"] + [f"rate={r:g}" for r in RATES], rows,
+        title="Heterogeneous fleet: total bill by opening rule and load",
+    ))
+
+    for rate in RATES:
+        menu_best = min(bills[(rate, "menu/cheapest")], bills[(rate, "menu/best_value")])
+        single_best = min(bills[(rate, f"only-{t.name}")] for t in DEFAULT_FLEET)
+        assert menu_best <= single_best * 1.25, (
+            f"menu should be competitive with the best single type at rate={rate}"
+        )
+    # heavy load rewards economies of scale
+    assert (
+        bills[(RATES[-1], "menu/best_value")] <= bills[(RATES[-1], "menu/cheapest")]
+    )

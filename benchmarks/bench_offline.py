@@ -1,0 +1,64 @@
+"""Online-vs-offline ablation: the price of being online / of no repacking.
+
+Quantifies the ladder ``repack-OPT ≤ no-repack optimum ≤ best online``
+on random workloads: the offline no-repack heuristics (marginal-cost
+greedy, local search) sit between the repack bracket and the online Any
+Fit costs, and the gap between online MF and the offline greedy is the
+measured "price of being online" on the uniform workload.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.optimum.offline_assignment import greedy_assignment, local_search
+from repro.optimum.opt_cost import optimum_cost_bounds
+from repro.simulation.runner import run
+from repro.workloads.base import generate_batch
+from repro.workloads.uniform import UniformWorkload
+
+
+def test_online_vs_offline_ladder(benchmark):
+    instances = generate_batch(
+        UniformWorkload(d=2, n=200, mu=20, T=200, B=100), 5, seed=0
+    )
+
+    def measure():
+        rows = []
+        for inst in instances:
+            opt_lo, opt_hi = optimum_cost_bounds(inst)
+            rows.append(
+                {
+                    "opt_lo": opt_lo,
+                    "opt_hi": opt_hi,
+                    "offline_greedy": greedy_assignment(inst).cost,
+                    "offline_ls": local_search(inst, max_rounds=3).cost,
+                    "online_mf": run("move_to_front", inst).cost,
+                    "online_ff": run("first_fit", inst).cost,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    for r in rows:
+        # soundness ladder
+        assert r["opt_lo"] <= r["opt_hi"] + 1e-9
+        assert r["offline_ls"] <= r["offline_greedy"] + 1e-9
+        assert r["offline_greedy"] >= r["opt_lo"] - 1e-9
+        assert r["online_mf"] >= r["opt_lo"] - 1e-9
+
+    table = [
+        [i, r["opt_lo"], r["opt_hi"], r["offline_ls"], r["offline_greedy"],
+         r["online_mf"], r["online_ff"]]
+        for i, r in enumerate(rows)
+    ]
+    print()
+    print(format_table(
+        ["inst", "repack lo", "repack hi", "offline LS", "offline greedy",
+         "online MF", "online FF"],
+        table,
+        title="Price of being online (uniform workload, d=2, mu=20)",
+    ))
+    avg_gap = sum(r["online_mf"] / r["offline_greedy"] for r in rows) / len(rows)
+    print(f"\nmean online-MF / offline-greedy cost ratio: {avg_gap:.3f}")

@@ -1,0 +1,43 @@
+"""Optimum-machinery benches: exact VBP solver and the Eq. 2 integral.
+
+Not a paper artefact by itself, but the denominator of every reported
+ratio: these benches pin the cost of the exact solver (small instances)
+and the polynomial bracket (paper-scale instances), and assert the
+bracket stays tight on random workloads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.optimum.lower_bounds import height_lower_bound
+from repro.optimum.opt_cost import optimum_cost, optimum_cost_bounds
+from repro.optimum.vbp_solver import first_fit_decreasing, solve_exact
+from repro.workloads.uniform import UniformWorkload
+
+
+@pytest.mark.parametrize("n_items", [8, 12, 16])
+def test_exact_vbp_solver(benchmark, n_items):
+    rng = np.random.default_rng(n_items)
+    sizes = [rng.uniform(0.05, 0.7, size=2) for _ in range(n_items)]
+    cap = np.ones(2)
+    opt = benchmark(solve_exact, sizes, cap)
+    assert 1 <= opt <= len(first_fit_decreasing(sizes, cap))
+
+
+def test_exact_optimum_integral_small(benchmark):
+    inst = UniformWorkload(d=2, n=20, mu=4, T=15, B=4).sample_seeded(0)
+    opt = benchmark(optimum_cost, inst)
+    assert opt >= inst.span - 1e-9
+
+
+def test_optimum_bracket_paper_scale(benchmark):
+    inst = UniformWorkload(d=2, n=1000, mu=10, T=1000, B=100).sample_seeded(1)
+    lo, hi = benchmark(optimum_cost_bounds, inst)
+    assert lo <= hi
+    # FFD per segment stays within ~20% of the load bound on the uniform
+    # workload (the gap is widest when few bins are concurrently active,
+    # where a single FFD overage is a large relative error)
+    assert hi / lo < 1.25
+    assert lo == pytest.approx(height_lower_bound(inst), rel=1e-6)

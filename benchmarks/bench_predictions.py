@@ -1,0 +1,69 @@
+"""Prediction-robustness ablation (paper §8: ML-informed packing).
+
+Sweeps the duration-prediction noise level σ and measures the cost of
+prediction-driven policies against the non-clairvoyant baseline (Move To
+Front) under heavy load — the consistency/robustness curve of the
+learning-augmented setting:
+
+* σ = 0 (perfect predictions) should beat MF;
+* costs should degrade monotonically-ish as σ grows;
+* even garbage predictions must stay within the Any Fit family's range
+  (feasibility never depends on predictions).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.predictions import DurationPredictor, PredictedAlignmentFit
+from repro.analysis.aggregate import summarize
+from repro.analysis.report import format_table
+from repro.optimum.lower_bounds import height_lower_bound
+from repro.simulation.runner import run
+from repro.workloads.distributions import DirichletSize, ParetoDuration
+from repro.workloads.poisson import PoissonWorkload
+
+SIGMAS = (0.0, 0.25, 0.5, 1.0, 2.0, 4.0)
+
+
+def test_prediction_robustness_curve(benchmark):
+    gen = PoissonWorkload(
+        d=2, rate=25.0, horizon=60,
+        durations=ParetoDuration(alpha=1.1, floor=1, cap=500),
+        sizes=DirichletSize(min_mag=0.1, max_mag=0.9),
+    )
+    instances = [gen.sample_seeded(s) for s in range(4)]
+    lbs = [height_lower_bound(inst) for inst in instances]
+
+    def sweep():
+        out = {}
+        baseline = [
+            run("move_to_front", inst).cost / lb
+            for inst, lb in zip(instances, lbs)
+        ]
+        out["baseline"] = summarize(baseline)
+        for sigma in SIGMAS:
+            ratios = []
+            for inst, lb in zip(instances, lbs):
+                algo = PredictedAlignmentFit(DurationPredictor(sigma=sigma, seed=7))
+                ratios.append(run(algo, inst).cost / lb)
+            out[sigma] = summarize(ratios)
+        return out
+
+    stats = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = [["move_to_front (no predictions)", stats["baseline"].mean]]
+    for sigma in SIGMAS:
+        rows.append([f"predicted_alignment_fit sigma={sigma:g}", stats[sigma].mean])
+    print()
+    print(format_table(
+        ["policy", "mean ratio"], rows,
+        title="Prediction-robustness curve (heavy load, Pareto durations)",
+    ))
+
+    # consistency: perfect predictions beat the non-clairvoyant baseline
+    assert stats[0.0].mean < stats["baseline"].mean
+    # robustness: even the noisiest predictor stays within 25% of baseline
+    assert stats[SIGMAS[-1]].mean < 1.25 * stats["baseline"].mean
+    # the curve trends upward from perfect to garbage predictions
+    assert stats[0.0].mean <= stats[SIGMAS[-1]].mean + 1e-9

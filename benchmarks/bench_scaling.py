@@ -1,0 +1,47 @@
+"""Scaling ablation: simulation throughput vs instance size and policy.
+
+Validates the vectorised fit-check path (DESIGN.md §5) stays the hot
+loop: cost per simulated item should grow sub-quadratically in ``n`` for
+list-scanning policies, and the engine should handle paper-scale
+instances (n = 1000) in tens of milliseconds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.registry import PAPER_ALGORITHMS, make_algorithm
+from repro.simulation.runner import run
+from repro.workloads.uniform import UniformWorkload
+
+
+@pytest.mark.parametrize("n", [100, 500, 1000])
+def test_simulation_scaling_in_n(benchmark, n):
+    inst = UniformWorkload(d=2, n=n, mu=10, T=1000, B=100).sample_seeded(0)
+    algo = make_algorithm("move_to_front")
+    packing = benchmark(run, algo, inst)
+    assert packing.num_bins > 0
+
+
+@pytest.mark.parametrize("algorithm", PAPER_ALGORITHMS)
+def test_simulation_throughput_per_policy(benchmark, algorithm):
+    inst = UniformWorkload(d=2, n=500, mu=20, T=500, B=100).sample_seeded(1)
+    algo = make_algorithm(algorithm)
+    packing = benchmark(run, algo, inst)
+    assert packing.num_bins > 0
+
+
+@pytest.mark.parametrize("d", [1, 2, 5, 10])
+def test_simulation_scaling_in_d(benchmark, d):
+    inst = UniformWorkload(d=d, n=500, mu=10, T=500, B=100).sample_seeded(2)
+    algo = make_algorithm("first_fit")
+    packing = benchmark(run, algo, inst)
+    assert packing.num_bins > 0
+
+
+def test_lower_bound_sweepline_paper_scale(benchmark):
+    from repro.optimum.lower_bounds import height_lower_bound
+
+    inst = UniformWorkload(d=5, n=1000, mu=100, T=1000, B=100).sample_seeded(3)
+    lb = benchmark(height_lower_bound, inst)
+    assert lb > 0

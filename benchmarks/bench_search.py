@@ -1,0 +1,58 @@
+"""Empirical competitive-ratio search bench.
+
+Hunts for bad instances for each bounded algorithm and reports the worst
+certified ratio found next to the theoretical lower/upper bounds at the
+instance's ``(μ, d)`` — a regression net: the search must find ratios
+well above the average case, and must never certify a ratio above a
+proven upper bound.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.competitive import random_search
+from repro.analysis.report import format_table
+from repro.analysis.theory import TABLE1, lower_bound, upper_bound
+
+ALGOS = ["move_to_front", "first_fit", "next_fit", "best_fit"]
+
+
+def test_competitive_search(benchmark, paper_scale):
+    budget = (800, 400) if paper_scale else (120, 60)
+
+    def hunt():
+        return {
+            algo: random_search(
+                algo, d=1, n=12, mu=5.0,
+                budget=budget[0], hill_climb=budget[1], seed=11,
+            )
+            for algo in ALGOS
+        }
+
+    results = benchmark.pedantic(hunt, rounds=1, iterations=1)
+
+    rows = []
+    for algo, res in results.items():
+        mu, d = res.instance.mu, res.instance.d
+        lo = lower_bound(algo, mu, d) if algo in TABLE1 else float("nan")
+        up = upper_bound(algo, mu, d) if algo in TABLE1 else float("nan")
+        if not math.isinf(up):
+            assert res.ratio <= up + 1e-6, f"{algo} certified ratio above proven bound"
+        assert res.ratio > 1.15, f"{algo}: search failed to beat the average case"
+        rows.append([
+            algo,
+            res.ratio,
+            "unbounded" if math.isinf(lo) else f"{lo:.1f}",
+            "unbounded" if math.isinf(up) else f"{up:.1f}",
+            res.evaluations,
+        ])
+    print()
+    print(format_table(
+        ["algorithm", "worst certified ratio", "theory LB(mu,d)",
+         "theory UB(mu,d)", "evals"],
+        rows,
+        title="Empirical bad-instance search (certified CR lower bounds)",
+    ))

@@ -1,0 +1,52 @@
+"""Table 1 regeneration bench: competitive-ratio bound verification.
+
+Runs the adversarial families (Theorems 5, 6, 8 + the Best Fit trap)
+across growing ``k`` and prints both the paper's bound formulas and the
+measured ratios.  Shape assertions: measured ratios are sandwiched
+between ~0 and the theoretical targets, grow with ``k``, and for MF/FF/
+NF never exceed the Table 1 upper bounds.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments.table1 import (
+    render_table1,
+    render_table1_bounds,
+    run_table1,
+)
+
+
+def _check_rows(rows) -> None:
+    for r in rows:
+        assert r.measured_ratio <= r.target_ratio + 1e-6, (
+            f"{r.family}/{r.algorithm} k={r.k}: measured {r.measured_ratio} "
+            f"exceeds target {r.target_ratio}"
+        )
+        if not math.isinf(r.theory_upper):
+            assert r.measured_ratio <= r.theory_upper + 1e-6
+    # within each (family, algorithm, d), the certified fraction of the
+    # target grows with k
+    keyed = {}
+    for r in rows:
+        keyed.setdefault((r.family, r.algorithm, r.d), []).append(r)
+    for group in keyed.values():
+        group.sort(key=lambda r: r.k)
+        fracs = [r.fraction_of_target for r in group]
+        assert fracs == sorted(fracs), f"non-monotone ratios in {group[0].family}"
+
+
+def test_table1_verification(benchmark, paper_scale):
+    ks = (2, 4, 8, 16, 32, 64) if paper_scale else (2, 4, 8, 16)
+    rows = benchmark.pedantic(
+        run_table1,
+        kwargs={"ks": ks, "d_values": (1, 2, 3), "mu": 5.0},
+        rounds=1,
+        iterations=1,
+    )
+    _check_rows(rows)
+    print()
+    print(render_table1_bounds(mu=5.0, d_values=(1, 2, 3)))
+    print()
+    print(render_table1(rows))

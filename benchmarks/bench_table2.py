@@ -1,0 +1,28 @@
+"""Table 2 bench: the experimental parameter table and its generator.
+
+Table 2 is a configuration table; the bench measures the cost of
+generating one full-scale instance under those parameters (the unit of
+work behind every Figure 4 cell) and prints the rendered table.  Shape
+assertions: the generated instances actually obey Table 2's ranges.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.config import FULL
+from repro.experiments.table2 import render_table2
+from repro.workloads.uniform import UniformWorkload
+
+
+def test_table2_generator(benchmark):
+    gen = UniformWorkload(d=2, n=FULL.n, mu=10, T=FULL.T, B=FULL.B)
+    instance = benchmark(gen.sample_seeded, 0)
+    assert instance.n == FULL.n
+    assert np.allclose(instance.capacity, FULL.B)
+    for it in instance.items:
+        assert 1 <= it.duration <= 10
+        assert np.all((1 <= it.size) & (it.size <= FULL.B))
+        assert 0 <= it.arrival <= FULL.T - 10
+    print()
+    print(render_table2())

@@ -1,0 +1,27 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every bench regenerates one paper artefact (table/figure) or one ablation
+from DESIGN.md §6.  Benches print the rows/series they produce (visible
+with ``pytest benchmarks/ --benchmark-only -s``), and assert the shape
+claims so a regression in packing behaviour fails the bench run, not
+just the plots.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--paper-scale",
+        action="store_true",
+        default=False,
+        help="run benches at the paper's full Table 2 scale (slow: hours)",
+    )
+
+
+@pytest.fixture(scope="session")
+def paper_scale(request):
+    """Whether to run at the paper's full scale (default: quick scale)."""
+    return request.config.getoption("--paper-scale")

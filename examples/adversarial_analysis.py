@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Adversarial analysis: watching the lower-bound proofs execute.
+
+The paper's lower bounds (Theorems 5, 6, 8) are constructive: specific
+item sequences force specific executions.  This example builds each
+family at growing parameter ``k``, runs the targeted algorithms, and
+shows the measured cost ratio marching toward the theoretical bound -
+the proofs, as running code.
+
+Run:  python examples/adversarial_analysis.py
+"""
+
+from repro import make_algorithm, run
+from repro import theorem5_instance, theorem6_instance, theorem8_instance
+from repro.analysis.report import format_table
+from repro.analysis.theory import upper_bound
+from repro.workloads.adversarial import best_fit_trap
+
+MU = 5.0
+
+def sweep(family_name, make_adv, algorithm, ks):
+    rows = []
+    for k in ks:
+        adv = make_adv(k)
+        packing = run(make_algorithm(algorithm), adv.instance)
+        ratio = packing.cost / adv.opt_upper
+        rows.append([k, adv.instance.n, packing.num_bins, packing.cost,
+                     ratio, adv.target_ratio, f"{ratio / adv.target_ratio:.0%}"])
+    print(format_table(
+        ["k", "items", "bins", "cost", "measured CR >=", "theory target",
+         "% of target"],
+        rows,
+        title=f"{family_name} vs {algorithm}",
+    ))
+    print()
+
+def main() -> None:
+    d = 2
+    print(f"All families at mu = {MU:g}; Theorem 5/6 families at d = {d}.\n")
+
+    sweep(
+        "Theorem 5 family - any Any Fit algorithm pays >= (mu+1)d = "
+        f"{(MU + 1) * d:g}",
+        lambda k: theorem5_instance(d=d, k=k, mu=MU),
+        "move_to_front",
+        ks=(2, 4, 8, 16, 32),
+    )
+    sweep(
+        f"Theorem 6 family - Next Fit pays >= 2*mu*d = {2 * MU * d:g}",
+        lambda k: theorem6_instance(d=d, k=k, mu=MU),
+        "next_fit",
+        ks=(2, 4, 8, 16, 32),
+    )
+    sweep(
+        f"Theorem 8 family (d=1) - Move To Front pays >= 2*mu = {2 * MU:g}",
+        lambda k: theorem8_instance(n=k, mu=MU),
+        "move_to_front",
+        ks=(2, 4, 8, 16, 32),
+    )
+    sweep(
+        "Best Fit lure family - ratio grows ~linearly in k "
+        "(Thm 7: CR unbounded)",
+        lambda k: best_fit_trap(k=k),
+        "best_fit",
+        ks=(2, 4, 8, 12),
+    )
+
+    # the matching upper bounds, for contrast
+    print("Upper bounds at these parameters (Table 1):")
+    for algo in ("move_to_front", "first_fit", "next_fit"):
+        print(f"  {algo:15s} <= {upper_bound(algo, MU, d):g}   (d={d})")
+    print("  best_fit        unbounded")
+    print("\nNote how each family's measured ratio approaches its target "
+          "from below as k grows,\nwhile never crossing the corresponding "
+          "upper bound - the almost-tightness the paper proves.")
+
+if __name__ == "__main__":
+    main()

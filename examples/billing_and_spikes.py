@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Operations study: flash crowds + hourly billing.
+
+Two realities the base model idealises away, both flagged in the paper's
+introduction, and both implemented as library extensions:
+
+* demand comes in *spikes* (a game launch, a marketing event) on top of
+  a steady baseline — modelled by ``SpikeWorkload``;
+* the provider bills in *quanta* ("hourly or monthly basis") — modelled
+  by ``billed_cost`` and the quantum-aware Move To Front variant.
+
+This study profiles the workload, compares dispatch policies under
+continuous vs hourly billing, and measures what quantum-awareness buys.
+
+Run:  python examples/billing_and_spikes.py
+"""
+
+import numpy as np
+
+from repro import PAPER_ALGORITHMS, compare_algorithms, run
+from repro.analysis.report import format_table
+from repro.simulation.billing import QuantumAwareMoveToFront, billed_cost
+from repro.workloads import (
+    DirichletSize,
+    LognormalDuration,
+    PoissonWorkload,
+    SpikeWorkload,
+    render_description,
+)
+
+QUANTUM = 1.0  # one billable hour
+
+def build_workload() -> SpikeWorkload:
+    baseline = PoissonWorkload(
+        d=2,
+        rate=3.0,
+        horizon=48.0,  # two days, hours as time units
+        durations=LognormalDuration(log_mean=0.8, log_sigma=1.0, floor=0.25, cap=24),
+        sizes=DirichletSize(min_mag=0.05, max_mag=0.5),
+    )
+    return SpikeWorkload(
+        base=baseline,
+        num_spikes=4,
+        spike_size=40,
+        spike_demand=(0.12, 0.08),
+        spike_duration=1.5,
+    )
+
+def main() -> None:
+    instance = build_workload().sample_seeded(99)
+    print(render_description(instance))
+    print()
+
+    packings = compare_algorithms(PAPER_ALGORITHMS, instance)
+    aware = run(QuantumAwareMoveToFront(quantum=QUANTUM), instance)
+    packings[aware.algorithm] = aware
+
+    rows = []
+    for name, packing in packings.items():
+        rows.append([
+            name,
+            packing.cost,
+            billed_cost(packing, QUANTUM),
+            billed_cost(packing, QUANTUM) / packing.cost - 1.0,
+            packing.num_bins,
+        ])
+    rows.sort(key=lambda r: r[2])
+    print(format_table(
+        ["policy", "server-hours (continuous)", f"bill (q={QUANTUM:g}h)",
+         "quantisation overhead", "servers"],
+        rows,
+        title="Two days of spiky traffic: continuous vs hourly billing",
+    ))
+
+    best = rows[0]
+    plain_mf_bill = next(r[2] for r in rows if r[0] == "move_to_front")
+    aware_bill = next(r[2] for r in rows if r[0] == "quantum_aware_move_to_front")
+    print(f"\ncheapest bill: {best[0]} at {best[2]:.1f} paid hours")
+    print(f"quantum-aware MF vs plain MF: "
+          f"{plain_mf_bill - aware_bill:+.1f} paid hours "
+          f"({(plain_mf_bill - aware_bill) / plain_mf_bill:+.2%})")
+    print("\nTakeaways: spikes of identical short sessions reward alignment "
+          "(MF-family policies);\nhourly billing punishes policies that "
+          "scatter short usage across many servers (Next Fit).")
+
+if __name__ == "__main__":
+    main()

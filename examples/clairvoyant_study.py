@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""How much is knowing job durations worth?  (Paper §8 future work.)
+
+The paper studies the non-clairvoyant setting; its concluding remarks
+name the clairvoyant problem (duration known on arrival, e.g. predicted
+by an ML model) as future work.  This study quantifies the value of that
+information across load levels: it sweeps the arrival rate of a heavy-
+tailed Poisson workload and compares
+
+* the best non-clairvoyant policies (Move To Front, First Fit), against
+* two clairvoyant policies from this library: departure-alignment Best
+  Fit, and duration-classified First Fit.
+
+The headline: duration knowledge is worth little at light load (few
+servers run anyway; classification overhead can even hurt) and several
+percent of the bill at heavy load - with a visible crossover.
+
+Run:  python examples/clairvoyant_study.py
+"""
+
+from repro import DurationClassifiedFirstFit, AlignmentBestFit, run
+from repro.analysis.aggregate import summarize
+from repro.analysis.report import format_table
+from repro.optimum import height_lower_bound
+from repro.workloads.distributions import DirichletSize, ParetoDuration
+from repro.workloads.poisson import PoissonWorkload
+
+POLICIES = [
+    ("move_to_front (non-clair.)", lambda: "move_to_front"),
+    ("first_fit (non-clair.)", lambda: "first_fit"),
+    ("alignment_best_fit (clair.)", AlignmentBestFit),
+    ("duration_classified_ff (clair.)", lambda: DurationClassifiedFirstFit(base=4.0)),
+]
+
+def cell(rate: float, seeds=range(4)):
+    gen = PoissonWorkload(
+        d=2,
+        rate=rate,
+        horizon=60,
+        durations=ParetoDuration(alpha=1.1, floor=1, cap=500),
+        sizes=DirichletSize(min_mag=0.1, max_mag=0.9),
+    )
+    instances = [gen.sample_seeded(s) for s in seeds]
+    out = {}
+    for label, make in POLICIES:
+        ratios = []
+        for inst in instances:
+            algo = make()
+            ratios.append(run(algo, inst).cost / height_lower_bound(inst))
+        out[label] = summarize(ratios)
+    return out
+
+def main() -> None:
+    rates = (2.0, 8.0, 25.0)
+    results = {rate: cell(rate) for rate in rates}
+
+    rows = []
+    for label, _ in POLICIES:
+        rows.append([label] + [results[r][label].mean for r in rates])
+    print(format_table(
+        ["policy"] + [f"rate={r:g}" for r in rates],
+        rows,
+        title="Mean performance ratio vs load (Pareto durations, alpha=1.1)",
+    ))
+
+    print("\nReading the crossover:")
+    for rate in rates:
+        res = results[rate]
+        best_nc = min(res[l].mean for l, _ in POLICIES[:2])
+        best_c = min(res[l].mean for l, _ in POLICIES[2:])
+        verdict = "clairvoyance wins" if best_c < best_nc else "not worth it"
+        print(f"  rate={rate:5g}: best non-clairvoyant {best_nc:.3f} vs "
+              f"best clairvoyant {best_c:.3f} -> {verdict} "
+              f"({(best_nc - best_c) / best_nc:+.1%})")
+    print("\nThe 1-D theory agrees with the trend: clairvoyant DBP admits "
+          "O(sqrt(log mu))-competitive\nalgorithms [Azar-Vainstein], far "
+          "below the Omega(mu) non-clairvoyant lower bounds.")
+
+if __name__ == "__main__":
+    main()

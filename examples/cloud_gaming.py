@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Cloud gaming dispatch: the paper's motivating application.
+
+A cloud-gaming provider (GaiKai / OnLive / StreamMyGame in the paper's
+introduction) rents servers and dispatches game sessions as they start.
+Each session needs GPU and bandwidth; sessions end whenever the player
+stops - the *non-clairvoyant* setting.  The bill is pay-as-you-go: total
+server-hours.  Which dispatch rule should the provider use?
+
+This example builds a synthetic evening of game sessions (three game
+profiles with different GPU/bandwidth shapes, a demand ramp toward prime
+time, lognormal play times), runs all seven Any Fit policies, and prints
+the rental bill each one produces.
+
+Run:  python examples/cloud_gaming.py
+"""
+
+import numpy as np
+
+from repro import Instance, Item, PAPER_ALGORITHMS, compare_algorithms
+from repro.analysis.report import format_table
+from repro.optimum import height_lower_bound
+
+#: (name, gpu, bandwidth, popularity) - fractions of one server
+GAME_PROFILES = [
+    ("indie", 0.10, 0.05, 0.5),
+    ("AAA", 0.35, 0.20, 0.35),
+    ("esports-stream", 0.20, 0.40, 0.15),
+]
+
+def evening_of_sessions(rng: np.random.Generator, hours: float = 6.0) -> Instance:
+    """Session starts ramp up toward prime time; play times are lognormal
+    (median ~35 min) truncated to [5 min, 4 h]."""
+    base_rate = 40.0  # sessions per hour at the start of the evening
+    t, items, uid = 0.0, [], 0
+    names, gpus, bws, pops = zip(*GAME_PROFILES)
+    p = np.array(pops) / sum(pops)
+    while t < hours:
+        # demand doubles by prime time
+        rate = base_rate * (1.0 + t / hours)
+        t += rng.exponential(1.0 / rate)
+        if t >= hours:
+            break
+        g = rng.choice(len(GAME_PROFILES), p=p)
+        playtime = float(np.clip(rng.lognormal(np.log(0.6), 0.8), 1 / 12, 4.0))
+        items.append(Item(t, t + playtime, np.array([gpus[g], bws[g]]), uid))
+        uid += 1
+    return Instance(items, name="evening-of-game-sessions")
+
+def main() -> None:
+    rng = np.random.default_rng(2023)
+    instance = evening_of_sessions(rng)
+    lb = height_lower_bound(instance)
+    print(f"{instance.n} game sessions over {instance.horizon.length:.1f} h "
+          f"(mu = {instance.mu:.0f}); minimum conceivable bill: {lb:.1f} server-hours\n")
+
+    packings = compare_algorithms(PAPER_ALGORITHMS, instance)
+    hourly_rate = 1.50  # $ per server-hour, on-demand GPU instance
+    rows = []
+    for name, packing in packings.items():
+        rows.append([
+            name,
+            packing.cost,
+            packing.cost / lb,
+            packing.num_bins,
+            f"${packing.cost * hourly_rate:,.2f}",
+        ])
+    rows.sort(key=lambda r: r[1])
+    print(format_table(
+        ["policy", "server-hours", "ratio vs LB", "servers rented", "bill"],
+        rows,
+        title="One evening of cloud gaming, by dispatch policy",
+    ))
+
+    best, worst = rows[0], rows[-1]
+    saving = (worst[1] - best[1]) * hourly_rate
+    print(f"\n{best[0]} vs {worst[0]}: ${saving:,.2f} saved in one evening "
+          f"({(worst[1] - best[1]) / worst[1]:.0%} of the worst bill).")
+    print("The paper's recommendation - Move To Front - combines a bounded "
+          "worst case\n((2mu+1)d + 1, Theorem 2) with near-best average "
+          "performance (Section 7).")
+
+if __name__ == "__main__":
+    main()

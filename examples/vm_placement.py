@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""VM placement on physical servers: the provider-side application.
+
+A cloud provider places incoming VM requests (CPU + memory demands) onto
+physical servers; every active server burns power, so the objective is
+MinUsageTime (the paper cites ~$100M/year per 1% packing-efficiency gain
+at Azure scale).  The real Azure traces are proprietary, so this example
+uses the library's synthetic Azure-like trace generator: a skewed VM-type
+catalogue, diurnal demand, lognormal lifetimes, batched deployments
+(see DESIGN.md, substitution note).
+
+It then answers two operator questions:
+1. which dispatch policy minimises server-on time?
+2. how big is the gap to the offline optimum bracket?
+
+Run:  python examples/vm_placement.py
+"""
+
+import numpy as np
+
+from repro import CloudTraceWorkload, PAPER_ALGORITHMS, compare_algorithms
+from repro.analysis.report import format_table
+from repro.optimum import height_lower_bound, optimum_cost_bounds
+from repro.simulation.metrics import compute_metrics
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    trace = CloudTraceWorkload(days=3, base_rate=6.0).sample(rng)
+    print(f"synthetic trace: {trace.n} VM requests over "
+          f"{trace.horizon.length / 24:.0f} days "
+          f"(lifetimes {trace.min_duration:.2f}-{trace.max_duration:.1f} h)\n")
+
+    packings = compare_algorithms(PAPER_ALGORITHMS, trace)
+    lb = height_lower_bound(trace)
+    rows = []
+    for name, packing in packings.items():
+        m = compute_metrics(packing)
+        rows.append([
+            name,
+            m.cost,
+            m.cost / lb,
+            m.num_bins,
+            m.max_concurrent,
+            f"{m.average_utilization:.1%}",
+        ])
+    rows.sort(key=lambda r: r[1])
+    print(format_table(
+        ["policy", "server-hours", "ratio vs LB", "servers used",
+         "peak servers", "utilisation"],
+        rows,
+        title="Three days of VM placement, by dispatch policy",
+    ))
+
+    # the certified optimum bracket: what an offline scheduler with
+    # repacking could achieve
+    opt_lo, opt_hi = optimum_cost_bounds(trace)
+    best = rows[0]
+    print(f"\noffline optimum (certified bracket): "
+          f"[{opt_lo:.1f}, {opt_hi:.1f}] server-hours")
+    print(f"best online policy ({best[0]}): {best[1]:.1f} server-hours -> "
+          f"at most {best[1] / opt_lo:.2f}x the offline optimum")
+
+    gain = (rows[-1][1] - rows[0][1]) / rows[-1][1]
+    print(f"\npolicy choice alone is worth {gain:.1%} of the energy bill "
+          f"on this trace - the kind of gap the paper's introduction "
+          f"quantifies at ~$100M/year per 1% for a hyperscaler.")
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim for environments without the `wheel` package.
+
+`pip install -e .` uses PEP 660 editable wheels, which the pinned
+offline toolchain here cannot build (no `wheel` distribution); this shim
+lets `python setup.py develop` install the package in editable mode with
+metadata read from pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

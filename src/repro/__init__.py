@@ -1,0 +1,106 @@
+"""repro — MinUsageTime Dynamic Vector Bin Packing (DVBP).
+
+A production-quality reproduction of *"Dynamic Vector Bin Packing for
+Online Resource Allocation in the Cloud"* (Murhekar, Arbour, Mai, Rao —
+SPAA 2023): the Any Fit algorithm family (Move To Front, First Fit, Next
+Fit, Best/Worst/Last/Random Fit), a discrete-event online packing
+simulator, Lemma 1 optimum lower bounds and an exact offline optimum,
+the paper's adversarial lower-bound constructions, the Section 7
+average-case experiments, and clairvoyant/trace-driven extensions.
+
+Quickstart
+----------
+>>> from repro import UniformWorkload, simulate, MoveToFront
+>>> from repro.optimum import height_lower_bound
+>>> instance = UniformWorkload(d=2, n=100, mu=10).sample_seeded(0)
+>>> packing = simulate(MoveToFront(), instance)
+>>> round(packing.cost / height_lower_bound(instance), 2) >= 1.0
+True
+"""
+
+from .algorithms import (
+    AlignmentBestFit,
+    AnyFitAlgorithm,
+    BestFit,
+    DurationClassifiedFirstFit,
+    FirstFit,
+    LastFit,
+    MoveToFront,
+    NextFit,
+    OnlineAlgorithm,
+    PAPER_ALGORITHMS,
+    RandomFit,
+    WorstFit,
+    available_algorithms,
+    make_algorithm,
+)
+from .core import (
+    Bin,
+    DVBPError,
+    Instance,
+    Interval,
+    Item,
+    Packing,
+    make_item,
+)
+from .optimum import (
+    height_lower_bound,
+    opt_lower_bound,
+    optimum_cost,
+    optimum_cost_bounds,
+)
+from .simulation import Engine, compare_algorithms, compute_metrics, run, simulate
+from .workloads import (
+    CloudTraceWorkload,
+    CorrelatedWorkload,
+    PoissonWorkload,
+    UniformWorkload,
+    generate_batch,
+    theorem5_instance,
+    theorem6_instance,
+    theorem8_instance,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AlignmentBestFit",
+    "AnyFitAlgorithm",
+    "BestFit",
+    "Bin",
+    "CloudTraceWorkload",
+    "CorrelatedWorkload",
+    "DVBPError",
+    "DurationClassifiedFirstFit",
+    "Engine",
+    "FirstFit",
+    "Instance",
+    "Interval",
+    "Item",
+    "LastFit",
+    "MoveToFront",
+    "NextFit",
+    "OnlineAlgorithm",
+    "PAPER_ALGORITHMS",
+    "Packing",
+    "PoissonWorkload",
+    "RandomFit",
+    "UniformWorkload",
+    "WorstFit",
+    "available_algorithms",
+    "compare_algorithms",
+    "compute_metrics",
+    "generate_batch",
+    "height_lower_bound",
+    "make_algorithm",
+    "make_item",
+    "opt_lower_bound",
+    "optimum_cost",
+    "optimum_cost_bounds",
+    "run",
+    "simulate",
+    "theorem5_instance",
+    "theorem6_instance",
+    "theorem8_instance",
+    "__version__",
+]

@@ -1,0 +1,51 @@
+"""Online packing algorithms for MinUsageTime DVBP.
+
+The Any Fit family of the paper (Move To Front, First Fit, Next Fit,
+Best Fit, Worst Fit, Last Fit, Random Fit) plus clairvoyant extensions,
+all behind a common :class:`~repro.algorithms.base.OnlineAlgorithm`
+interface and a name registry.
+"""
+
+from .base import AnyFitAlgorithm, OnlineAlgorithm
+from .best_fit import BestFit, WorstFit, load_measure
+from .clairvoyant import AlignmentBestFit, DurationClassifiedFirstFit
+from .first_fit import FirstFit
+from .harmonic import HarmonicFit
+from .last_fit import LastFit
+from .move_to_front import MoveToFront
+from .next_fit import NextFit
+from .predictions import (
+    DurationPredictor,
+    PredictedAlignmentFit,
+    PredictedDurationClassifiedFirstFit,
+)
+from .random_fit import RandomFit
+from .registry import (
+    ALGORITHM_FACTORIES,
+    PAPER_ALGORITHMS,
+    available_algorithms,
+    make_algorithm,
+)
+
+__all__ = [
+    "ALGORITHM_FACTORIES",
+    "AlignmentBestFit",
+    "AnyFitAlgorithm",
+    "BestFit",
+    "DurationClassifiedFirstFit",
+    "DurationPredictor",
+    "PredictedAlignmentFit",
+    "PredictedDurationClassifiedFirstFit",
+    "FirstFit",
+    "HarmonicFit",
+    "LastFit",
+    "MoveToFront",
+    "NextFit",
+    "OnlineAlgorithm",
+    "PAPER_ALGORITHMS",
+    "RandomFit",
+    "WorstFit",
+    "available_algorithms",
+    "load_measure",
+    "make_algorithm",
+]

@@ -1,0 +1,165 @@
+"""Online algorithm interfaces and the Any Fit base class.
+
+``Algorithm 1`` of the paper is a template: maintain a list ``L`` of open
+bins; on arrival, pack into a bin of ``L`` if any fits (never opening a
+new bin when one fits — the *Any Fit property*); otherwise open a new
+bin; maintain ``L`` on packs and departures.  Concrete family members
+differ only in
+
+* which fitting bin of ``L`` they select (Line 5), and
+* how ``L`` is reordered/pruned (Lines 9 and 12).
+
+:class:`AnyFitAlgorithm` implements the template once — including the
+vectorised fit check over all candidate bins and the enforcement of the
+Any Fit property — so subclasses only provide :meth:`choose` plus the
+list-maintenance hooks.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.bins import Bin
+from ..core.errors import AlgorithmError
+from ..core.instance import Instance
+from ..core.items import Item
+from ..core.vectors import fits_batch
+
+__all__ = ["OnlineAlgorithm", "AnyFitAlgorithm"]
+
+
+class OnlineAlgorithm(abc.ABC):
+    """Contract between the simulation engine and a dispatch policy.
+
+    The engine owns bin lifecycle (creation, packing, departure
+    processing, cost accounting); the algorithm only decides *where* each
+    arriving item goes.  Implementations must be resettable: the engine
+    calls :meth:`start` before every run.
+    """
+
+    #: Human-readable policy name used in reports/legends.
+    name: str = "online"
+
+    @abc.abstractmethod
+    def start(self, instance: Instance) -> None:
+        """Reset all per-run state for a fresh simulation of ``instance``."""
+
+    @abc.abstractmethod
+    def dispatch(
+        self,
+        item: Item,
+        now: float,
+        open_new_bin: Callable[[], Bin],
+    ) -> Bin:
+        """Return the bin ``item`` must be packed into.
+
+        Implementations may call ``open_new_bin()`` at most once to
+        create a fresh bin; the engine packs the item into the returned
+        bin and performs capacity checks.
+        """
+
+    def notify_departure(self, bin_: Bin, item: Item, now: float, closed: bool) -> None:
+        """Hook invoked after ``item`` leaves ``bin_`` (Line 10-12).
+
+        ``closed`` is ``True`` when the departure emptied the bin.  The
+        default implementation does nothing.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class AnyFitAlgorithm(OnlineAlgorithm):
+    """Base class implementing Algorithm 1's outer loop.
+
+    Subclass responsibilities:
+
+    * :meth:`choose` — pick one bin from the non-empty list of fitting
+      candidates (in ``L``-order);
+    * optionally :meth:`on_packed` — reorder ``L`` after a pack (e.g.
+      Move To Front moves the bin to the front);
+    * optionally :meth:`on_new_bin` — position a freshly opened bin in
+      ``L`` (default: append);
+    * optionally :meth:`on_closed` — react to a bin closing (default:
+      the base class already removes closed bins from ``L``).
+
+    The base class guarantees the **Any Fit property**: a new bin is
+    opened only when no bin in ``L`` fits the item.  It also verifies
+    that :meth:`choose` returns one of the offered candidates, raising
+    :class:`AlgorithmError` otherwise — so a buggy selection rule fails
+    loudly instead of producing an infeasible or non-Any-Fit packing.
+    """
+
+    def __init__(self) -> None:
+        self._list: List[Bin] = []
+        self._capacity: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # OnlineAlgorithm API
+    # ------------------------------------------------------------------
+    def start(self, instance: Instance) -> None:
+        self._list = []
+        self._capacity = instance.capacity
+
+    @property
+    def open_list(self) -> Sequence[Bin]:
+        """Read-only view of the candidate list ``L`` (for tests/analysis)."""
+        return tuple(self._list)
+
+    def dispatch(self, item: Item, now: float, open_new_bin: Callable[[], Bin]) -> Bin:
+        if self._capacity is None:
+            raise AlgorithmError(f"{self.name}: dispatch before start()")
+        candidates = self._fitting_candidates(item)
+        if candidates:
+            chosen = self.choose(item, candidates, now)
+            if chosen is None or all(chosen is not c for c in candidates):
+                raise AlgorithmError(
+                    f"{self.name}.choose returned a bin that was not offered "
+                    f"(item {item.uid})"
+                )
+        else:
+            chosen = open_new_bin()
+            self.on_new_bin(chosen, item, now)
+        self.on_packed(chosen, item, now)
+        return chosen
+
+    def notify_departure(self, bin_: Bin, item: Item, now: float, closed: bool) -> None:
+        if closed:
+            self._list = [b for b in self._list if b is not bin_]
+            self.on_closed(bin_, now)
+
+    # ------------------------------------------------------------------
+    # hooks for subclasses
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def choose(self, item: Item, candidates: List[Bin], now: float) -> Bin:
+        """Select one bin from ``candidates`` (non-empty, in ``L``-order)."""
+
+    def on_new_bin(self, bin_: Bin, item: Item, now: float) -> None:
+        """Insert a freshly opened bin into ``L``.  Default: append."""
+        self._list.append(bin_)
+
+    def on_packed(self, bin_: Bin, item: Item, now: float) -> None:
+        """Maintain ``L`` after packing (Line 9).  Default: no-op."""
+
+    def on_closed(self, bin_: Bin, now: float) -> None:
+        """React to a bin closing (already removed from ``L``)."""
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _fitting_candidates(self, item: Item) -> List[Bin]:
+        """All bins of ``L`` that can fit ``item``, in ``L``-order.
+
+        Uses a single vectorised comparison over the stacked load matrix
+        (the hot path of every simulation) instead of per-bin Python
+        checks.
+        """
+        if not self._list:
+            return []
+        loads = np.stack([b.load for b in self._list])
+        mask = fits_batch(loads, item.size, self._capacity)
+        return [b for b, ok in zip(self._list, mask) if ok]

@@ -1,0 +1,83 @@
+"""Harmonic-style size-classified packing (classical-bin-packing import).
+
+The Harmonic family is the classic alternative to Any Fit in online bin
+packing: items are bucketed by *size* class (an item with max demand in
+``(1/(c+1), 1/c]`` goes to class ``c``, capped at ``num_classes``), and
+each class packs into its own bins — class-``c`` bins hold up to ``c``
+items in the classifying dimension.
+
+In the MinUsageTime setting size classification is a *packing*-oriented
+policy with no alignment awareness, so the paper's intuition (Section 7,
+"Packing and Alignment") predicts it should behave like a tidier Worst
+Fit: decent bin counts, poor usage time under duration spread.  The
+library includes it as a non-Any-Fit baseline for exactly that
+comparison (bench ``bench_ablations.py``; it deliberately violates the
+Any Fit property across classes, like
+:class:`~repro.algorithms.clairvoyant.DurationClassifiedFirstFit`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..core.bins import Bin
+from ..core.errors import ConfigurationError
+from ..core.instance import Instance
+from ..core.items import Item
+from ..core.vectors import linf
+from .base import OnlineAlgorithm
+
+__all__ = ["HarmonicFit"]
+
+
+class HarmonicFit(OnlineAlgorithm):
+    """Harmonic(size)-classified First Fit.
+
+    Parameters
+    ----------
+    num_classes:
+        Number of size classes ``K``.  An item whose normalised max
+        demand lies in ``(1/(c+1), 1/c]`` belongs to class ``c`` for
+        ``c < K``; everything smaller falls into the residual class
+        ``K`` (packed First Fit among residual bins).
+    """
+
+    name = "harmonic_fit"
+
+    def __init__(self, num_classes: int = 5) -> None:
+        if num_classes < 1:
+            raise ConfigurationError(f"num_classes must be >= 1, got {num_classes}")
+        self.num_classes = int(num_classes)
+        self._classes: Dict[int, List[Bin]] = {}
+        self._class_of_bin: Dict[int, int] = {}
+        self._capacity = None
+
+    def start(self, instance: Instance) -> None:
+        self._classes = {}
+        self._class_of_bin = {}
+        self._capacity = instance.capacity
+
+    def _class_index(self, item: Item) -> int:
+        # normalised max demand in (0, 1]
+        rel = linf(item.size / self._capacity)
+        if rel <= 0:
+            return self.num_classes
+        c = int(1.0 / rel)  # rel in (1/(c+1), 1/c]  ->  int(1/rel) == c
+        return min(max(c, 1), self.num_classes)
+
+    def dispatch(self, item: Item, now: float, open_new_bin: Callable[[], Bin]) -> Bin:
+        cls = self._class_index(item)
+        bucket = self._classes.setdefault(cls, [])
+        for b in bucket:
+            if b.can_fit(item):
+                return b
+        fresh = open_new_bin()
+        bucket.append(fresh)
+        self._class_of_bin[fresh.index] = cls
+        return fresh
+
+    def notify_departure(self, bin_: Bin, item: Item, now: float, closed: bool) -> None:
+        if closed:
+            cls = self._class_of_bin.pop(bin_.index, None)
+            if cls is not None and cls in self._classes:
+                self._classes[cls] = [b for b in self._classes[cls] if b is not bin_]

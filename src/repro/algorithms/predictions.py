@@ -1,0 +1,192 @@
+"""Learning-augmented packing: policies driven by *predicted* durations.
+
+Section 8 of the paper names "additional information about the input,
+perhaps obtained using machine learning algorithms" as a future
+direction, citing the clairvoyant problem as the idealised limit.  This
+module fills the spectrum between non-clairvoyant and clairvoyant:
+
+* :class:`DurationPredictor` — an oracle producing noisy duration
+  predictions (log-normal multiplicative noise with controllable
+  ``sigma``; ``sigma = 0`` is exact clairvoyance, ``sigma → ∞`` is
+  uninformative);
+* :class:`PredictedAlignmentFit` — the
+  :class:`~repro.algorithms.clairvoyant.AlignmentBestFit` policy run on
+  predicted departures instead of true ones;
+* :class:`PredictedDurationClassifiedFirstFit` — duration classes from
+  predictions.
+
+The robustness question — how fast does the clairvoyant advantage decay
+with prediction error? — is measured by ``benchmarks/bench_predictions
+.py`` and `examples/clairvoyant_study.py`'s companion sweep.  Both
+policies remain *feasible* regardless of prediction quality (predictions
+only influence bin choice, never capacity checks), so bad predictions
+degrade cost, not correctness — the usual consistency/robustness framing
+of learning-augmented algorithms.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..core.bins import Bin
+from ..core.errors import ConfigurationError
+from ..core.instance import Instance
+from ..core.items import Item
+from .base import AnyFitAlgorithm, OnlineAlgorithm
+
+__all__ = [
+    "DurationPredictor",
+    "PredictedAlignmentFit",
+    "PredictedDurationClassifiedFirstFit",
+]
+
+
+class DurationPredictor:
+    """Noisy duration oracle.
+
+    Predicts ``duration * exp(sigma * Z)`` with ``Z ~ N(0, 1)`` drawn
+    once per item (per run), clipped to ``[min_factor, max_factor]``
+    times the truth.  Deterministic per ``(seed, item uid)``, so repeated
+    queries agree and repeated runs reproduce.
+
+    Parameters
+    ----------
+    sigma:
+        Log-scale noise level; 0 = exact clairvoyance.
+    seed:
+        Base seed for the per-item noise stream.
+    min_factor / max_factor:
+        Clip bounds on the multiplicative error.
+    """
+
+    def __init__(
+        self,
+        sigma: float = 0.5,
+        seed: int = 0,
+        min_factor: float = 0.05,
+        max_factor: float = 20.0,
+    ) -> None:
+        if sigma < 0:
+            raise ConfigurationError(f"sigma must be >= 0, got {sigma}")
+        if not 0 < min_factor <= 1.0 <= max_factor:
+            raise ConfigurationError(
+                f"need 0 < min_factor <= 1 <= max_factor, got "
+                f"[{min_factor}, {max_factor}]"
+            )
+        self.sigma = float(sigma)
+        self.seed = int(seed)
+        self.min_factor = float(min_factor)
+        self.max_factor = float(max_factor)
+        self._cache: Dict[int, float] = {}
+
+    def reset(self) -> None:
+        """Clear the per-item cache (called by policies at run start)."""
+        self._cache = {}
+
+    def predicted_duration(self, item: Item) -> float:
+        """The (cached) noisy duration prediction for ``item``."""
+        if item.uid not in self._cache:
+            if self.sigma == 0.0:
+                factor = 1.0
+            else:
+                rng = np.random.default_rng((self.seed, item.uid))
+                factor = float(
+                    np.clip(
+                        math.exp(self.sigma * rng.standard_normal()),
+                        self.min_factor,
+                        self.max_factor,
+                    )
+                )
+            self._cache[item.uid] = item.duration * factor
+        return self._cache[item.uid]
+
+    def predicted_departure(self, item: Item) -> float:
+        """Predicted departure time ``arrival + predicted duration``."""
+        return item.arrival + self.predicted_duration(item)
+
+
+class PredictedAlignmentFit(AnyFitAlgorithm):
+    """Alignment Best Fit on predicted departures.
+
+    Among fitting bins, choose the one whose latest *predicted* resident
+    departure is closest to the arriving item's *predicted* departure;
+    ties toward higher load, then lower index.  With ``sigma = 0`` this
+    is exactly :class:`~repro.algorithms.clairvoyant.AlignmentBestFit`.
+    """
+
+    name = "predicted_alignment_fit"
+
+    def __init__(self, predictor: Optional[DurationPredictor] = None) -> None:
+        super().__init__()
+        self.predictor = predictor or DurationPredictor(sigma=0.5)
+
+    def start(self, instance: Instance) -> None:
+        super().start(instance)
+        self.predictor.reset()
+
+    def choose(self, item: Item, candidates: List[Bin], now: float) -> Bin:
+        target = self.predictor.predicted_departure(item)
+
+        def key(b: Bin) -> tuple:
+            latest = max(
+                self.predictor.predicted_departure(it) for it in b.active_items()
+            )
+            return (abs(latest - target), -float(b.load.max()), b.index)
+
+        return min(candidates, key=key)
+
+
+class PredictedDurationClassifiedFirstFit(OnlineAlgorithm):
+    """Duration-classified First Fit on predicted durations.
+
+    The non-Any-Fit class structure of
+    :class:`~repro.algorithms.clairvoyant.DurationClassifiedFirstFit`,
+    with class membership decided by the predictor.  Misclassified items
+    (bad predictions) land in the wrong class and hurt alignment but
+    never feasibility.
+    """
+
+    name = "predicted_duration_classified_ff"
+
+    def __init__(
+        self,
+        predictor: Optional[DurationPredictor] = None,
+        base: float = 2.0,
+    ) -> None:
+        if base <= 1.0:
+            raise ConfigurationError(f"class base must exceed 1, got {base}")
+        self.predictor = predictor or DurationPredictor(sigma=0.5)
+        self.base = float(base)
+        self._classes: Dict[int, List[Bin]] = {}
+        self._class_of_bin: Dict[int, int] = {}
+        self._min_duration: float = 1.0
+
+    def start(self, instance: Instance) -> None:
+        self.predictor.reset()
+        self._classes = {}
+        self._class_of_bin = {}
+        self._min_duration = instance.min_duration
+
+    def _class_index(self, item: Item) -> int:
+        ratio = max(self.predictor.predicted_duration(item) / self._min_duration, 1.0)
+        return int(math.floor(math.log(ratio, self.base) + 1e-12))
+
+    def dispatch(self, item: Item, now: float, open_new_bin: Callable[[], Bin]) -> Bin:
+        cls = self._class_index(item)
+        bucket = self._classes.setdefault(cls, [])
+        for b in bucket:
+            if b.can_fit(item):
+                return b
+        fresh = open_new_bin()
+        bucket.append(fresh)
+        self._class_of_bin[fresh.index] = cls
+        return fresh
+
+    def notify_departure(self, bin_: Bin, item: Item, now: float, closed: bool) -> None:
+        if closed:
+            cls = self._class_of_bin.pop(bin_.index, None)
+            if cls is not None and cls in self._classes:
+                self._classes[cls] = [b for b in self._classes[cls] if b is not bin_]

@@ -1,0 +1,45 @@
+"""Random Fit: pack into a uniformly random fitting bin.
+
+Included in the Section 7 experimental lineup.  Fully reproducible: the
+random stream is re-derived from the seed at every :meth:`start`, so
+running the same instance twice gives the same packing.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..core.bins import Bin
+from ..core.instance import Instance
+from ..core.items import Item
+from .base import AnyFitAlgorithm
+
+__all__ = ["RandomFit"]
+
+
+class RandomFit(AnyFitAlgorithm):
+    """Random Fit (RF) Any Fit packing algorithm.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the per-run random stream.  Two runs with the same seed
+        on the same instance produce identical packings.
+    """
+
+    name = "random_fit"
+
+    def __init__(self, seed: int = 0) -> None:
+        super().__init__()
+        self.seed = int(seed)
+        self._rng: Optional[np.random.Generator] = None
+
+    def start(self, instance: Instance) -> None:
+        super().start(instance)
+        self._rng = np.random.default_rng(self.seed)
+
+    def choose(self, item: Item, candidates: List[Bin], now: float) -> Bin:
+        assert self._rng is not None, "start() not called"
+        return candidates[int(self._rng.integers(len(candidates)))]

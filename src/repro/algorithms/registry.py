@@ -1,0 +1,92 @@
+"""Algorithm registry: name → factory, for CLIs, sweeps, and experiments.
+
+The Section 7 lineup is exposed as :data:`PAPER_ALGORITHMS` in the order
+the paper lists them.  ``make_algorithm`` builds a fresh, unshared
+instance per call (algorithms are stateful across a run, so experiments
+must never share one object between concurrent simulations).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..core.errors import ConfigurationError
+from .base import OnlineAlgorithm
+from .best_fit import BestFit, WorstFit
+from .clairvoyant import AlignmentBestFit, DurationClassifiedFirstFit
+from .first_fit import FirstFit
+from .harmonic import HarmonicFit
+from .last_fit import LastFit
+from .move_to_front import MoveToFront
+from .next_fit import NextFit
+from .predictions import DurationPredictor, PredictedAlignmentFit, PredictedDurationClassifiedFirstFit
+from .random_fit import RandomFit
+
+
+def _quantum_aware_mf(**kwargs):
+    # imported lazily to avoid an algorithms <-> simulation import cycle
+    from ..simulation.billing import QuantumAwareMoveToFront
+
+    return QuantumAwareMoveToFront(**kwargs)
+
+__all__ = [
+    "ALGORITHM_FACTORIES",
+    "PAPER_ALGORITHMS",
+    "make_algorithm",
+    "available_algorithms",
+]
+
+ALGORITHM_FACTORIES: Dict[str, Callable[..., OnlineAlgorithm]] = {
+    "move_to_front": MoveToFront,
+    "first_fit": FirstFit,
+    "next_fit": NextFit,
+    "best_fit": BestFit,
+    "best_fit_l1": lambda: BestFit(measure="l1"),
+    "best_fit_l2": lambda: BestFit(measure="lp", p=2.0),
+    "worst_fit": WorstFit,
+    "last_fit": LastFit,
+    "random_fit": RandomFit,
+    "alignment_best_fit": AlignmentBestFit,
+    "duration_classified_first_fit": DurationClassifiedFirstFit,
+    "harmonic_fit": HarmonicFit,
+    "predicted_alignment_fit": PredictedAlignmentFit,
+    "predicted_duration_classified_ff": PredictedDurationClassifiedFirstFit,
+    "quantum_aware_move_to_front": _quantum_aware_mf,
+}
+
+#: The seven algorithms of the Section 7 experimental study, in the
+#: paper's order: MF, FF, NF, then the four additional Any Fit policies.
+PAPER_ALGORITHMS: List[str] = [
+    "move_to_front",
+    "first_fit",
+    "next_fit",
+    "best_fit",
+    "worst_fit",
+    "last_fit",
+    "random_fit",
+]
+
+
+def available_algorithms() -> List[str]:
+    """All registered algorithm names, sorted."""
+    return sorted(ALGORITHM_FACTORIES)
+
+
+def make_algorithm(name: str, **kwargs) -> OnlineAlgorithm:
+    """Instantiate a fresh algorithm by registry name.
+
+    Keyword arguments are forwarded to the factory (e.g.
+    ``make_algorithm("random_fit", seed=7)``).
+
+    Raises
+    ------
+    ConfigurationError
+        For unknown names, listing the available ones.
+    """
+    try:
+        factory = ALGORITHM_FACTORIES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown algorithm {name!r}; available: {', '.join(available_algorithms())}"
+        ) from None
+    return factory(**kwargs) if kwargs else factory()

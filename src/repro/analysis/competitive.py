@@ -1,0 +1,163 @@
+"""Empirical competitive-ratio search: hunting for bad instances.
+
+The theorems give constructions; this module searches for bad inputs
+*automatically* — useful for conjecture probing (e.g. the paper's open
+question whether MF's d ≥ 2 lower bound can be pushed to ``2μd``) and as
+a regression net (no algorithm change should suddenly produce ratios
+above its proven bound).
+
+The search is simple and effective: sample random instances from a
+compact parameter space, score each by ``cost / OPT-upper-bracket``
+(a *certified* lower bound on the true ratio of that instance), keep the
+worst, and hill-climb with local mutations (duplicate a bad item, stretch
+a duration, shrink the bin-relative sizes).  Everything is seeded and
+budget-bounded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from ..algorithms.registry import make_algorithm
+from ..core.instance import Instance
+from ..core.items import Item
+from ..optimum.opt_cost import optimum_cost_bounds
+from ..simulation.runner import run
+
+__all__ = ["SearchResult", "certified_ratio", "random_search", "mutate_instance"]
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Outcome of a bad-instance search.
+
+    ``ratio`` is certified: cost divided by a feasible offline solution's
+    cost (the FFD-per-segment bracket), so the true competitive ratio of
+    the algorithm is at least ``ratio``.
+    """
+
+    algorithm: str
+    instance: Instance
+    cost: float
+    opt_upper: float
+    ratio: float
+    evaluations: int
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SearchResult({self.algorithm}: ratio >= {self.ratio:.3f} "
+            f"on n={self.instance.n}, after {self.evaluations} evals)"
+        )
+
+
+def certified_ratio(algorithm: str, instance: Instance) -> Tuple[float, float, float]:
+    """``(cost, opt_upper, cost/opt_upper)`` for one instance.
+
+    The denominator is the per-segment FFD upper bound on the repacking
+    optimum — a feasible offline cost, hence the quotient certifies a
+    competitive-ratio lower bound.
+    """
+    cost = run(make_algorithm(algorithm), instance).cost
+    _, opt_hi = optimum_cost_bounds(instance)
+    return cost, opt_hi, cost / opt_hi
+
+
+def _random_instance(rng: np.random.Generator, d: int, n: int, mu: float) -> Instance:
+    """A compact random instance biased toward known-bad structure:
+    mixtures of long/tiny and short/large items arriving in bursts."""
+    items: List[Item] = []
+    t = 0.0
+    for uid in range(n):
+        if rng.random() < 0.35:
+            t += float(rng.integers(0, 2))
+        long_item = rng.random() < 0.5
+        duration = float(mu if long_item else 1.0)
+        if long_item:
+            size = rng.uniform(0.02, 0.25, size=d)
+        else:
+            size = rng.uniform(0.3, 0.7, size=d)
+        items.append(Item(t, t + duration, size, uid))
+    items.sort(key=lambda it: it.arrival)
+    items = [it.with_uid(i) for i, it in enumerate(items)]
+    return Instance(items)
+
+
+def mutate_instance(instance: Instance, rng: np.random.Generator) -> Instance:
+    """One local mutation: duplicate, drop, stretch, or resize an item.
+
+    Always returns a valid instance; mutations that would invalidate it
+    (e.g. dropping the last item) fall back to duplication.
+    """
+    items = list(instance.items)
+    op = rng.integers(4)
+    idx = int(rng.integers(len(items)))
+    victim = items[idx]
+    if op == 0:  # duplicate an item (shifting arrival slightly later)
+        clone = Item(
+            victim.arrival,
+            victim.departure,
+            np.array(victim.size),
+            uid=len(items),
+        )
+        items.append(clone)
+    elif op == 1 and len(items) > 1:  # drop an item
+        items.pop(idx)
+    elif op == 2:  # stretch or shrink the duration (keeping >= 1)
+        factor = float(rng.uniform(0.5, 2.0))
+        new_dur = max(1.0, victim.duration * factor)
+        items[idx] = victim.with_departure(victim.arrival + new_dur)
+    else:  # rescale the size vector within (0, 1]
+        factor = float(rng.uniform(0.5, 1.5))
+        new_size = np.clip(victim.size * factor, 1e-3, 1.0)
+        items[idx] = Item(victim.arrival, victim.departure, new_size, victim.uid)
+    items.sort(key=lambda it: it.arrival)
+    items = [it.with_uid(i) for i, it in enumerate(items)]
+    return Instance(items, capacity=np.array(instance.capacity))
+
+
+def random_search(
+    algorithm: str,
+    d: int = 2,
+    n: int = 16,
+    mu: float = 5.0,
+    budget: int = 200,
+    hill_climb: int = 100,
+    seed: int = 0,
+) -> SearchResult:
+    """Find a high-ratio instance for ``algorithm``.
+
+    Phase 1 samples ``budget`` random instances; phase 2 hill-climbs from
+    the worst with ``hill_climb`` mutations (accepting non-decreasing
+    ratios).  Returns the worst instance found with its certified ratio.
+    """
+    rng = np.random.default_rng(seed)
+    evals = 0
+    best: Optional[Tuple[float, Instance, float, float]] = None
+
+    for _ in range(budget):
+        inst = _random_instance(rng, d=d, n=n, mu=mu)
+        cost, opt_hi, ratio = certified_ratio(algorithm, inst)
+        evals += 1
+        if best is None or ratio > best[0]:
+            best = (ratio, inst, cost, opt_hi)
+
+    assert best is not None
+    for _ in range(hill_climb):
+        candidate = mutate_instance(best[1], rng)
+        cost, opt_hi, ratio = certified_ratio(algorithm, candidate)
+        evals += 1
+        if ratio >= best[0]:
+            best = (ratio, candidate, cost, opt_hi)
+
+    ratio, inst, cost, opt_hi = best
+    return SearchResult(
+        algorithm=algorithm,
+        instance=inst,
+        cost=cost,
+        opt_upper=opt_hi,
+        ratio=ratio,
+        evaluations=evals,
+    )

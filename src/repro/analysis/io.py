@@ -1,0 +1,92 @@
+"""Result persistence: experiment outputs to/from JSON.
+
+Sweeps at the paper's full scale take hours; this module lets experiment
+drivers checkpoint their measurements and lets downstream plotting load
+them without re-running anything.  The on-disk format is plain JSON with
+a small schema header so files remain inspectable and diff-able.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Mapping
+
+from ..core.errors import ConfigurationError
+from .aggregate import SampleStats
+from .sweep import SweepCell
+
+__all__ = ["save_cells", "load_cells", "SCHEMA_VERSION"]
+
+SCHEMA_VERSION = 1
+
+
+def _stats_to_dict(stats: SampleStats) -> dict:
+    return stats.as_dict()
+
+
+def _stats_from_dict(payload: Mapping[str, float]) -> SampleStats:
+    return SampleStats(
+        count=int(payload["count"]),
+        mean=float(payload["mean"]),
+        std=float(payload["std"]),
+        ci_halfwidth=float(payload["ci_halfwidth"]),
+        minimum=float(payload["min"]),
+        q25=float(payload["q25"]),
+        median=float(payload["median"]),
+        q75=float(payload["q75"]),
+        maximum=float(payload["max"]),
+    )
+
+
+def save_cells(cells: List[SweepCell], path: str, include_raw: bool = True) -> None:
+    """Write sweep cells to ``path`` as JSON.
+
+    Parameters
+    ----------
+    cells:
+        The measured cells.
+    path:
+        Output file; parent directories are created.
+    include_raw:
+        Whether to store the per-instance ratio lists alongside the
+        aggregates (larger files, but lets the loader re-aggregate).
+    """
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "cells": [
+            {
+                "params": dict(cell.params),
+                "stats": {a: _stats_to_dict(s) for a, s in cell.stats.items()},
+                "ratios": {a: list(v) for a, v in cell.ratios.items()}
+                if include_raw
+                else {},
+            }
+            for cell in cells
+        ],
+    }
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=1)
+
+
+def load_cells(path: str) -> List[SweepCell]:
+    """Read sweep cells saved by :func:`save_cells`."""
+    with open(path, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    if payload.get("schema") != SCHEMA_VERSION:
+        raise ConfigurationError(
+            f"{path}: unsupported schema {payload.get('schema')!r}; "
+            f"expected {SCHEMA_VERSION}"
+        )
+    cells: List[SweepCell] = []
+    for rec in payload["cells"]:
+        cells.append(
+            SweepCell(
+                params=rec["params"],
+                ratios={a: list(v) for a, v in rec.get("ratios", {}).items()},
+                stats={a: _stats_from_dict(s) for a, s in rec["stats"].items()},
+            )
+        )
+    return cells

@@ -1,0 +1,60 @@
+"""Empirical performance-ratio estimation.
+
+The Section 7 experiments measure each algorithm's cost divided by the
+Lemma 1(i) lower bound on OPT (exact OPT being NP-hard at n = 1000).
+This module provides that ratio plus the exact-OPT variant for small
+instances, and the ratio-vs-certified-OPT used by the Table 1
+verification on adversarial families.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.errors import SolverLimitError
+from ..core.instance import Instance
+from ..core.packing import Packing
+from ..optimum.lower_bounds import height_lower_bound, opt_lower_bound
+from ..optimum.opt_cost import optimum_cost, optimum_cost_bounds
+
+__all__ = [
+    "ratio_to_lower_bound",
+    "ratio_to_exact_opt",
+    "ratio_bracket",
+]
+
+
+def ratio_to_lower_bound(packing: Packing) -> float:
+    """``cost / height_lower_bound`` — the paper's Section 7 metric.
+
+    An *upper* estimate of the true performance ratio (the denominator
+    lower-bounds OPT).  Always finite: the height bound is positive for
+    any non-empty instance.
+    """
+    lb = height_lower_bound(packing.instance)
+    if lb <= 0:
+        raise ZeroDivisionError("height lower bound is zero for this instance")
+    return packing.cost / lb
+
+
+def ratio_to_exact_opt(packing: Packing, max_nodes_per_segment: int = 200_000) -> float:
+    """``cost / OPT`` with exact OPT (small instances only).
+
+    Raises
+    ------
+    SolverLimitError
+        If the exact per-segment solves exceed their budget.
+    """
+    opt = optimum_cost(packing.instance, max_nodes_per_segment=max_nodes_per_segment)
+    return packing.cost / opt
+
+
+def ratio_bracket(packing: Packing) -> tuple:
+    """Certified ``(low, high)`` bracket on the true ratio ``cost / OPT``.
+
+    Uses the polynomial-time OPT bracket: ``cost / opt_upper`` is a
+    certified lower estimate of the true ratio, ``cost / opt_lower`` a
+    certified upper estimate.
+    """
+    opt_lo, opt_hi = optimum_cost_bounds(packing.instance)
+    return packing.cost / opt_hi, packing.cost / opt_lo

@@ -1,0 +1,111 @@
+"""Plain-text rendering of tables and figure series.
+
+The benchmark harness prints the same rows/series the paper reports;
+these helpers produce aligned, pipe-separated text tables (no plotting
+dependency required) plus a compact ASCII chart for figure-like series.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+__all__ = ["format_table", "format_series_chart", "format_interval_diagram"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+    float_fmt: str = "{:.3f}",
+) -> str:
+    """Render an aligned text table.
+
+    Floats are formatted with ``float_fmt``; everything else via ``str``.
+    """
+    def fmt(x: object) -> str:
+        if isinstance(x, float):
+            return float_fmt.format(x)
+        return str(x)
+
+    str_rows = [[fmt(x) for x in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for j, cell in enumerate(row):
+            widths[j] = max(widths[j], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series_chart(
+    x_labels: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    title: str = "",
+    width: int = 50,
+) -> str:
+    """Tiny ASCII bar chart: one row per (x, series) pair.
+
+    Enough to eyeball the shape of a Figure 4 panel in a terminal; the
+    numeric series themselves are also printed so nothing is lost to the
+    rendering.
+    """
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    all_vals = [v for vals in series.values() for v in vals]
+    if not all_vals:
+        return title or ""
+    vmax = max(all_vals)
+    if vmax <= 0:
+        vmax = 1.0
+    name_w = max(len(name) for name in series)
+    for i, x in enumerate(x_labels):
+        lines.append(f"x = {x}")
+        for name, vals in series.items():
+            if i >= len(vals):
+                continue
+            bar = "#" * max(1, int(round(width * vals[i] / vmax)))
+            lines.append(f"  {name.ljust(name_w)} {vals[i]:8.3f} {bar}")
+    return "\n".join(lines)
+
+
+def format_interval_diagram(
+    rows: Mapping[str, Sequence[tuple]],
+    horizon: float,
+    width: int = 72,
+    markers: Optional[Mapping[str, str]] = None,
+) -> str:
+    """ASCII timeline diagram (Figures 1 and 2 style).
+
+    ``rows`` maps a label (e.g. ``"bin 0"``) to a list of
+    ``(start, end, kind)`` interval triples; ``markers`` maps a kind to
+    its fill character (defaults: first kind ``=``, second ``-``).
+    """
+    if horizon <= 0:
+        raise ValueError(f"horizon must be positive, got {horizon}")
+    kinds = sorted({k for ivs in rows.values() for (_, _, k) in ivs})
+    default_chars = ["=", "-", "#", "~", "+"]
+    markers = dict(markers or {})
+    for i, k in enumerate(kinds):
+        markers.setdefault(k, default_chars[i % len(default_chars)])
+    label_w = max((len(lbl) for lbl in rows), default=0)
+    lines = [f"0{' ' * (width - 2)}{horizon:g}"]
+    for label, ivs in rows.items():
+        canvas = [" "] * width
+        for start, end, kind in ivs:
+            lo = int(round(width * max(0.0, start) / horizon))
+            hi = int(round(width * min(horizon, end) / horizon))
+            for p in range(lo, max(lo + 1, hi)):
+                if p < width:
+                    canvas[p] = markers[kind]
+        lines.append(f"{label.ljust(label_w)} |{''.join(canvas)}|")
+    legend = "  ".join(f"{markers[k]} = {k}" for k in kinds)
+    if legend:
+        lines.append(legend)
+    return "\n".join(lines)

@@ -1,0 +1,140 @@
+"""Parameter-sweep harness: algorithms × generators × instances.
+
+The workhorse behind Figure 4 and the extension studies: run a set of
+algorithms over a batch of instances from each generator configuration,
+collect per-instance performance ratios, and aggregate.
+
+Ratios are computed against the Lemma 1(i) lower bound (the paper's
+metric).  The lower bound is computed once per instance and shared across
+algorithms, and instances are generated once per configuration and shared
+across algorithms — both essential for apples-to-apples comparisons and
+for keeping the m = 1000 sweeps fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from ..algorithms.registry import make_algorithm
+from ..core.instance import Instance
+from ..optimum.lower_bounds import height_lower_bound
+from ..simulation.runner import run
+from .aggregate import SampleStats, summarize
+from .theory import TABLE1, lower_bound, upper_bound
+
+__all__ = ["SweepCell", "sweep_cell", "sweep_grid"]
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """Results of one (generator configuration) × (algorithm set) cell.
+
+    Attributes
+    ----------
+    params:
+        The configuration's parameters (e.g. ``{"d": 2, "mu": 10}``).
+    ratios:
+        Per-algorithm list of per-instance performance ratios.
+    stats:
+        Per-algorithm :class:`~repro.analysis.aggregate.SampleStats`.
+    """
+
+    params: Mapping[str, object]
+    ratios: Mapping[str, List[float]]
+    stats: Mapping[str, SampleStats]
+
+    def mean(self, algorithm: str) -> float:
+        """Mean ratio of ``algorithm`` in this cell."""
+        return self.stats[algorithm].mean
+
+    def ranking(self) -> List[str]:
+        """Algorithms sorted by mean ratio, best first."""
+        return sorted(self.stats, key=lambda a: self.stats[a].mean)
+
+    def within_theory(self, mu: float, d: int) -> Dict[str, bool]:
+        """Check each algorithm's mean ratio against its Table 1 upper bound.
+
+        Only algorithms with a Table 1 row are checked.  Because the
+        ratio denominator is a lower bound on OPT, measured ratios can
+        only *over*-estimate the true ratio, so ``mean <= upper bound``
+        is the expected (not guaranteed) direction — this is a smoke
+        check used by tests and reports.
+        """
+        out: Dict[str, bool] = {}
+        for algo, st in self.stats.items():
+            if algo in TABLE1:
+                out[algo] = st.mean <= upper_bound(algo, mu, d)
+        return out
+
+
+def sweep_cell(
+    algorithms: Sequence[str],
+    instances: Iterable[Instance],
+    params: Optional[Mapping[str, object]] = None,
+    algorithm_kwargs: Optional[Mapping[str, Mapping[str, object]]] = None,
+    processes: int = 0,
+) -> SweepCell:
+    """Run ``algorithms`` over ``instances`` and aggregate ratios.
+
+    Parameters
+    ----------
+    algorithms:
+        Registry names.
+    instances:
+        The instance batch (consumed once; pass a list to reuse).
+    params:
+        Arbitrary labels describing this cell (stored verbatim).
+    algorithm_kwargs:
+        Optional per-algorithm constructor kwargs, keyed by name.
+    processes:
+        ``0`` (default) runs in-process; any other value fans the
+        (algorithm, instance) units out across a process pool via
+        :func:`repro.simulation.parallel.parallel_sweep` (``None``-like
+        behaviour is available there; here a positive integer is the
+        worker count).  Results are identical either way.
+    """
+    algorithm_kwargs = algorithm_kwargs or {}
+    if processes:
+        from ..simulation.parallel import parallel_sweep
+
+        batch = list(instances)
+        unit_results = parallel_sweep(
+            algorithms, batch, processes=processes, algorithm_kwargs=algorithm_kwargs
+        )
+        ratios = {
+            name: [r.ratio for r in unit_results[name]] for name in algorithms
+        }
+        stats = {name: summarize(vals) for name, vals in ratios.items() if vals}
+        return SweepCell(params=dict(params or {}), ratios=ratios, stats=stats)
+
+    algos = {name: make_algorithm(name, **algorithm_kwargs.get(name, {})) for name in algorithms}
+    ratios: Dict[str, List[float]] = {name: [] for name in algorithms}
+    for instance in instances:
+        lb = height_lower_bound(instance)
+        if lb <= 0:
+            # degenerate (an instance can only reach lb == 0 if it has no
+            # load at all, which Instance validation precludes); skip
+            continue
+        for name, algo in algos.items():
+            packing = run(algo, instance)
+            ratios[name].append(packing.cost / lb)
+    stats = {name: summarize(vals) for name, vals in ratios.items() if vals}
+    return SweepCell(params=dict(params or {}), ratios=ratios, stats=stats)
+
+
+def sweep_grid(
+    algorithms: Sequence[str],
+    cells: Mapping[tuple, Iterable[Instance]],
+    param_names: Sequence[str] = (),
+) -> List[SweepCell]:
+    """Run a whole grid: ``cells`` maps parameter tuples to instance batches.
+
+    ``param_names`` label the tuple components (e.g. ``("d", "mu")``).
+    Returns one :class:`SweepCell` per grid cell, in mapping order.
+    """
+    results: List[SweepCell] = []
+    for key, instances in cells.items():
+        params = dict(zip(param_names, key)) if param_names else {"key": key}
+        results.append(sweep_cell(algorithms, instances, params=params))
+    return results

@@ -1,0 +1,143 @@
+"""Theoretical competitive-ratio bounds (Table 1).
+
+Closed-form bound formulas for every algorithm/row of Table 1, with the
+provenance (theorem numbers and prior work) attached, so experiments can
+print the paper's summary table and tests can check measured ratios
+against the right expressions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..core.errors import ConfigurationError
+
+__all__ = [
+    "BoundEntry",
+    "TABLE1",
+    "lower_bound",
+    "upper_bound",
+    "any_fit_lower_bound",
+    "move_to_front_upper_bound",
+    "move_to_front_lower_bound",
+    "first_fit_upper_bound",
+    "next_fit_upper_bound",
+    "next_fit_lower_bound",
+]
+
+INF = math.inf
+
+
+def any_fit_lower_bound(mu: float, d: int) -> float:
+    """Theorem 5: every Any Fit algorithm has CR at least ``(μ+1)d``."""
+    return (mu + 1.0) * d
+
+
+def move_to_front_upper_bound(mu: float, d: int) -> float:
+    """Theorem 2: CR of Move To Front is at most ``(2μ+1)d + 1``."""
+    return (2.0 * mu + 1.0) * d + 1.0
+
+
+def move_to_front_lower_bound(mu: float, d: int) -> float:
+    """Theorem 8: CR of Move To Front is at least ``max{2μ, (μ+1)d}``."""
+    return max(2.0 * mu, (mu + 1.0) * d)
+
+
+def first_fit_upper_bound(mu: float, d: int) -> float:
+    """Theorem 3: CR of First Fit is at most ``(μ+2)d + 1``."""
+    return (mu + 2.0) * d + 1.0
+
+
+def next_fit_upper_bound(mu: float, d: int) -> float:
+    """Theorem 4: CR of Next Fit is at most ``2μd + 1``."""
+    return 2.0 * mu * d + 1.0
+
+
+def next_fit_lower_bound(mu: float, d: int) -> float:
+    """Theorem 6: CR of Next Fit is at least ``2μd``."""
+    return 2.0 * mu * d
+
+
+@dataclass(frozen=True)
+class BoundEntry:
+    """One row of Table 1.
+
+    ``lower``/``upper`` are callables ``(mu, d) -> float`` (``inf`` for
+    unbounded/no bound); provenance strings cite the theorem or prior
+    work.
+    """
+
+    algorithm: str
+    lower: Callable[[float, int], float]
+    upper: Callable[[float, int], float]
+    lower_source: str
+    upper_source: str
+
+
+TABLE1: Dict[str, BoundEntry] = {
+    "any_fit": BoundEntry(
+        "any_fit",
+        any_fit_lower_bound,
+        lambda mu, d: INF,
+        "Thm. 5 (this paper); matches mu+1 of [22, 28] at d=1",
+        "no upper bound for the family as a whole",
+    ),
+    "move_to_front": BoundEntry(
+        "move_to_front",
+        move_to_front_lower_bound,
+        move_to_front_upper_bound,
+        "Thm. 8 (this paper)",
+        "Thm. 2 (this paper); improves 6mu+7 of [18] at d=1",
+    ),
+    "first_fit": BoundEntry(
+        "first_fit",
+        any_fit_lower_bound,
+        first_fit_upper_bound,
+        "Thm. 5 (this paper); matches mu+1 of [22, 28] at d=1",
+        "Thm. 3 (this paper); mu+3 known at d=1 [28]",
+    ),
+    "next_fit": BoundEntry(
+        "next_fit",
+        next_fit_lower_bound,
+        next_fit_upper_bound,
+        "Thm. 6 (this paper); matches 2mu of [32] at d=1",
+        "Thm. 4 (this paper); 2mu+1 known at d=1 [18]",
+    ),
+    "best_fit": BoundEntry(
+        "best_fit",
+        lambda mu, d: INF,
+        lambda mu, d: INF,
+        "unbounded, Thm. 7 citing [22]",
+        "unbounded, Thm. 7 citing [22]",
+    ),
+}
+
+
+def _entry(algorithm: str) -> BoundEntry:
+    try:
+        return TABLE1[algorithm]
+    except KeyError:
+        raise ConfigurationError(
+            f"no Table 1 entry for {algorithm!r}; rows: {', '.join(sorted(TABLE1))}"
+        ) from None
+
+
+def lower_bound(algorithm: str, mu: float, d: int) -> float:
+    """Table 1 lower bound on the CR of ``algorithm`` at ``(μ, d)``."""
+    _check(mu, d)
+    return _entry(algorithm).lower(mu, d)
+
+
+def upper_bound(algorithm: str, mu: float, d: int) -> float:
+    """Table 1 upper bound on the CR of ``algorithm`` at ``(μ, d)``."""
+    _check(mu, d)
+    return _entry(algorithm).upper(mu, d)
+
+
+def _check(mu: float, d: int) -> None:
+    if mu < 1:
+        raise ConfigurationError(f"mu is a max/min ratio and must be >= 1, got {mu}")
+    if d < 1:
+        raise ConfigurationError(f"d must be >= 1, got {d}")

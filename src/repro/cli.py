@@ -1,0 +1,233 @@
+"""Command-line interface: ``python -m repro <experiment>`` / ``dvbp``.
+
+Subcommands regenerate each paper artefact:
+
+* ``table1``  — measured CR lower bounds on the adversarial families,
+  plus the paper's bound formulas;
+* ``table2``  — the experimental parameter table;
+* ``figure1`` / ``figure2`` / ``figure3`` — the analysis diagrams;
+* ``figure4`` — the average-case sweep (``--scale quick|full|smoke``);
+* ``compare`` — run all registered algorithms on one generated instance
+  and print the metric table (a quick interactive probe).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .algorithms.registry import PAPER_ALGORITHMS, available_algorithms
+from .analysis.report import format_table
+from .experiments.config import FULL, QUICK, SMOKE
+from .experiments.figure4 import render_figure4, run_figure4
+from .experiments.figures123 import run_figure1, run_figure2, run_figure3
+from .experiments.table1 import render_table1, render_table1_bounds, run_table1
+from .experiments.table2 import render_table2
+from .simulation.metrics import compute_metrics
+from .simulation.runner import compare_algorithms
+from .workloads.uniform import UniformWorkload
+
+__all__ = ["main"]
+
+_SCALES = {"full": FULL, "quick": QUICK, "smoke": SMOKE}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="dvbp",
+        description="MinUsageTime Dynamic Vector Bin Packing (SPAA 2023) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p1 = sub.add_parser("table1", help="verify Table 1 bounds on adversarial families")
+    p1.add_argument("--mu", type=float, default=5.0, help="duration ratio of the families")
+    p1.add_argument("--ks", type=int, nargs="+", default=[2, 4, 8, 16],
+                    help="family growth parameters")
+    p1.add_argument("--d", type=int, nargs="+", default=[1, 2, 3], dest="d_values")
+
+    sub.add_parser("table2", help="print the experimental parameter table")
+
+    sub.add_parser("figure1", help="MF leading/non-leading decomposition diagram")
+    sub.add_parser("figure2", help="FF usage-period decomposition diagram")
+
+    p3 = sub.add_parser("figure3", help="Any Fit execution on the Theorem 5 instance")
+    p3.add_argument("--d", type=int, default=2)
+    p3.add_argument("--k", type=int, default=3)
+    p3.add_argument("--mu", type=float, default=4.0)
+    p3.add_argument("--algorithm", default="first_fit", choices=available_algorithms())
+
+    p4 = sub.add_parser("figure4", help="average-case performance sweep")
+    p4.add_argument("--scale", choices=sorted(_SCALES), default="quick",
+                    help="full = paper's Table 2 (slow); quick = same grid, smaller m")
+    p4.add_argument("--processes", type=int, default=0,
+                    help="fan (algorithm, instance) units across N worker processes")
+    p4.add_argument("--csv", default=None,
+                    help="also write the measurements as CSV to this path")
+
+    pc = sub.add_parser("compare", help="run all paper algorithms on one random instance")
+    pc.add_argument("--d", type=int, default=2)
+    pc.add_argument("--n", type=int, default=500)
+    pc.add_argument("--mu", type=int, default=10)
+    pc.add_argument("--seed", type=int, default=0)
+
+    ps = sub.add_parser("search", help="hunt for high-competitive-ratio instances")
+    ps.add_argument("--algorithm", default="next_fit", choices=available_algorithms())
+    ps.add_argument("--d", type=int, default=1)
+    ps.add_argument("--n", type=int, default=12)
+    ps.add_argument("--mu", type=float, default=5.0)
+    ps.add_argument("--budget", type=int, default=200)
+    ps.add_argument("--hill-climb", type=int, default=100, dest="hill_climb")
+    ps.add_argument("--seed", type=int, default=0)
+    ps.add_argument("--save", default=None, help="write the worst instance as JSON")
+
+    po = sub.add_parser(
+        "offline", help="online vs offline (no-repack greedy/local-search, repack bracket)"
+    )
+    po.add_argument("--d", type=int, default=2)
+    po.add_argument("--n", type=int, default=60)
+    po.add_argument("--mu", type=int, default=10)
+    po.add_argument("--seed", type=int, default=0)
+
+    pg = sub.add_parser("generate", help="generate an instance and write it to JSON")
+    pg.add_argument("path", help="output file")
+    pg.add_argument("--workload", default="uniform",
+                    choices=["uniform", "trace", "poisson"])
+    pg.add_argument("--d", type=int, default=2)
+    pg.add_argument("--n", type=int, default=500)
+    pg.add_argument("--mu", type=int, default=10)
+    pg.add_argument("--seed", type=int, default=0)
+
+    pr = sub.add_parser("run", help="run one algorithm on an instance JSON file")
+    pr.add_argument("path", help="instance file written by `generate` or to_json()")
+    pr.add_argument("--algorithm", default="move_to_front",
+                    choices=available_algorithms())
+    pr.add_argument("--validate", action="store_true",
+                    help="audit the packing before reporting")
+
+    pv = sub.add_parser(
+        "verify", help="check the Theorem 2/4 proof decompositions on a run"
+    )
+    pv.add_argument("--theorem", type=int, choices=[2, 4], default=2)
+    pv.add_argument("--d", type=int, default=2)
+    pv.add_argument("--n", type=int, default=300)
+    pv.add_argument("--mu", type=int, default=20)
+    pv.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point.  Returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "table1":
+        rows = run_table1(ks=tuple(args.ks), d_values=tuple(args.d_values), mu=args.mu)
+        print(render_table1_bounds(mu=args.mu, d_values=tuple(args.d_values)))
+        print()
+        print(render_table1(rows))
+    elif args.command == "table2":
+        print(render_table2())
+    elif args.command == "figure1":
+        print(run_figure1())
+    elif args.command == "figure2":
+        print(run_figure2())
+    elif args.command == "figure3":
+        print(run_figure3(d=args.d, k=args.k, mu=args.mu, algorithm=args.algorithm))
+    elif args.command == "figure4":
+        result = run_figure4(config=_SCALES[args.scale], processes=args.processes)
+        print(render_figure4(result))
+        if args.csv:
+            from .experiments.figure4 import figure4_csv
+
+            with open(args.csv, "w", encoding="utf-8") as fh:
+                fh.write(figure4_csv(result))
+            print(f"\n[csv written to {args.csv}]")
+    elif args.command == "compare":
+        gen = UniformWorkload(d=args.d, n=args.n, mu=args.mu)
+        instance = gen.sample_seeded(args.seed)
+        packings = compare_algorithms(PAPER_ALGORITHMS, instance)
+        headers = ["algorithm", "cost", "bins", "max concurrent", "avg utilization"]
+        rows = []
+        for name, packing in packings.items():
+            m = compute_metrics(packing)
+            rows.append([name, m.cost, m.num_bins, m.max_concurrent, m.average_utilization])
+        print(format_table(headers, rows, title=f"All algorithms on {instance!r}"))
+    elif args.command == "search":
+        from .analysis.competitive import random_search
+
+        result = random_search(
+            args.algorithm, d=args.d, n=args.n, mu=args.mu,
+            budget=args.budget, hill_climb=args.hill_climb, seed=args.seed,
+        )
+        print(f"worst instance found for {args.algorithm} "
+              f"(after {result.evaluations} evaluations):")
+        print(f"  n = {result.instance.n}, mu = {result.instance.mu:g}, "
+              f"d = {result.instance.d}")
+        print(f"  cost = {result.cost:.3f}, certified OPT <= {result.opt_upper:.3f}")
+        print(f"  certified competitive ratio >= {result.ratio:.3f}")
+        if args.save:
+            with open(args.save, "w", encoding="utf-8") as fh:
+                fh.write(result.instance.to_json())
+            print(f"  instance written to {args.save}")
+    elif args.command == "offline":
+        from .optimum.offline_assignment import greedy_assignment, local_search
+        from .optimum.opt_cost import optimum_cost_bounds
+        from .simulation.runner import run as run_one
+
+        instance = UniformWorkload(d=args.d, n=args.n, mu=args.mu).sample_seeded(args.seed)
+        rows = []
+        for name in ("move_to_front", "first_fit"):
+            rows.append([f"online {name}", run_one(name, instance).cost])
+        rows.append(["offline greedy (no repack)", greedy_assignment(instance).cost])
+        rows.append(["offline local search (no repack)", local_search(instance).cost])
+        lo, hi = optimum_cost_bounds(instance)
+        rows.append(["offline repack optimum (bracket)", f"[{lo:.1f}, {hi:.1f}]"])
+        print(format_table(["solution", "cost"], rows,
+                           title=f"Online vs offline on {instance!r}"))
+    elif args.command == "generate":
+        from .workloads.poisson import PoissonWorkload
+        from .workloads.trace import CloudTraceWorkload
+
+        if args.workload == "uniform":
+            gen = UniformWorkload(d=args.d, n=args.n, mu=args.mu)
+        elif args.workload == "trace":
+            gen = CloudTraceWorkload()
+        else:
+            gen = PoissonWorkload(d=args.d)
+        instance = gen.sample_seeded(args.seed)
+        with open(args.path, "w", encoding="utf-8") as fh:
+            fh.write(instance.to_json())
+        print(f"wrote {instance!r} to {args.path}")
+    elif args.command == "run":
+        from .core.instance import Instance
+
+        with open(args.path, "r", encoding="utf-8") as fh:
+            instance = Instance.from_json(fh.read())
+        from .simulation.runner import run as run_one
+
+        packing = run_one(args.algorithm, instance, validate=args.validate)
+        m = compute_metrics(packing)
+        rows = [[k, v] for k, v in m.as_dict().items()]
+        print(format_table(["metric", "value"], rows,
+                           title=f"{args.algorithm} on {instance!r}"))
+    elif args.command == "verify":
+        from .analysis.proofs import verify_theorem2, verify_theorem4
+
+        instance = UniformWorkload(d=args.d, n=args.n, mu=args.mu).sample_seeded(args.seed)
+        report = (verify_theorem2 if args.theorem == 2 else verify_theorem4)(instance)
+        rows = [
+            [c.name, c.lhs, c.rhs, "OK" if c.holds else "VIOLATED"]
+            for c in report.checks
+        ]
+        print(format_table(
+            ["inequality", "lhs", "rhs", "verdict"], rows,
+            title=f"Theorem {args.theorem} proof decomposition on {instance!r}",
+        ))
+        print(f"\nall inequalities hold: {report.all_hold}")
+        return 0 if report.all_hold else 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

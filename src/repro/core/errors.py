@@ -1,0 +1,76 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific errors derive from :class:`DVBPError` so callers can
+catch everything this package raises with a single ``except`` clause while
+still distinguishing configuration problems from runtime packing failures.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "DVBPError",
+    "InvalidItemError",
+    "InvalidInstanceError",
+    "CapacityExceededError",
+    "PackingAuditError",
+    "AlgorithmError",
+    "SolverLimitError",
+    "ConfigurationError",
+]
+
+
+class DVBPError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class InvalidItemError(DVBPError, ValueError):
+    """An item violates the problem's validity constraints.
+
+    Raised when an item has a non-positive duration, a negative size in
+    some dimension, a size exceeding the bin capacity (so it could never
+    be packed), or mismatched dimensionality.
+    """
+
+
+class InvalidInstanceError(DVBPError, ValueError):
+    """An instance (list of items) is malformed.
+
+    Raised for empty instances where a non-empty one is required, mixed
+    dimensionalities, or inconsistent capacity vectors.
+    """
+
+
+class CapacityExceededError(DVBPError, RuntimeError):
+    """An item was packed into a bin that cannot hold it.
+
+    The online engine treats this as a programming error: the Any Fit
+    base class checks fit before packing, so user-supplied selection
+    rules that return unfit bins trigger this error rather than silently
+    producing an infeasible packing.
+    """
+
+
+class PackingAuditError(DVBPError, AssertionError):
+    """A completed packing failed its temporal feasibility audit.
+
+    See :func:`repro.core.packing.Packing.validate`, which replays the
+    packing over time and checks every bin's load vector against the
+    capacity at every event time.
+    """
+
+
+class AlgorithmError(DVBPError, RuntimeError):
+    """An online algorithm violated its contract (e.g. Any Fit property)."""
+
+
+class SolverLimitError(DVBPError, RuntimeError):
+    """The exact optimum solver exceeded its configured size/node budget.
+
+    Callers that need a certified value should catch this and fall back
+    to the bracket returned by
+    :func:`repro.optimum.opt_cost.optimum_cost_bounds`.
+    """
+
+
+class ConfigurationError(DVBPError, ValueError):
+    """An experiment or generator was configured with invalid parameters."""

@@ -1,0 +1,31 @@
+"""Experiments: one module per paper table/figure (see DESIGN.md §3)."""
+
+from .config import FULL, QUICK, SMOKE, ExperimentConfig
+from .figure4 import Figure4Result, figure4_csv, render_figure4, run_figure4
+from .figures123 import run_figure1, run_figure2, run_figure3
+from .table1 import (
+    Table1Row,
+    render_table1,
+    render_table1_bounds,
+    run_table1,
+)
+from .table2 import render_table2
+
+__all__ = [
+    "ExperimentConfig",
+    "FULL",
+    "Figure4Result",
+    "figure4_csv",
+    "QUICK",
+    "SMOKE",
+    "Table1Row",
+    "render_figure4",
+    "render_table1",
+    "render_table1_bounds",
+    "render_table2",
+    "run_figure1",
+    "run_figure2",
+    "run_figure3",
+    "run_figure4",
+    "run_table1",
+]

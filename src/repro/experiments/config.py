@@ -1,0 +1,91 @@
+"""Experimental configuration (Table 2) and shared experiment defaults.
+
+The paper's Table 2 parameters drive the Figure 4 sweep:
+
+===========  =================  =========================
+Parameter    Description        Value
+===========  =================  =========================
+d            Num. dimensions    {1, 2, 5}
+n            Sequence length    1000
+mu           Max. item length   {1, 2, 5, 10, 100, 200}
+T            Sequence span      1000
+B            Bin size           100
+m            Instances/cell     1000
+===========  =================  =========================
+
+``FULL`` reproduces the paper exactly; ``QUICK`` shrinks ``n`` and ``m``
+for CI-speed runs with the same grid shape (the ranking conclusions are
+already stable at the quick scale).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from ..core.errors import ConfigurationError
+
+__all__ = ["ExperimentConfig", "FULL", "QUICK", "SMOKE", "TABLE2_ROWS"]
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Parameters of the Section 7 experimental study.
+
+    ``d_values``/``mu_values`` form the panel grid of Figure 4; the rest
+    are the per-instance generator parameters plus the number of random
+    instances per cell (``m``) and the master seed.
+    """
+
+    d_values: Tuple[int, ...] = (1, 2, 5)
+    mu_values: Tuple[int, ...] = (1, 2, 5, 10, 100, 200)
+    n: int = 1000
+    T: int = 1000
+    B: int = 100
+    m: int = 1000
+    seed: int = 20230419  # the paper's arXiv date, for the record
+
+    def __post_init__(self) -> None:
+        if not self.d_values or not self.mu_values:
+            raise ConfigurationError("d_values and mu_values must be non-empty")
+        if any(d < 1 for d in self.d_values):
+            raise ConfigurationError(f"all d must be >= 1, got {self.d_values}")
+        if any(mu < 1 for mu in self.mu_values):
+            raise ConfigurationError(f"all mu must be >= 1, got {self.mu_values}")
+        if max(self.mu_values) >= self.T:
+            raise ConfigurationError(
+                f"T={self.T} must exceed the largest mu={max(self.mu_values)}"
+            )
+        if self.n < 1 or self.m < 1 or self.B < 1:
+            raise ConfigurationError("n, m, B must all be >= 1")
+
+    def scaled(self, n: int = None, m: int = None) -> "ExperimentConfig":
+        """A copy with a different instance size / batch count."""
+        return ExperimentConfig(
+            d_values=self.d_values,
+            mu_values=self.mu_values,
+            n=n if n is not None else self.n,
+            T=self.T,
+            B=self.B,
+            m=m if m is not None else self.m,
+            seed=self.seed,
+        )
+
+
+#: The paper's exact Table 2 configuration.
+FULL = ExperimentConfig()
+
+#: Same grid, smaller batches: ~100x faster, same qualitative ranking.
+QUICK = ExperimentConfig(n=200, m=30)
+
+#: Minimal config for smoke tests and pytest-benchmark runs.
+SMOKE = ExperimentConfig(d_values=(1, 2), mu_values=(2, 10), n=100, m=5)
+
+#: Rows of Table 2 as (parameter, description, value) for rendering.
+TABLE2_ROWS = (
+    ("d", "Num. dimensions", "{1, 2, 5}"),
+    ("n", "Sequence length", "n = 1000"),
+    ("mu", "Max. item length", "{1, 2, 5, 10, 100, 200}"),
+    ("T", "Sequence span", "T = 1000"),
+    ("B", "Bin size", "B = 100"),
+)

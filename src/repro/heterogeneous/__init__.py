@@ -1,0 +1,20 @@
+"""Heterogeneous-fleet extension: server types with capacities and rates.
+
+The paper's model (identical unit bins) extended to a menu of rentable
+server types - the "instance type" menu of a real cloud - with
+rate-weighted MinUsageTime cost.  See DESIGN.md section 6.
+"""
+
+from .engine import TypedAnyFit, TypedBinRecord, TypedEngine, TypedPacking, typed_run
+from .types import DEFAULT_FLEET, Fleet, ServerType
+
+__all__ = [
+    "DEFAULT_FLEET",
+    "Fleet",
+    "ServerType",
+    "TypedAnyFit",
+    "TypedBinRecord",
+    "TypedEngine",
+    "TypedPacking",
+    "typed_run",
+]

@@ -1,0 +1,47 @@
+"""Optimum-cost machinery: Lemma 1 lower bounds, exact OPT, brackets."""
+
+from .lower_bounds import (
+    all_lower_bounds,
+    fractional_height_bound,
+    height_lower_bound,
+    load_profile,
+    opt_lower_bound,
+    span_lower_bound,
+    utilization_lower_bound,
+)
+from .offline_assignment import (
+    assignment_cost,
+    assignment_feasible,
+    exact_assignment,
+    greedy_assignment,
+    local_search,
+)
+from .opt_cost import active_segments, optimum_cost, optimum_cost_bounds
+from .vbp_solver import (
+    best_fit_decreasing,
+    first_fit_decreasing,
+    load_lower_bound,
+    solve_exact,
+)
+
+__all__ = [
+    "active_segments",
+    "assignment_cost",
+    "assignment_feasible",
+    "exact_assignment",
+    "greedy_assignment",
+    "local_search",
+    "all_lower_bounds",
+    "best_fit_decreasing",
+    "first_fit_decreasing",
+    "fractional_height_bound",
+    "height_lower_bound",
+    "load_lower_bound",
+    "load_profile",
+    "opt_lower_bound",
+    "optimum_cost",
+    "optimum_cost_bounds",
+    "solve_exact",
+    "span_lower_bound",
+    "utilization_lower_bound",
+]

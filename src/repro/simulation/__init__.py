@@ -1,0 +1,47 @@
+"""Discrete-event simulation of online DVBP packing."""
+
+from .billing import (
+    BilledSummary,
+    QuantumAwareMoveToFront,
+    billed_cost,
+    billing_overhead,
+    summarize_billing,
+)
+from .engine import Engine, SimulationObserver, simulate
+from .instrumentation import LeaderTracker, LoadSnapshotter, UsagePeriodTracker
+from .metrics import (
+    PackingMetrics,
+    compute_metrics,
+    cost_breakdown_by_bin,
+    open_bins_timeline,
+)
+from .parallel import UnitResult, parallel_sweep
+from .runner import compare_algorithms, run, run_many
+from .trace import TraceRecord, TraceRecorder, render_trace, traces_equal
+
+__all__ = [
+    "BilledSummary",
+    "Engine",
+    "QuantumAwareMoveToFront",
+    "billed_cost",
+    "billing_overhead",
+    "summarize_billing",
+    "LeaderTracker",
+    "LoadSnapshotter",
+    "PackingMetrics",
+    "SimulationObserver",
+    "TraceRecord",
+    "TraceRecorder",
+    "UnitResult",
+    "parallel_sweep",
+    "render_trace",
+    "traces_equal",
+    "UsagePeriodTracker",
+    "compare_algorithms",
+    "compute_metrics",
+    "cost_breakdown_by_bin",
+    "open_bins_timeline",
+    "run",
+    "run_many",
+    "simulate",
+]

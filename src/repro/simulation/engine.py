@@ -1,0 +1,145 @@
+"""Discrete-event simulation engine for online DVBP.
+
+The engine owns everything Algorithm 1's outer loop does that is *not* a
+policy decision: replaying the event stream in order, bin lifecycle
+(creation, packing, closure), irrevocability (an item never moves once
+packed), and usage-time accounting (Eq. 1).  The policy — which bin an
+arriving item goes to — is delegated to an
+:class:`~repro.algorithms.base.OnlineAlgorithm`.
+
+Observers can subscribe to every state transition; the analysis layers
+(Figure 1's leading-interval decomposition, Figure 3's load snapshots)
+are implemented as observers so the engine stays policy- and
+experiment-agnostic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..algorithms.base import OnlineAlgorithm
+from ..core.bins import Bin
+from ..core.errors import AlgorithmError
+from ..core.events import EventKind, event_stream
+from ..core.instance import Instance
+from ..core.items import Item
+from ..core.packing import Packing
+
+__all__ = ["SimulationObserver", "Engine", "simulate"]
+
+
+class SimulationObserver:
+    """Callback interface for engine state transitions.
+
+    All hooks default to no-ops; subclass and override what you need.
+    Hooks fire *after* the engine has applied the transition, so observer
+    code sees the post-state.
+    """
+
+    def on_start(self, instance: Instance, algorithm: OnlineAlgorithm) -> None:
+        """Called once before the first event."""
+
+    def on_bin_opened(self, bin_: Bin, now: float) -> None:
+        """A fresh bin was created (it has not received its item yet)."""
+
+    def on_packed(self, bin_: Bin, item: Item, now: float, opened_new: bool) -> None:
+        """``item`` was packed into ``bin_`` (new bin iff ``opened_new``)."""
+
+    def on_departed(self, bin_: Bin, item: Item, now: float, closed: bool) -> None:
+        """``item`` departed from ``bin_`` (bin closed iff ``closed``)."""
+
+    def on_finish(self, packing: Packing) -> None:
+        """Called once after the last event with the final packing."""
+
+
+class Engine:
+    """Replays one instance through one algorithm.
+
+    Engines are single-use: construct, call :meth:`run`, read the
+    returned :class:`~repro.core.packing.Packing`.  (The *algorithm*
+    object is reusable — the engine calls its ``start`` — but a given
+    Engine instance must not be run twice.)
+    """
+
+    def __init__(
+        self,
+        instance: Instance,
+        algorithm: OnlineAlgorithm,
+        observers: Sequence[SimulationObserver] = (),
+    ) -> None:
+        self.instance = instance
+        self.algorithm = algorithm
+        self.observers = list(observers)
+        self.bins: List[Bin] = []
+        self._bin_of_item: Dict[int, Bin] = {}
+        self._assignment: Dict[int, int] = {}
+        self._ran = False
+
+    # ------------------------------------------------------------------
+    def run(self) -> Packing:
+        """Execute the full event stream and return the final packing."""
+        if self._ran:
+            raise AlgorithmError("Engine instances are single-use; build a new one")
+        self._ran = True
+
+        self.algorithm.start(self.instance)
+        for obs in self.observers:
+            obs.on_start(self.instance, self.algorithm)
+
+        for event in event_stream(self.instance):
+            if event.kind is EventKind.ARRIVAL:
+                self._handle_arrival(event.item, event.time)
+            else:
+                self._handle_departure(event.item, event.time)
+
+        packing = Packing.from_assignment(
+            self.instance, self._assignment, algorithm=self.algorithm.name
+        )
+        for obs in self.observers:
+            obs.on_finish(packing)
+        return packing
+
+    # ------------------------------------------------------------------
+    def _handle_arrival(self, item: Item, now: float) -> None:
+        opened: List[Bin] = []
+
+        def open_new_bin() -> Bin:
+            if opened:
+                raise AlgorithmError(
+                    f"{self.algorithm.name} opened two bins for one item "
+                    f"(item {item.uid})"
+                )
+            fresh = Bin(self.instance.capacity, index=len(self.bins), opened_at=now)
+            self.bins.append(fresh)
+            opened.append(fresh)
+            for obs in self.observers:
+                obs.on_bin_opened(fresh, now)
+            return fresh
+
+        target = self.algorithm.dispatch(item, now, open_new_bin)
+        if target is None:
+            raise AlgorithmError(f"{self.algorithm.name} returned no bin for item {item.uid}")
+        target.pack(item)  # raises CapacityExceededError on a bad policy
+        self._bin_of_item[item.uid] = target
+        self._assignment[item.uid] = target.index
+        for obs in self.observers:
+            obs.on_packed(target, item, now, opened_new=bool(opened))
+
+    def _handle_departure(self, item: Item, now: float) -> None:
+        bin_ = self._bin_of_item.pop(item.uid)
+        closed = bin_.remove(item, now)
+        self.algorithm.notify_departure(bin_, item, now, closed)
+        for obs in self.observers:
+            obs.on_departed(bin_, item, now, closed)
+
+
+def simulate(
+    algorithm: OnlineAlgorithm,
+    instance: Instance,
+    observers: Sequence[SimulationObserver] = (),
+) -> Packing:
+    """Convenience wrapper: run ``algorithm`` on ``instance`` once.
+
+    Equivalent to ``Engine(instance, algorithm, observers).run()``.
+    """
+    return Engine(instance, algorithm, observers).run()

@@ -1,0 +1,217 @@
+"""Observers that reconstruct the paper's analysis decompositions.
+
+These are the measurement instruments behind Figures 1-3:
+
+* :class:`LeaderTracker` — for Move To Front, records which bin is the
+  *leader* (front of ``L``) over time, yielding each bin's leading /
+  non-leading interval decomposition (Figure 1) and letting tests verify
+  Claim 1's structural fact that leading intervals partition the span.
+* :class:`UsagePeriodTracker` — records every bin's usage period plus
+  opening order, yielding the First Fit ``P_i / Q_i`` decomposition of
+  Section 4 (Figure 2).
+* :class:`LoadSnapshotter` — captures per-bin load vectors at chosen
+  times (Figure 3's three phase snapshots of the Theorem 5 execution).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..algorithms.base import OnlineAlgorithm
+from ..algorithms.move_to_front import MoveToFront
+from ..core.bins import Bin
+from ..core.instance import Instance
+from ..core.intervals import Interval
+from ..core.items import Item
+from ..core.packing import Packing
+from .engine import SimulationObserver
+
+__all__ = ["LeaderTracker", "UsagePeriodTracker", "LoadSnapshotter"]
+
+
+class LeaderTracker(SimulationObserver):
+    """Track the Move To Front leader over time.
+
+    After the run, :meth:`leading_intervals` gives, per bin index, the
+    list of maximal intervals during which that bin was the leader, and
+    :meth:`non_leading_intervals` the complement within the bin's usage
+    period — exactly the ``P_{i,j}`` / ``Q_{i,j}`` decomposition used in
+    the proof of Theorem 2.
+    """
+
+    def __init__(self) -> None:
+        self._transitions: List[Tuple[float, Optional[int]]] = []
+        self._algorithm: Optional[MoveToFront] = None
+        self._final_time: float = 0.0
+        self._usage: Dict[int, Interval] = {}
+        #: displacement events: the raw material of the Theorem 2 proof.
+        #: Each entry is ``(displaced_bin_index, time, displacing_item,
+        #: resident_items_of_displaced_bin, transition_pos)`` — a leading
+        #: interval of the displaced bin ended at ``time`` because
+        #: ``displacing_item`` could not be packed there (it went to
+        #: another bin, which became the leader).  ``transition_pos`` is
+        #: the index into the internal transition log from which the
+        #: bin's return to leadership should be searched (zero-length
+        #: leaderships at the same instant are preserved there even
+        #: though they vanish from the interval views).
+        self.displacements: List[Tuple[int, float, Item, List[Item], int]] = []
+
+    # -- engine hooks ---------------------------------------------------
+    def on_start(self, instance: Instance, algorithm: OnlineAlgorithm) -> None:
+        if not isinstance(algorithm, MoveToFront):
+            raise TypeError("LeaderTracker requires the MoveToFront algorithm")
+        self._algorithm = algorithm
+        self._transitions = []
+        self._usage = {}
+        self.displacements = []
+        self._final_time = max(it.departure for it in instance.items)
+
+    def _record(self, now: float) -> None:
+        lst = self._algorithm.open_list  # type: ignore[union-attr]
+        leader = lst[0].index if lst else None
+        if not self._transitions or self._transitions[-1][1] != leader:
+            self._transitions.append((now, leader))
+
+    def on_packed(self, bin_: Bin, item: Item, now: float, opened_new: bool) -> None:
+        prev_leader = self._transitions[-1][1] if self._transitions else None
+        pending = None
+        if prev_leader is not None and prev_leader != bin_.index:
+            # the previous leader was displaced: `item` did not fit it
+            displaced = next(
+                (b for b in self._algorithm.open_list if b.index == prev_leader),
+                None,
+            )
+            if displaced is not None:
+                pending = (prev_leader, now, item, displaced.active_items())
+        self._record(now)
+        if pending is not None:
+            self.displacements.append(pending + (len(self._transitions),))
+
+    def q_length(self, bin_index: int, start: float, transition_pos: int) -> float:
+        """Length of the non-leading period of ``bin_index`` that began at
+        ``start`` (the displacement recorded with ``transition_pos``).
+
+        The period ends the first time the bin becomes leader again —
+        including zero-length leaderships invisible in the interval
+        views — or when the bin closes.
+        """
+        for time, leader in self._transitions[transition_pos:]:
+            if leader == bin_index:
+                return max(0.0, time - start)
+        usage = self._usage.get(bin_index)
+        if usage is None:
+            return 0.0
+        return max(0.0, usage.end - start)
+
+    def on_departed(self, bin_: Bin, item: Item, now: float, closed: bool) -> None:
+        if closed:
+            self._usage[bin_.index] = Interval(bin_.opened_at, now)
+        self._record(now)
+
+    def on_finish(self, packing: Packing) -> None:
+        for rec in packing.bins:
+            self._usage.setdefault(rec.index, rec.usage_period)
+
+    # -- post-run queries -------------------------------------------------
+    def leader_timeline(self) -> List[Tuple[Interval, Optional[int]]]:
+        """Step function of leadership: ``(interval, leader_bin_index)``.
+
+        ``None`` segments mean no bin was open.  Segments tile
+        ``[first_transition_time, final_time)``.
+        """
+        out: List[Tuple[Interval, Optional[int]]] = []
+        for (t0, who), (t1, _) in zip(self._transitions, self._transitions[1:]):
+            out.append((Interval(t0, t1), who))
+        if self._transitions:
+            t_last, who = self._transitions[-1]
+            out.append((Interval(t_last, self._final_time), who))
+        return [(iv, who) for iv, who in out if not iv.empty]
+
+    def leading_intervals(self) -> Dict[int, List[Interval]]:
+        """Per bin index, the maximal intervals where the bin led."""
+        result: Dict[int, List[Interval]] = {}
+        for iv, who in self.leader_timeline():
+            if who is not None:
+                result.setdefault(who, []).append(iv)
+        return result
+
+    def non_leading_intervals(self) -> Dict[int, List[Interval]]:
+        """Per bin index, the usage-period complement of the leading part."""
+        leading = self.leading_intervals()
+        result: Dict[int, List[Interval]] = {}
+        for index, usage in self._usage.items():
+            pieces = sorted(leading.get(index, []), key=lambda iv: iv.start)
+            gaps: List[Interval] = []
+            cursor = usage.start
+            for piece in pieces:
+                if piece.start > cursor:
+                    gaps.append(Interval(cursor, piece.start))
+                cursor = max(cursor, piece.end)
+            if cursor < usage.end:
+                gaps.append(Interval(cursor, usage.end))
+            result[index] = gaps
+        return result
+
+    def usage_periods(self) -> Dict[int, Interval]:
+        """Per bin index, the bin's full usage period."""
+        return dict(self._usage)
+
+
+class UsagePeriodTracker(SimulationObserver):
+    """Record bin usage periods in opening order (First Fit analysis).
+
+    After the run, :meth:`decomposition` returns the Section 4 split of
+    each bin's usage period ``I_i = P_i ∪ Q_i`` where
+    ``t_i = max(I_i^-, max_{j<i} I_j^+)``: ``Q_i`` is the suffix of
+    ``I_i`` after every earlier bin has closed (Figure 2).
+    """
+
+    def __init__(self) -> None:
+        self._periods: List[Interval] = []
+
+    def on_finish(self, packing: Packing) -> None:
+        self._periods = [rec.usage_period for rec in sorted(packing.bins, key=lambda r: r.index)]
+
+    def usage_periods(self) -> List[Interval]:
+        """Usage periods indexed by opening order."""
+        return list(self._periods)
+
+    def decomposition(self) -> List[Tuple[Interval, Interval]]:
+        """Per bin (opening order), the ``(P_i, Q_i)`` pair of Section 4."""
+        out: List[Tuple[Interval, Interval]] = []
+        latest_close = float("-inf")
+        for iv in self._periods:
+            t_i = max(iv.start, latest_close)
+            split = min(iv.end, t_i)
+            out.append((Interval(iv.start, split), Interval(split, iv.end)))
+            latest_close = max(latest_close, iv.end)
+        return out
+
+
+class LoadSnapshotter(SimulationObserver):
+    """Capture per-bin load vectors at requested times.
+
+    A snapshot at time ``t`` maps bin index → aggregate load vector of
+    the items assigned to that bin and active at ``t`` (half-open
+    semantics: an item departing at ``t`` no longer contributes).  Bins
+    with no active item at ``t`` are omitted.  Snapshots are derived from
+    the final packing, so they are exact regardless of event ordering.
+    Used to render Figure 3's three phases.
+    """
+
+    def __init__(self, times: Sequence[float]) -> None:
+        self.times = sorted(times)
+        self.snapshots: Dict[float, Dict[int, np.ndarray]] = {}
+
+    def on_finish(self, packing: Packing) -> None:
+        by_uid = {it.uid: it for it in packing.instance.items}
+        self.snapshots = {}
+        for t in self.times:
+            snap: Dict[int, np.ndarray] = {}
+            for rec in packing.bins:
+                active = [by_uid[uid] for uid in rec.item_uids if by_uid[uid].active_at(t)]
+                if active:
+                    snap[rec.index] = np.sum([it.size for it in active], axis=0)
+            self.snapshots[t] = snap

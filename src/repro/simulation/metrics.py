@@ -1,0 +1,110 @@
+"""Derived metrics over finished packings.
+
+Everything here is a pure function of a
+:class:`~repro.core.packing.Packing` (no engine state), so metrics can be
+recomputed offline from stored packings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..core.intervals import Interval
+from ..core.packing import Packing
+
+__all__ = [
+    "PackingMetrics",
+    "compute_metrics",
+    "open_bins_timeline",
+    "cost_breakdown_by_bin",
+]
+
+
+@dataclass(frozen=True)
+class PackingMetrics:
+    """Summary statistics for one packing.
+
+    Attributes
+    ----------
+    cost:
+        Total usage time (Eq. 1) — the objective.
+    num_bins:
+        Bins opened over the whole run.
+    span:
+        ``span(R)`` of the instance (a lower bound on any cost).
+    max_concurrent:
+        Peak simultaneously active bins.
+    mean_concurrent:
+        Time-average of the active-bin count (``cost / horizon length``
+        over the active horizon; equals ``cost / span`` for a single
+        active component).
+    average_utilization:
+        Normalised time-space utilisation in ``[0, 1]``.
+    mean_bin_lifetime:
+        Average usage time per opened bin.
+    """
+
+    cost: float
+    num_bins: int
+    span: float
+    max_concurrent: int
+    mean_concurrent: float
+    average_utilization: float
+    mean_bin_lifetime: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict form for tabular reports."""
+        return {
+            "cost": self.cost,
+            "num_bins": float(self.num_bins),
+            "span": self.span,
+            "max_concurrent": float(self.max_concurrent),
+            "mean_concurrent": self.mean_concurrent,
+            "average_utilization": self.average_utilization,
+            "mean_bin_lifetime": self.mean_bin_lifetime,
+        }
+
+
+def open_bins_timeline(packing: Packing) -> List[Tuple[Interval, int]]:
+    """Piecewise-constant count of active bins over time.
+
+    Returns ``(interval, count)`` segments tiling the instance horizon;
+    segments with zero active bins are included (they can occur when the
+    instance has several active components).
+    """
+    points = sorted(
+        {rec.opened_at for rec in packing.bins} | {rec.closed_at for rec in packing.bins}
+    )
+    segments: List[Tuple[Interval, int]] = []
+    for t0, t1 in zip(points, points[1:]):
+        count = sum(1 for rec in packing.bins if rec.opened_at <= t0 and t1 <= rec.closed_at)
+        segments.append((Interval(t0, t1), count))
+    return segments
+
+
+def cost_breakdown_by_bin(packing: Packing) -> Dict[int, float]:
+    """Per-bin usage time; values sum to ``packing.cost``."""
+    return {rec.index: rec.usage_time for rec in packing.bins}
+
+
+def compute_metrics(packing: Packing) -> PackingMetrics:
+    """Compute the full :class:`PackingMetrics` for a packing."""
+    cost = packing.cost
+    span = packing.instance.span
+    horizon = packing.instance.horizon.length
+    timeline = open_bins_timeline(packing)
+    max_concurrent = max((c for _, c in timeline), default=0)
+    mean_concurrent = cost / horizon if horizon > 0 else 0.0
+    lifetimes = [rec.usage_time for rec in packing.bins]
+    return PackingMetrics(
+        cost=cost,
+        num_bins=packing.num_bins,
+        span=span,
+        max_concurrent=max_concurrent,
+        mean_concurrent=mean_concurrent,
+        average_utilization=packing.average_utilization(),
+        mean_bin_lifetime=float(np.mean(lifetimes)) if lifetimes else 0.0,
+    )

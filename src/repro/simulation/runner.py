@@ -1,0 +1,83 @@
+"""High-level run helpers: one algorithm/instance pair or whole batteries.
+
+These wrap :class:`~repro.simulation.engine.Engine` with the conveniences
+experiments need: building algorithms by registry name, running several
+algorithms on the same instance, and optional post-run validation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from ..algorithms.base import OnlineAlgorithm
+from ..algorithms.registry import make_algorithm
+from ..core.instance import Instance
+from ..core.packing import Packing
+from .engine import Engine, SimulationObserver
+
+__all__ = ["run", "run_many", "compare_algorithms"]
+
+AlgorithmSpec = Union[str, OnlineAlgorithm]
+
+
+def _resolve(spec: AlgorithmSpec) -> OnlineAlgorithm:
+    return make_algorithm(spec) if isinstance(spec, str) else spec
+
+
+def run(
+    algorithm: AlgorithmSpec,
+    instance: Instance,
+    observers: Sequence[SimulationObserver] = (),
+    validate: bool = False,
+) -> Packing:
+    """Run one algorithm on one instance.
+
+    Parameters
+    ----------
+    algorithm:
+        Registry name (e.g. ``"move_to_front"``) or an algorithm object.
+    instance:
+        The instance to replay.
+    observers:
+        Optional engine observers (instrumentation).
+    validate:
+        When ``True``, the returned packing is audited for temporal
+        feasibility before being returned (raises
+        :class:`~repro.core.errors.PackingAuditError` on violation).
+        Experiments enable this in tests and disable it in hot loops.
+    """
+    packing = Engine(instance, _resolve(algorithm), observers).run()
+    if validate:
+        packing.validate()
+    return packing
+
+
+def run_many(
+    algorithm: AlgorithmSpec,
+    instances: Iterable[Instance],
+    validate: bool = False,
+) -> List[Packing]:
+    """Run one algorithm over a sequence of instances.
+
+    The same algorithm object is reused (its ``start`` resets state), so
+    string specs are resolved once.
+    """
+    algo = _resolve(algorithm)
+    return [run(algo, inst, validate=validate) for inst in instances]
+
+
+def compare_algorithms(
+    algorithms: Sequence[AlgorithmSpec],
+    instance: Instance,
+    validate: bool = False,
+) -> Dict[str, Packing]:
+    """Run several algorithms on the same instance.
+
+    Returns a mapping from algorithm name to its packing, in the order
+    given (Python dicts preserve insertion order).
+    """
+    out: Dict[str, Packing] = {}
+    for spec in algorithms:
+        algo = _resolve(spec)
+        out[algo.name] = run(algo, instance, validate=validate)
+    return out

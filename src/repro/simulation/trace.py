@@ -1,0 +1,134 @@
+"""Structured simulation traces: record, render, compare.
+
+A :class:`TraceRecorder` observer captures every engine transition as a
+typed record; traces can be rendered as human-readable logs (for
+debugging a policy decision-by-decision), diffed against each other (two
+runs of a deterministic policy must produce identical traces — a
+property the tests rely on), and summarised.
+
+Record kinds:
+
+``open``    — a new bin was created;
+``pack``    — an item was placed (with the bin's load after placement);
+``depart``  — an item left (with whether the bin closed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..algorithms.base import OnlineAlgorithm
+from ..core.bins import Bin
+from ..core.instance import Instance
+from ..core.items import Item
+from ..core.packing import Packing
+from .engine import SimulationObserver
+
+__all__ = ["TraceRecord", "TraceRecorder", "render_trace", "traces_equal"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One engine transition.
+
+    ``load_after`` is the bin's load vector immediately after the
+    transition (a copy).  ``flag`` means ``opened_new`` for packs and
+    ``closed`` for departures; unused for opens.
+    """
+
+    kind: str  # "open" | "pack" | "depart"
+    time: float
+    bin_index: int
+    item_uid: Optional[int]
+    load_after: Tuple[float, ...]
+    flag: bool = False
+
+
+class TraceRecorder(SimulationObserver):
+    """Observer collecting the full transition trace of one run."""
+
+    def __init__(self) -> None:
+        self.records: List[TraceRecord] = []
+        self.algorithm_name: str = ""
+
+    def on_start(self, instance: Instance, algorithm: OnlineAlgorithm) -> None:
+        self.records = []
+        self.algorithm_name = algorithm.name
+
+    def on_bin_opened(self, bin_: Bin, now: float) -> None:
+        self.records.append(
+            TraceRecord("open", now, bin_.index, None, tuple(bin_.load))
+        )
+
+    def on_packed(self, bin_: Bin, item: Item, now: float, opened_new: bool) -> None:
+        self.records.append(
+            TraceRecord("pack", now, bin_.index, item.uid, tuple(bin_.load), opened_new)
+        )
+
+    def on_departed(self, bin_: Bin, item: Item, now: float, closed: bool) -> None:
+        self.records.append(
+            TraceRecord("depart", now, bin_.index, item.uid, tuple(bin_.load), closed)
+        )
+
+    # -- queries ---------------------------------------------------------
+    def packs(self) -> List[TraceRecord]:
+        """Pack records only, in order."""
+        return [r for r in self.records if r.kind == "pack"]
+
+    def opens(self) -> List[TraceRecord]:
+        """Open records only, in order."""
+        return [r for r in self.records if r.kind == "open"]
+
+
+def render_trace(recorder: TraceRecorder, max_records: Optional[int] = None) -> str:
+    """Human-readable log of a trace.
+
+    One line per record: ``t=3.0  pack    item 7 -> bin 2  load=[0.4 0.7]``.
+    """
+    lines = [f"trace of {recorder.algorithm_name} ({len(recorder.records)} records)"]
+    records = recorder.records[: max_records or len(recorder.records)]
+    for r in records:
+        load = "[" + " ".join(f"{x:.3g}" for x in r.load_after) + "]"
+        if r.kind == "open":
+            lines.append(f"t={r.time:<8g} open    bin {r.bin_index}")
+        elif r.kind == "pack":
+            star = " (new bin)" if r.flag else ""
+            lines.append(
+                f"t={r.time:<8g} pack    item {r.item_uid} -> bin "
+                f"{r.bin_index}  load={load}{star}"
+            )
+        else:
+            star = " (bin closed)" if r.flag else ""
+            lines.append(
+                f"t={r.time:<8g} depart  item {r.item_uid} <- bin "
+                f"{r.bin_index}  load={load}{star}"
+            )
+    if max_records and len(recorder.records) > max_records:
+        lines.append(f"... {len(recorder.records) - max_records} more records")
+    return "\n".join(lines)
+
+
+def traces_equal(a: TraceRecorder, b: TraceRecorder, tol: float = 1e-12) -> bool:
+    """Whether two traces describe the identical execution.
+
+    Loads are compared within ``tol``; everything else exactly.
+    """
+    if len(a.records) != len(b.records):
+        return False
+    for ra, rb in zip(a.records, b.records):
+        if (ra.kind, ra.time, ra.bin_index, ra.item_uid, ra.flag) != (
+            rb.kind,
+            rb.time,
+            rb.bin_index,
+            rb.item_uid,
+            rb.flag,
+        ):
+            return False
+        if len(ra.load_after) != len(rb.load_after):
+            return False
+        if any(abs(x - y) > tol for x, y in zip(ra.load_after, rb.load_after)):
+            return False
+    return True

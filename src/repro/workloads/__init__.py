@@ -1,0 +1,53 @@
+"""Workload generators: the paper's uniform setup, adversarial families,
+and realistic extensions (Poisson, correlated, cloud traces)."""
+
+from .adversarial import (
+    AdversarialInstance,
+    best_fit_trap,
+    theorem5_instance,
+    theorem6_instance,
+    theorem8_instance,
+)
+from .base import WorkloadGenerator, generate_batch, iter_batch
+from .composite import MixtureWorkload, SpikeWorkload
+from .correlated import CorrelatedWorkload
+from .describe import InstanceProfile, describe_instance, render_description
+from .distributions import (
+    DirichletSize,
+    ExponentialDuration,
+    LognormalDuration,
+    ParetoDuration,
+    UniformDuration,
+    UniformIntegerSize,
+)
+from .poisson import PoissonWorkload
+from .trace import DEFAULT_VM_CATALOGUE, CloudTraceWorkload, VMType
+from .uniform import UniformWorkload
+
+__all__ = [
+    "AdversarialInstance",
+    "CloudTraceWorkload",
+    "CorrelatedWorkload",
+    "DEFAULT_VM_CATALOGUE",
+    "DirichletSize",
+    "InstanceProfile",
+    "describe_instance",
+    "render_description",
+    "ExponentialDuration",
+    "LognormalDuration",
+    "MixtureWorkload",
+    "SpikeWorkload",
+    "ParetoDuration",
+    "PoissonWorkload",
+    "UniformDuration",
+    "UniformIntegerSize",
+    "UniformWorkload",
+    "VMType",
+    "WorkloadGenerator",
+    "best_fit_trap",
+    "generate_batch",
+    "iter_batch",
+    "theorem5_instance",
+    "theorem6_instance",
+    "theorem8_instance",
+]

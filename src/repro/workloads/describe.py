@@ -1,0 +1,141 @@
+"""Instance profiling: the statistics a capacity planner would ask for.
+
+:func:`describe_instance` computes a structured profile of one instance
+— arrival intensity, duration distribution, demand distribution,
+concurrency/load percentiles over time — and
+:func:`render_description` prints it.  Used by the examples to
+characterise the synthetic traces, and handy when debugging why a
+workload behaves unlike its generator's intent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..core.instance import Instance
+from ..optimum.lower_bounds import load_profile
+
+__all__ = ["InstanceProfile", "describe_instance", "render_description"]
+
+
+@dataclass(frozen=True)
+class InstanceProfile:
+    """Summary statistics of one instance.
+
+    All time-weighted quantities (concurrency/load percentiles) weight
+    each breakpoint segment by its length, so they describe the system
+    *over time* rather than over events.
+    """
+
+    n: int
+    d: int
+    mu: float
+    span: float
+    horizon: float
+    arrival_rate: float
+    duration_mean: float
+    duration_median: float
+    duration_p95: float
+    max_demand_mean: float
+    concurrency_mean: float
+    concurrency_p95: float
+    peak_load: Tuple[float, ...]
+    time_weighted_load_mean: Tuple[float, ...]
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict form for tabular reports."""
+        return {
+            "n": self.n,
+            "d": self.d,
+            "mu": self.mu,
+            "span": self.span,
+            "horizon": self.horizon,
+            "arrival_rate": self.arrival_rate,
+            "duration_mean": self.duration_mean,
+            "duration_median": self.duration_median,
+            "duration_p95": self.duration_p95,
+            "max_demand_mean": self.max_demand_mean,
+            "concurrency_mean": self.concurrency_mean,
+            "concurrency_p95": self.concurrency_p95,
+            "peak_load": list(self.peak_load),
+            "time_weighted_load_mean": list(self.time_weighted_load_mean),
+        }
+
+
+def _weighted_percentile(values: np.ndarray, weights: np.ndarray, q: float) -> float:
+    order = np.argsort(values)
+    v, w = values[order], weights[order]
+    cum = np.cumsum(w)
+    if cum[-1] <= 0:
+        return float(v[-1]) if v.size else 0.0
+    target = q / 100.0 * cum[-1]
+    idx = int(np.searchsorted(cum, target))
+    return float(v[min(idx, v.size - 1)])
+
+
+def describe_instance(instance: Instance) -> InstanceProfile:
+    """Compute the full :class:`InstanceProfile` of ``instance``."""
+    norm = instance.normalized()
+    durations = np.array([it.duration for it in norm.items])
+    max_demands = np.array([float(np.max(it.size)) for it in norm.items])
+    horizon = norm.horizon.length
+
+    times, loads = load_profile(norm)
+    seg_lengths = np.diff(times)
+    # concurrency: number of active items per segment
+    starts = np.array([it.arrival for it in norm.items])
+    ends = np.array([it.departure for it in norm.items])
+    seg_mids = (times[:-1] + times[1:]) / 2.0
+    concurrency = np.array(
+        [int(np.sum((starts <= t) & (t < ends))) for t in seg_mids], dtype=np.float64
+    )
+
+    total_time = float(seg_lengths.sum()) or 1.0
+    mean_load = tuple(
+        float(x) for x in (loads * seg_lengths[:, np.newaxis]).sum(axis=0) / total_time
+    )
+
+    return InstanceProfile(
+        n=norm.n,
+        d=norm.d,
+        mu=norm.mu,
+        span=norm.span,
+        horizon=horizon,
+        arrival_rate=norm.n / horizon if horizon > 0 else float("inf"),
+        duration_mean=float(durations.mean()),
+        duration_median=float(np.median(durations)),
+        duration_p95=float(np.percentile(durations, 95)),
+        max_demand_mean=float(max_demands.mean()),
+        concurrency_mean=float((concurrency * seg_lengths).sum() / total_time),
+        concurrency_p95=_weighted_percentile(concurrency, seg_lengths, 95),
+        peak_load=tuple(float(x) for x in loads.max(axis=0)),
+        time_weighted_load_mean=mean_load,
+    )
+
+
+def render_description(instance: Instance) -> str:
+    """Text rendering of :func:`describe_instance`."""
+    p = describe_instance(instance)
+    lines = [
+        f"instance profile: {instance.name or '(unnamed)'}",
+        f"  items              {p.n} over horizon {p.horizon:g} "
+        f"(rate {p.arrival_rate:.3g}/unit)",
+        f"  dimensions         {p.d}",
+        f"  durations          mean {p.duration_mean:.3g}, median "
+        f"{p.duration_median:.3g}, p95 {p.duration_p95:.3g}, mu {p.mu:.3g}",
+        f"  max demand/item    mean {p.max_demand_mean:.3g} (of capacity)",
+        f"  concurrency        mean {p.concurrency_mean:.3g}, p95 "
+        f"{p.concurrency_p95:.3g} items",
+        f"  peak load          "
+        + ", ".join(f"dim{j}={x:.3g}" for j, x in enumerate(p.peak_load))
+        + " (bins needed at peak: "
+        + str(int(np.ceil(max(p.peak_load) - 1e-9)))
+        + ")",
+        f"  mean load          "
+        + ", ".join(f"dim{j}={x:.3g}" for j, x in enumerate(p.time_weighted_load_mean)),
+        f"  span               {p.span:g}",
+    ]
+    return "\n".join(lines)

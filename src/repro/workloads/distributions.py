@@ -1,0 +1,153 @@
+"""Reusable samplers for durations and sizes.
+
+The extension studies (DESIGN.md §6) vary the workload distribution away
+from Section 7's uniform setup; this module collects the samplers so
+generators stay declarative.  Every sampler is a small object with a
+``draw(rng, size) -> ndarray`` method and a readable ``repr``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.errors import ConfigurationError
+
+__all__ = [
+    "UniformDuration",
+    "ExponentialDuration",
+    "LognormalDuration",
+    "ParetoDuration",
+    "UniformIntegerSize",
+    "DirichletSize",
+]
+
+
+@dataclass(frozen=True)
+class UniformDuration:
+    """Integral durations uniform on ``[low, high]`` (the paper's choice)."""
+
+    low: float = 1.0
+    high: float = 10.0
+    integral: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0 < self.low <= self.high:
+            raise ConfigurationError(f"need 0 < low <= high, got [{self.low}, {self.high}]")
+
+    def draw(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        if self.integral:
+            return rng.integers(int(self.low), int(self.high) + 1, size=size).astype(np.float64)
+        return rng.uniform(self.low, self.high, size=size)
+
+
+@dataclass(frozen=True)
+class ExponentialDuration:
+    """Exponential durations with the given mean, clipped to ``[floor, cap]``.
+
+    The clip keeps ``μ`` finite and controlled, which the MinUsageTime
+    bounds require.
+    """
+
+    mean: float = 10.0
+    floor: float = 1.0
+    cap: float = 1000.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.floor <= self.cap:
+            raise ConfigurationError(f"need 0 < floor <= cap, got [{self.floor}, {self.cap}]")
+        if self.mean <= 0:
+            raise ConfigurationError(f"mean must be positive, got {self.mean}")
+
+    def draw(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return np.clip(rng.exponential(self.mean, size=size), self.floor, self.cap)
+
+
+@dataclass(frozen=True)
+class LognormalDuration:
+    """Lognormal durations (heavy-ish tail), clipped to ``[floor, cap]``.
+
+    Parameterised by the underlying normal's ``mu``/``sigma`` — the
+    standard model for VM lifetimes in cloud-trace studies.
+    """
+
+    log_mean: float = 1.5
+    log_sigma: float = 1.0
+    floor: float = 1.0
+    cap: float = 1000.0
+
+    def __post_init__(self) -> None:
+        if self.log_sigma <= 0:
+            raise ConfigurationError(f"log_sigma must be positive, got {self.log_sigma}")
+        if not 0 < self.floor <= self.cap:
+            raise ConfigurationError(f"need 0 < floor <= cap, got [{self.floor}, {self.cap}]")
+
+    def draw(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return np.clip(rng.lognormal(self.log_mean, self.log_sigma, size=size), self.floor, self.cap)
+
+
+@dataclass(frozen=True)
+class ParetoDuration:
+    """Pareto (power-law) durations: ``floor * (1 + Pareto(alpha))``, capped.
+
+    ``alpha <= 1`` gives an infinite-mean tail before capping — the
+    stress case for alignment-sensitive algorithms like Next Fit.
+    """
+
+    alpha: float = 1.5
+    floor: float = 1.0
+    cap: float = 1000.0
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 0:
+            raise ConfigurationError(f"alpha must be positive, got {self.alpha}")
+        if not 0 < self.floor <= self.cap:
+            raise ConfigurationError(f"need 0 < floor <= cap, got [{self.floor}, {self.cap}]")
+
+    def draw(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return np.clip(self.floor * (1.0 + rng.pareto(self.alpha, size=size)), self.floor, self.cap)
+
+
+@dataclass(frozen=True)
+class UniformIntegerSize:
+    """Sizes uniform on ``{1, ..., B}`` per dimension (the paper's choice)."""
+
+    B: int = 100
+
+    def __post_init__(self) -> None:
+        if self.B < 1:
+            raise ConfigurationError(f"B must be >= 1, got {self.B}")
+
+    def draw(self, rng: np.random.Generator, n: int, d: int) -> np.ndarray:
+        return rng.integers(1, self.B + 1, size=(n, d)).astype(np.float64)
+
+
+@dataclass(frozen=True)
+class DirichletSize:
+    """Sizes with a Dirichlet-shaped demand profile scaled by a magnitude.
+
+    Each item draws a magnitude uniform on ``[min_mag, max_mag]`` (as a
+    fraction of capacity) and splits it across dimensions by a Dirichlet
+    sample, then rescales so the max dimension equals the magnitude —
+    modelling items with one dominant resource and smaller others.
+    """
+
+    concentration: float = 1.0
+    min_mag: float = 0.05
+    max_mag: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.concentration <= 0:
+            raise ConfigurationError(f"concentration must be positive, got {self.concentration}")
+        if not 0 < self.min_mag <= self.max_mag <= 1.0:
+            raise ConfigurationError(
+                f"need 0 < min_mag <= max_mag <= 1, got [{self.min_mag}, {self.max_mag}]"
+            )
+
+    def draw(self, rng: np.random.Generator, n: int, d: int) -> np.ndarray:
+        mags = rng.uniform(self.min_mag, self.max_mag, size=n)
+        weights = rng.dirichlet(np.full(d, self.concentration), size=n)
+        peak = weights.max(axis=1, keepdims=True)
+        profiles = weights / peak  # max dimension == 1
+        return profiles * mags[:, np.newaxis]

@@ -1,0 +1,63 @@
+"""Shared fixtures for the DVBP reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.registry import PAPER_ALGORITHMS
+from repro.core.instance import Instance
+from repro.core.items import Item
+from repro.workloads.uniform import UniformWorkload
+
+
+@pytest.fixture
+def rng():
+    """A fresh deterministic RNG per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def tiny_instance():
+    """Three overlapping 1-D items; easy to reason about by hand.
+
+    Timeline: item 0 on [0, 4) size 0.5; item 1 on [1, 3) size 0.4;
+    item 2 on [2, 6) size 0.7.  Items 0+1 fit together; item 2 fits with
+    neither while they are active.
+    """
+    return Instance(
+        [
+            Item(0.0, 4.0, np.array([0.5]), 0),
+            Item(1.0, 3.0, np.array([0.4]), 1),
+            Item(2.0, 6.0, np.array([0.7]), 2),
+        ]
+    )
+
+
+@pytest.fixture
+def two_dim_instance():
+    """Four 2-D items exercising dimension-specific blocking.
+
+    Items 0 and 1 conflict in dim 0 only; items 2 and 3 conflict in
+    dim 1 only; cross pairs fit together.
+    """
+    return Instance(
+        [
+            Item(0.0, 2.0, np.array([0.8, 0.1]), 0),
+            Item(0.0, 2.0, np.array([0.7, 0.1]), 1),
+            Item(0.0, 2.0, np.array([0.1, 0.8]), 2),
+            Item(0.0, 2.0, np.array([0.1, 0.7]), 3),
+        ]
+    )
+
+
+@pytest.fixture
+def uniform_small():
+    """A small Section 7-style random instance (d=2, n=60, mu=5)."""
+    return UniformWorkload(d=2, n=60, mu=5, T=50, B=10).sample_seeded(7)
+
+
+@pytest.fixture(params=PAPER_ALGORITHMS)
+def paper_algorithm_name(request):
+    """Parametrised over the seven Section 7 algorithms."""
+    return request.param

@@ -1,0 +1,117 @@
+"""Tests for sample aggregation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.aggregate import summarize
+from repro.core.errors import ConfigurationError
+
+
+class TestSummarize:
+    def test_known_sample(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.count == 4
+        assert s.mean == pytest.approx(2.5)
+        assert s.std == pytest.approx(np.std([1, 2, 3, 4]))
+        assert s.minimum == 1.0 and s.maximum == 4.0
+        assert s.median == pytest.approx(2.5)
+
+    def test_single_value(self):
+        s = summarize([7.0])
+        assert s.mean == 7.0
+        assert s.std == 0.0
+        assert s.ci_halfwidth == 0.0
+
+    def test_constant_sample(self):
+        s = summarize([3.0] * 10)
+        assert s.std == 0.0
+        assert s.ci_low == s.ci_high == 3.0
+
+    def test_quartiles_ordered(self):
+        s = summarize(np.random.default_rng(0).normal(size=100))
+        assert s.minimum <= s.q25 <= s.median <= s.q75 <= s.maximum
+
+    def test_ci_contains_mean(self):
+        s = summarize([1.0, 5.0, 9.0, 2.0])
+        assert s.ci_low <= s.mean <= s.ci_high
+
+    def test_ci_narrows_with_n(self):
+        rng = np.random.default_rng(1)
+        small = summarize(rng.normal(size=20))
+        large = summarize(rng.normal(size=2000))
+        assert large.ci_halfwidth < small.ci_halfwidth
+
+    def test_confidence_levels(self):
+        vals = list(np.random.default_rng(2).normal(size=50))
+        assert (
+            summarize(vals, confidence=0.99).ci_halfwidth
+            > summarize(vals, confidence=0.90).ci_halfwidth
+        )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            summarize([])
+
+    def test_bad_confidence_rejected(self):
+        with pytest.raises(ConfigurationError):
+            summarize([1.0], confidence=0.5)
+
+    def test_as_dict(self):
+        d = summarize([1.0, 2.0]).as_dict()
+        assert d["count"] == 2 and "ci_halfwidth" in d
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=200))
+    @settings(max_examples=60)
+    def test_mean_within_minmax(self, vals):
+        s = summarize(vals)
+        assert s.minimum - 1e-6 <= s.mean <= s.maximum + 1e-6
+
+
+class TestBootstrapCI:
+    def test_contains_mean_for_normal_sample(self):
+        from repro.analysis.aggregate import bootstrap_ci
+
+        vals = list(np.random.default_rng(0).normal(5.0, 1.0, size=100))
+        lo, hi = bootstrap_ci(vals, seed=1)
+        assert lo <= np.mean(vals) <= hi
+
+    def test_reproducible(self):
+        from repro.analysis.aggregate import bootstrap_ci
+
+        vals = [1.0, 4.0, 2.0, 8.0, 3.0]
+        assert bootstrap_ci(vals, seed=5) == bootstrap_ci(vals, seed=5)
+
+    def test_single_value_degenerate(self):
+        from repro.analysis.aggregate import bootstrap_ci
+
+        assert bootstrap_ci([3.0]) == (3.0, 3.0)
+
+    def test_narrows_with_n(self):
+        from repro.analysis.aggregate import bootstrap_ci
+
+        rng = np.random.default_rng(2)
+        lo_s, hi_s = bootstrap_ci(list(rng.normal(size=20)), seed=0)
+        lo_l, hi_l = bootstrap_ci(list(rng.normal(size=2000)), seed=0)
+        assert (hi_l - lo_l) < (hi_s - lo_s)
+
+    def test_validation(self):
+        from repro.analysis.aggregate import bootstrap_ci
+        from repro.core.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            bootstrap_ci([])
+        with pytest.raises(ConfigurationError):
+            bootstrap_ci([1.0], confidence=1.5)
+
+    def test_skewed_sample_wider_upper_tail(self):
+        from repro.analysis.aggregate import bootstrap_ci
+
+        rng = np.random.default_rng(3)
+        vals = list(rng.pareto(2.0, size=200))
+        lo, hi = bootstrap_ci(vals, seed=0)
+        m = float(np.mean(vals))
+        assert (hi - m) > 0 and (m - lo) > 0

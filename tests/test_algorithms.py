@@ -1,0 +1,194 @@
+"""Behavioural tests for the seven Any Fit algorithms on hand-crafted
+sequences where their choices provably differ."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.best_fit import BestFit, WorstFit
+from repro.algorithms.first_fit import FirstFit
+from repro.algorithms.last_fit import LastFit
+from repro.algorithms.move_to_front import MoveToFront
+from repro.algorithms.next_fit import NextFit
+from repro.algorithms.random_fit import RandomFit
+from repro.core.instance import Instance
+from repro.core.items import Item
+from repro.simulation.engine import simulate
+
+
+def seq_1d(sizes, horizon=10.0):
+    """All items arrive at t=0 in order and stay until ``horizon``."""
+    return Instance(
+        [Item(0.0, horizon, np.array([s]), uid=i) for i, s in enumerate(sizes)]
+    )
+
+
+@pytest.fixture
+def fork_instance():
+    """A(0.5) -> bin 0; B(0.6) -> bin 1; C(0.3) distinguishes policies.
+
+    C fits both bins.  First/Worst Fit pick bin 0 (earliest / least
+    loaded); Best/Last/MoveToFront pick bin 1 (most loaded / latest
+    opened / most recently used).
+    """
+    return seq_1d([0.5, 0.6, 0.3])
+
+
+class TestFirstFit:
+    def test_picks_earliest_fitting(self, fork_instance):
+        packing = simulate(FirstFit(), fork_instance)
+        assert packing.assignment[2] == 0
+
+    def test_skips_full_earlier_bins(self):
+        packing = simulate(FirstFit(), seq_1d([0.9, 0.5, 0.4]))
+        # 0.4 does not fit bin 0 (0.9); goes to bin 1 (0.5)
+        assert packing.assignment[2] == 1
+
+    def test_opens_only_when_nothing_fits(self):
+        packing = simulate(FirstFit(), seq_1d([0.9, 0.9, 0.9]))
+        assert packing.num_bins == 3
+
+
+class TestLastFit:
+    def test_picks_latest_opened(self, fork_instance):
+        packing = simulate(LastFit(), fork_instance)
+        assert packing.assignment[2] == 1
+
+    def test_falls_back_to_earlier_bins(self):
+        packing = simulate(LastFit(), seq_1d([0.5, 0.9, 0.3]))
+        # bin 1 (0.9) cannot take 0.3; bin 0 can
+        assert packing.assignment[2] == 0
+
+
+class TestBestFit:
+    def test_picks_most_loaded(self, fork_instance):
+        packing = simulate(BestFit(), fork_instance)
+        assert packing.assignment[2] == 1
+
+    def test_tie_breaks_to_lowest_index(self):
+        packing = simulate(BestFit(), seq_1d([0.6, 0.6, 0.3]))
+        assert packing.assignment[2] == 0
+
+    def test_skips_most_loaded_if_full(self):
+        packing = simulate(BestFit(), seq_1d([0.8, 0.5, 0.3]))
+        # bin 0 at 0.8 can't fit 0.3; bin 1 (0.5) can
+        assert packing.assignment[2] == 1
+
+    def test_linf_vs_l1_measures_differ(self):
+        inst = Instance(
+            [
+                Item(0, 10, np.array([0.8, 0.1]), 0),
+                Item(0, 10, np.array([0.5, 0.5]), 1),
+                Item(0, 10, np.array([0.1, 0.1]), 2),
+            ]
+        )
+        by_linf = simulate(BestFit(measure="linf"), inst)
+        by_l1 = simulate(BestFit(measure="l1"), inst)
+        assert by_linf.assignment[2] == 0  # linf loads: 0.8 vs 0.5
+        assert by_l1.assignment[2] == 1  # l1 loads: 0.9 vs 1.0
+
+    def test_lp_measure_runs(self, fork_instance):
+        packing = simulate(BestFit(measure="lp", p=2.0), fork_instance)
+        packing.validate()
+
+    def test_invalid_measure_rejected(self):
+        from repro.core.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            BestFit(measure="max")
+
+    def test_invalid_p_rejected(self):
+        from repro.core.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            BestFit(measure="lp", p=0.5)
+
+
+class TestWorstFit:
+    def test_picks_least_loaded(self, fork_instance):
+        packing = simulate(WorstFit(), fork_instance)
+        assert packing.assignment[2] == 0
+
+    def test_tie_breaks_to_lowest_index(self):
+        packing = simulate(WorstFit(), seq_1d([0.6, 0.6, 0.3]))
+        assert packing.assignment[2] == 0
+
+
+class TestMoveToFront:
+    def test_picks_most_recently_used(self, fork_instance):
+        packing = simulate(MoveToFront(), fork_instance)
+        assert packing.assignment[2] == 1
+
+    def test_recency_updated_by_pack_not_open(self):
+        # A(0.5)->B0, B(0.6)->B1, C(0.2)->B1 (recent), D(0.2): B1 is
+        # still most recent (just used), fits -> B1 again
+        packing = simulate(MoveToFront(), seq_1d([0.5, 0.6, 0.2, 0.2]))
+        assert packing.assignment[2] == 1
+        assert packing.assignment[3] == 1
+
+    def test_front_bin_skipped_when_full(self):
+        # A(0.5)->B0; B(0.9)->B1 (front); C(0.3): B1 full, B0 next
+        packing = simulate(MoveToFront(), seq_1d([0.5, 0.9, 0.3]))
+        assert packing.assignment[2] == 0
+
+    def test_paper_trace_theorem8_pairs(self):
+        # odd 1/2-items pair with following small items in fresh bins
+        sizes = [0.5, 0.1, 0.5, 0.1]
+        packing = simulate(MoveToFront(), seq_1d(sizes))
+        assert packing.assignment == {0: 0, 1: 0, 2: 1, 3: 1}
+
+
+class TestNextFit:
+    def test_only_current_bin_considered(self):
+        # A(0.6)->B0; B(0.5) doesn't fit -> B1 current; C(0.3) fits B0
+        # but NF can't see it -> B1
+        packing = simulate(NextFit(), seq_1d([0.6, 0.5, 0.3]))
+        assert packing.assignment[2] == 1
+
+    def test_released_bin_never_reused(self):
+        # ...continuing: D(0.4) fits B0 exactly but NF opens B2
+        packing = simulate(NextFit(), seq_1d([0.6, 0.5, 0.3, 0.4]))
+        assert packing.assignment[3] == 2
+
+    def test_current_bin_closure_starts_fresh(self):
+        inst = Instance(
+            [
+                Item(0, 1, np.array([0.6]), 0),
+                Item(2, 3, np.array([0.6]), 1),  # arrives after bin closed
+            ]
+        )
+        packing = simulate(NextFit(), inst)
+        assert packing.num_bins == 2
+        packing.validate()
+
+    def test_release_times_recorded(self):
+        algo = NextFit()
+        simulate(algo, seq_1d([0.6, 0.5, 0.3]))
+        assert 0 in algo.release_times  # bin 0 was released at t=0
+
+    def test_at_most_one_candidate(self):
+        algo = NextFit()
+        simulate(algo, seq_1d([0.3, 0.3, 0.3]))
+        assert len(algo.open_list) <= 1
+
+
+class TestRandomFit:
+    def test_same_seed_same_packing(self, uniform_small):
+        p1 = simulate(RandomFit(seed=5), uniform_small)
+        p2 = simulate(RandomFit(seed=5), uniform_small)
+        assert p1.assignment == p2.assignment
+
+    def test_reuse_of_object_is_deterministic(self, uniform_small):
+        algo = RandomFit(seed=5)
+        p1 = simulate(algo, uniform_small)
+        p2 = simulate(algo, uniform_small)
+        assert p1.assignment == p2.assignment
+
+    def test_different_seeds_usually_differ(self, uniform_small):
+        packings = [simulate(RandomFit(seed=s), uniform_small) for s in range(6)]
+        assignments = {tuple(sorted(p.assignment.items())) for p in packings}
+        assert len(assignments) > 1
+
+    def test_valid_packing(self, uniform_small):
+        simulate(RandomFit(seed=0), uniform_small).validate()

@@ -1,0 +1,83 @@
+"""The defining Any Fit property, verified by packing replay.
+
+An Any Fit algorithm never opens a new bin when the arriving item fits a
+bin of its candidate list.  For every algorithm whose list contains *all*
+open bins (everything except Next Fit), this is checkable from the final
+packing alone: replay the event stream with the engine's exact ordering
+and, whenever an item is the first of its bin, assert no already-open bin
+could have held it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.registry import PAPER_ALGORITHMS, make_algorithm
+from repro.core.events import EventKind, event_stream
+from repro.core.packing import Packing
+from repro.core.vectors import EPS
+from repro.simulation.runner import run
+from repro.workloads.uniform import UniformWorkload
+
+FULL_LIST_ALGORITHMS = [a for a in PAPER_ALGORITHMS if a != "next_fit"]
+
+
+def assert_any_fit_property(packing: Packing) -> None:
+    """Replay the packing chronologically and check every bin opening."""
+    inst = packing.instance
+    cap = inst.capacity
+    slack = cap + EPS * np.maximum(cap, 1.0)
+    loads: dict = {}  # bin index -> current load vector
+    members: dict = {}  # bin index -> set of active uids
+
+    for ev in event_stream(inst):
+        bin_index = packing.assignment[ev.item.uid]
+        if ev.kind is EventKind.DEPARTURE:
+            members[bin_index].discard(ev.item.uid)
+            loads[bin_index] = loads[bin_index] - ev.item.size
+            if not members[bin_index]:
+                del members[bin_index]
+                del loads[bin_index]
+            continue
+        # arrival
+        if bin_index not in loads:
+            # a new bin was opened: the Any Fit property demands that no
+            # currently open bin fits the item
+            for other, load in loads.items():
+                assert np.any(load + ev.item.size > slack), (
+                    f"Any Fit violated: item {ev.item.uid} opened bin "
+                    f"{bin_index} at t={ev.time} although bin {other} "
+                    f"(load {load}) fit it"
+                )
+            loads[bin_index] = np.zeros(inst.d)
+            members[bin_index] = set()
+        loads[bin_index] = loads[bin_index] + ev.item.size
+        members[bin_index].add(ev.item.uid)
+
+
+@pytest.mark.parametrize("algorithm", FULL_LIST_ALGORITHMS)
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_any_fit_property_uniform(algorithm, seed):
+    inst = UniformWorkload(d=2, n=80, mu=8, T=60, B=10).sample_seeded(seed)
+    packing = run(make_algorithm(algorithm), inst)
+    assert_any_fit_property(packing)
+
+
+@pytest.mark.parametrize("algorithm", FULL_LIST_ALGORITHMS)
+def test_any_fit_property_dense_1d(algorithm):
+    inst = UniformWorkload(d=1, n=120, mu=20, T=40, B=10).sample_seeded(3)
+    packing = run(make_algorithm(algorithm), inst)
+    assert_any_fit_property(packing)
+
+
+@pytest.mark.parametrize("algorithm", FULL_LIST_ALGORITHMS)
+def test_any_fit_property_5d(algorithm):
+    inst = UniformWorkload(d=5, n=60, mu=5, T=30, B=10).sample_seeded(4)
+    packing = run(make_algorithm(algorithm), inst)
+    assert_any_fit_property(packing)
+
+
+@pytest.mark.parametrize("algorithm", PAPER_ALGORITHMS)
+def test_all_packings_temporally_feasible(algorithm, uniform_small):
+    run(make_algorithm(algorithm), uniform_small, validate=True)

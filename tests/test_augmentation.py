@@ -1,0 +1,64 @@
+"""Tests for the resource-augmentation analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.augmentation import (
+    augmentation_curve,
+    augmented_instance,
+    augmented_run,
+)
+from repro.workloads.adversarial import theorem5_instance, theorem8_instance
+from repro.workloads.uniform import UniformWorkload
+
+
+class TestAugmentedInstance:
+    def test_capacity_scaled(self, uniform_small):
+        aug = augmented_instance(uniform_small, 0.5)
+        assert np.allclose(aug.capacity, uniform_small.capacity * 1.5)
+        assert aug.n == uniform_small.n
+
+    def test_zero_beta_identity(self, uniform_small):
+        aug = augmented_instance(uniform_small, 0.0)
+        assert np.allclose(aug.capacity, uniform_small.capacity)
+
+    def test_negative_beta_rejected(self, uniform_small):
+        with pytest.raises(ValueError):
+            augmented_instance(uniform_small, -0.1)
+
+
+class TestAugmentedRuns:
+    def test_augmentation_never_hurts_in_aggregate(self, uniform_small):
+        """More capacity per bin can't systematically hurt First Fit -
+        the beta=1 cost should be at most the beta=0 cost on a dense
+        instance (FF fills bins greedily)."""
+        base = augmented_run("first_fit", uniform_small, 0.0)
+        big = augmented_run("first_fit", uniform_small, 1.0)
+        assert big.cost <= base.cost + 1e-9
+
+    def test_curve_monotone_for_first_fit(self):
+        inst = UniformWorkload(d=2, n=150, mu=10, T=60, B=10).sample_seeded(2)
+        points = augmentation_curve("first_fit", inst, betas=(0.0, 0.5, 1.0))
+        ratios = [p.ratio for p in points]
+        assert ratios == sorted(ratios, reverse=True)
+
+    def test_theorem5_collapses_under_tiny_augmentation(self):
+        """The Theorem 5 trap runs each bin at exactly 1 - eps' load; a
+        sliver of extra capacity lets the small R1 items share bins and
+        the certified ratio collapses."""
+        adv = theorem5_instance(d=2, k=4, mu=5.0)
+        base = augmented_run("first_fit", adv.instance, 0.0)
+        aug = augmented_run("first_fit", adv.instance, 0.1)
+        assert aug.cost < 0.6 * base.cost
+
+    def test_theorem8_collapses_under_augmentation(self):
+        adv = theorem8_instance(n=6, mu=5.0)
+        base = augmented_run("move_to_front", adv.instance, 0.0)
+        aug = augmented_run("move_to_front", adv.instance, 0.25)
+        assert aug.cost < base.cost
+
+    def test_ratio_uses_unaugmented_baseline(self, uniform_small):
+        points = augmentation_curve("first_fit", uniform_small, betas=(0.0, 1.0))
+        assert points[0].baseline_lower_bound == points[1].baseline_lower_bound

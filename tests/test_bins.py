@@ -1,0 +1,124 @@
+"""Unit tests for repro.core.bins."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bins import Bin
+from repro.core.errors import CapacityExceededError
+from repro.core.intervals import Interval
+from repro.core.items import Item
+
+
+def make_bin(d=1, index=0, opened_at=0.0, capacity=None):
+    cap = np.ones(d) if capacity is None else np.asarray(capacity, dtype=float)
+    return Bin(cap, index=index, opened_at=opened_at)
+
+
+class TestLifecycle:
+    def test_new_bin_is_open_and_empty(self):
+        b = make_bin()
+        assert b.is_open and b.is_empty
+        assert b.num_active == 0
+
+    def test_pack_updates_load(self):
+        b = make_bin(d=2)
+        b.pack(Item(0, 1, np.array([0.3, 0.4]), 0))
+        assert np.allclose(b.load, [0.3, 0.4])
+        assert b.num_active == 1
+
+    def test_pack_appends_history(self):
+        b = make_bin()
+        it = Item(0, 1, np.array([0.3]), 0)
+        b.pack(it)
+        assert b.history == [it]
+
+    def test_remove_recomputes_load(self):
+        b = make_bin()
+        a = Item(0, 2, np.array([0.3]), 0)
+        c = Item(0, 1, np.array([0.4]), 1)
+        b.pack(a)
+        b.pack(c)
+        closed = b.remove(c, now=1.0)
+        assert not closed
+        assert np.allclose(b.load, [0.3])
+
+    def test_last_removal_closes(self):
+        b = make_bin()
+        it = Item(0, 1, np.array([0.3]), 0)
+        b.pack(it)
+        assert b.remove(it, now=1.0)
+        assert not b.is_open
+        assert b.closed_at == 1.0
+
+    def test_remove_unknown_item_raises(self):
+        b = make_bin()
+        with pytest.raises(KeyError):
+            b.remove(Item(0, 1, np.array([0.3]), 99), now=1.0)
+
+    def test_double_pack_same_uid_rejected(self):
+        b = make_bin()
+        it = Item(0, 1, np.array([0.1]), 0)
+        b.pack(it)
+        with pytest.raises(CapacityExceededError):
+            b.pack(it)
+
+
+class TestCapacity:
+    def test_overfull_pack_rejected(self):
+        b = make_bin()
+        b.pack(Item(0, 1, np.array([0.7]), 0))
+        with pytest.raises(CapacityExceededError):
+            b.pack(Item(0, 1, np.array([0.4]), 1))
+
+    def test_exact_fill_allowed(self):
+        b = make_bin()
+        b.pack(Item(0, 1, np.array([0.7]), 0))
+        b.pack(Item(0, 1, np.array([0.3]), 1))
+        assert np.allclose(b.load, [1.0])
+
+    def test_per_dimension_blocking(self):
+        b = make_bin(d=2)
+        b.pack(Item(0, 1, np.array([0.9, 0.1]), 0))
+        assert not b.can_fit(Item(0, 1, np.array([0.2, 0.1]), 1))
+        assert b.can_fit(Item(0, 1, np.array([0.1, 0.8]), 2))
+
+    def test_nonunit_capacity(self):
+        b = make_bin(d=1, capacity=[100.0])
+        b.pack(Item(0, 1, np.array([60.0]), 0))
+        assert b.can_fit(Item(0, 1, np.array([40.0]), 1))
+        assert not b.can_fit(Item(0, 1, np.array([41.0]), 2))
+
+    def test_float_accumulation_does_not_drift(self):
+        # pack/remove many times; load must return to exactly zero-ish
+        b = make_bin(capacity=[1.0])
+        for i in range(50):
+            it = Item(0, 1, np.array([0.1]), i)
+            b.pack(it)
+            b.remove(it, now=0.5)
+            b.closed_at = None  # reopen for the test's purposes
+        assert b.load[0] == 0.0
+
+
+class TestUsageAccounting:
+    def test_usage_period_closed(self):
+        b = make_bin(opened_at=2.0)
+        it = Item(2, 5, np.array([0.3]), 0)
+        b.pack(it)
+        b.remove(it, now=5.0)
+        assert b.usage_period == Interval(2.0, 5.0)
+        assert b.usage_time == 3.0
+
+    def test_usage_period_open_uses_latest_departure(self):
+        b = make_bin(opened_at=1.0)
+        b.pack(Item(1, 4, np.array([0.3]), 0))
+        b.pack(Item(1, 9, np.array([0.3]), 1))
+        assert b.usage_period == Interval(1.0, 9.0)
+
+    def test_active_queries(self):
+        b = make_bin()
+        a = Item(0, 2, np.array([0.1]), 5)
+        b.pack(a)
+        assert b.active_uids() == {5}
+        assert b.active_items() == [a]

@@ -1,0 +1,63 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+def test_table2(capsys):
+    assert main(["table2"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 2" in out and "B = 100" in out
+
+
+def test_table1_small(capsys):
+    assert main(["table1", "--ks", "2", "--d", "1", "--mu", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out and "thm5_anyfit" in out
+
+
+def test_figure1(capsys):
+    assert main(["figure1"]) == 0
+    assert "Figure 1" in capsys.readouterr().out
+
+
+def test_figure2(capsys):
+    assert main(["figure2"]) == 0
+    assert "Figure 2" in capsys.readouterr().out
+
+
+def test_figure3(capsys):
+    assert main(["figure3", "--d", "1", "--k", "2", "--mu", "2"]) == 0
+    assert "Figure 3" in capsys.readouterr().out
+
+
+def test_figure4_smoke(capsys):
+    assert main(["figure4", "--scale", "smoke"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 4" in out
+
+
+def test_compare(capsys):
+    assert main(["compare", "--n", "50", "--d", "2", "--mu", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "move_to_front" in out and "worst_fit" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])
+
+
+def test_figure3_rejects_unknown_algorithm():
+    with pytest.raises(SystemExit):
+        main(["figure3", "--algorithm", "nope"])
+
+
+def test_figure4_csv_export(capsys, tmp_path):
+    path = str(tmp_path / "fig4.csv")
+    assert main(["figure4", "--scale", "smoke", "--csv", path]) == 0
+    text = open(path).read()
+    assert text.startswith("d,mu,algorithm")

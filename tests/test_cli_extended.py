@@ -1,0 +1,79 @@
+"""Tests for the extended CLI subcommands (search/offline/generate/run)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def test_search_reports_ratio(capsys):
+    assert main(["search", "--algorithm", "next_fit", "--budget", "10",
+                 "--hill-climb", "5", "--n", "8", "--mu", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "certified competitive ratio" in out
+
+
+def test_search_saves_instance(capsys, tmp_path):
+    path = str(tmp_path / "worst.json")
+    assert main(["search", "--algorithm", "first_fit", "--budget", "5",
+                 "--hill-climb", "3", "--n", "6", "--mu", "2",
+                 "--save", path]) == 0
+    payload = json.loads(open(path).read())
+    assert payload["items"]
+
+
+def test_offline_compares_solutions(capsys):
+    assert main(["offline", "--n", "25", "--mu", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "offline greedy" in out and "repack optimum" in out
+
+
+def test_offline_greedy_not_absurd(capsys):
+    """Regression: the offline greedy once reported hull-inflated costs
+    an order of magnitude above online policies."""
+    assert main(["offline", "--n", "40", "--mu", "10", "--seed", "0"]) == 0
+    out = capsys.readouterr().out
+    costs = {}
+    for line in out.splitlines():
+        if "|" in line and "cost" not in line and "-+-" not in line:
+            label, value = [p.strip() for p in line.split("|")]
+            if not value.startswith("["):
+                costs[label] = float(value)
+    assert costs["offline greedy (no repack)"] <= 1.5 * costs["online move_to_front"]
+
+
+def test_generate_then_run_roundtrip(capsys, tmp_path):
+    path = str(tmp_path / "inst.json")
+    assert main(["generate", path, "--n", "30", "--mu", "4"]) == 0
+    assert main(["run", path, "--algorithm", "move_to_front", "--validate"]) == 0
+    out = capsys.readouterr().out
+    assert "cost" in out
+
+
+def test_generate_trace_workload(tmp_path):
+    path = str(tmp_path / "trace.json")
+    assert main(["generate", path, "--workload", "trace"]) == 0
+    payload = json.loads(open(path).read())
+    assert len(payload["items"]) > 5
+
+
+def test_generate_poisson_workload(tmp_path):
+    path = str(tmp_path / "poisson.json")
+    assert main(["generate", path, "--workload", "poisson", "--d", "3"]) == 0
+    payload = json.loads(open(path).read())
+    assert len(payload["capacity"]) == 3
+
+
+def test_verify_theorem2(capsys):
+    assert main(["verify", "--theorem", "2", "--n", "80", "--mu", "8"]) == 0
+    out = capsys.readouterr().out
+    assert "claim1" in out and "all inequalities hold: True" in out
+
+
+def test_verify_theorem4(capsys):
+    assert main(["verify", "--theorem", "4", "--n", "80", "--mu", "8"]) == 0
+    out = capsys.readouterr().out
+    assert "theorem4" in out and "all inequalities hold: True" in out

@@ -1,0 +1,84 @@
+"""Tests for the empirical competitive-ratio search."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.competitive import (
+    SearchResult,
+    certified_ratio,
+    mutate_instance,
+    random_search,
+)
+from repro.analysis.theory import upper_bound
+from repro.workloads.adversarial import theorem8_instance
+from repro.workloads.uniform import UniformWorkload
+
+
+class TestCertifiedRatio:
+    def test_ratio_at_least_one_ish(self):
+        inst = UniformWorkload(d=2, n=30, mu=4, T=20, B=5).sample_seeded(0)
+        cost, opt_hi, ratio = certified_ratio("move_to_front", inst)
+        assert cost > 0 and opt_hi > 0
+        assert ratio == pytest.approx(cost / opt_hi)
+
+    def test_certifies_known_bad_instance(self):
+        # the Theorem 8 instance certifies a ratio near 2mu for MF
+        adv = theorem8_instance(n=8, mu=5.0)
+        _, _, ratio = certified_ratio("move_to_front", adv.instance)
+        assert ratio > 4.0  # approaching 2mu = 10 from below
+
+
+class TestMutation:
+    def test_mutants_are_valid_instances(self, rng):
+        inst = UniformWorkload(d=2, n=10, mu=4, T=10, B=5).sample_seeded(1)
+        norm = inst.normalized()
+        for _ in range(50):
+            norm = mutate_instance(norm, rng)
+            assert norm.n >= 1
+            assert norm.min_duration >= 1.0 - 1e-9
+
+    def test_mutation_changes_something(self, rng):
+        inst = UniformWorkload(d=1, n=10, mu=4, T=10, B=5).sample_seeded(2).normalized()
+        mutants = {mutate_instance(inst, rng).to_json() for _ in range(10)}
+        assert inst.to_json() not in mutants or len(mutants) > 1
+
+
+class TestRandomSearch:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return random_search(
+            "next_fit", d=1, n=10, mu=4.0, budget=40, hill_climb=30, seed=3
+        )
+
+    def test_returns_result(self, result):
+        assert isinstance(result, SearchResult)
+        assert result.evaluations == 70
+
+    def test_finds_nontrivial_ratio(self, result):
+        """The search should beat 1.3 easily for Next Fit at mu=4
+        (its CR is ~2*mu)."""
+        assert result.ratio > 1.3
+
+    def test_ratio_respects_theory(self, result):
+        """No certified ratio may exceed the proven upper bound."""
+        inst = result.instance
+        assert result.ratio <= upper_bound("next_fit", inst.mu, inst.d) + 1e-6
+
+    def test_reproducible(self):
+        a = random_search("first_fit", d=1, n=8, mu=3.0, budget=15,
+                          hill_climb=10, seed=9)
+        b = random_search("first_fit", d=1, n=8, mu=3.0, budget=15,
+                          hill_climb=10, seed=9)
+        assert a.ratio == pytest.approx(b.ratio)
+        assert a.instance.to_json() == b.instance.to_json()
+
+    def test_search_beats_average_case(self):
+        """The worst found instance should be worse than a typical random
+        instance for the same algorithm."""
+        res = random_search("move_to_front", d=1, n=10, mu=4.0, budget=30,
+                            hill_climb=20, seed=5)
+        typical = UniformWorkload(d=1, n=100, mu=4, T=80, B=10).sample_seeded(0)
+        _, _, typical_ratio = certified_ratio("move_to_front", typical)
+        assert res.ratio > typical_ratio

@@ -1,0 +1,118 @@
+"""Tests for composite workloads (mixtures and spikes)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.simulation.runner import run
+from repro.workloads.composite import MixtureWorkload, SpikeWorkload
+from repro.workloads.distributions import DirichletSize, LognormalDuration
+from repro.workloads.poisson import PoissonWorkload
+from repro.workloads.uniform import UniformWorkload
+
+
+@pytest.fixture
+def base_gen():
+    return PoissonWorkload(d=2, rate=0.5, horizon=50,
+                           sizes=DirichletSize(min_mag=0.05, max_mag=0.5))
+
+
+class TestMixture:
+    def test_union_of_components(self, rng, base_gen):
+        long_jobs = PoissonWorkload(
+            d=2, rate=0.1, horizon=50,
+            durations=LognormalDuration(log_mean=3.0, floor=10, cap=60),
+            sizes=DirichletSize(min_mag=0.05, max_mag=0.3),
+        )
+        mix = MixtureWorkload(components=(base_gen, long_jobs))
+        inst = mix.sample(rng)
+        # count is the sum of two component draws: at least a few each
+        assert inst.n > 10
+        assert inst.d == 2
+        assert np.allclose(inst.capacity, 1.0)
+
+    def test_components_normalised(self, rng):
+        # mixing a B=100 uniform workload with a unit-capacity Poisson
+        # workload must work (both normalised)
+        mix = MixtureWorkload(components=(
+            UniformWorkload(d=2, n=20, mu=4, T=30, B=100),
+            PoissonWorkload(d=2, rate=0.3, horizon=30,
+                            sizes=DirichletSize(min_mag=0.05, max_mag=0.5)),
+        ))
+        inst = mix.sample(rng)
+        sizes = np.stack([it.size for it in inst.items])
+        assert sizes.max() <= 1.0 + 1e-9
+
+    def test_dimension_mismatch_rejected(self, rng):
+        mix = MixtureWorkload(components=(
+            UniformWorkload(d=1, n=5, mu=2, T=10, B=10),
+            UniformWorkload(d=2, n=5, mu=2, T=10, B=10),
+        ))
+        with pytest.raises(ConfigurationError):
+            mix.sample(rng)
+
+    def test_empty_components_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MixtureWorkload(components=())
+
+    def test_items_sorted_and_uids_dense(self, rng, base_gen):
+        mix = MixtureWorkload(components=(base_gen, base_gen))
+        inst = mix.sample(rng)
+        arrivals = [it.arrival for it in inst]
+        assert arrivals == sorted(arrivals)
+        assert [it.uid for it in inst] == list(range(inst.n))
+
+    def test_simulatable(self, rng, base_gen):
+        mix = MixtureWorkload(components=(base_gen, base_gen))
+        run("move_to_front", mix.sample(rng), validate=True)
+
+
+class TestSpikes:
+    def test_spikes_added(self, rng, base_gen):
+        spiky = SpikeWorkload(base=base_gen, num_spikes=2, spike_size=15,
+                              spike_demand=(0.1, 0.1), spike_duration=3.0)
+        base_n = base_gen.sample(np.random.default_rng(0)).n
+        inst = spiky.sample(rng)
+        assert inst.n >= 2 * 15  # at least the spike items
+
+    def test_spike_items_simultaneous(self, rng, base_gen):
+        spiky = SpikeWorkload(base=base_gen, num_spikes=1, spike_size=10,
+                              spike_demand=(0.15, 0.15), spike_duration=2.0)
+        inst = spiky.sample(rng)
+        # find the arrival time with >= 10 simultaneous items
+        from collections import Counter
+
+        counts = Counter(it.arrival for it in inst)
+        assert max(counts.values()) >= 10
+
+    def test_dimension_mismatch_rejected(self, rng):
+        spiky = SpikeWorkload(
+            base=UniformWorkload(d=1, n=10, mu=2, T=10, B=10),
+            spike_demand=(0.1, 0.1),
+        )
+        with pytest.raises(ConfigurationError):
+            spiky.sample(rng)
+
+    def test_validation(self, base_gen):
+        with pytest.raises(ConfigurationError):
+            SpikeWorkload(base=None)
+        with pytest.raises(ConfigurationError):
+            SpikeWorkload(base=base_gen, num_spikes=0)
+        with pytest.raises(ConfigurationError):
+            SpikeWorkload(base=base_gen, spike_demand=(1.5, 0.1))
+        with pytest.raises(ConfigurationError):
+            SpikeWorkload(base=base_gen, spike_duration=0.0)
+
+    def test_simulatable_and_stresses_alignment(self, rng, base_gen):
+        """Spikes of identical short jobs are where alignment-aware
+        policies shine: MF should beat Worst Fit here."""
+        spiky = SpikeWorkload(base=base_gen, num_spikes=4, spike_size=25,
+                              spike_demand=(0.12, 0.12), spike_duration=1.5)
+        totals = {"move_to_front": 0.0, "worst_fit": 0.0}
+        for seed in range(4):
+            inst = spiky.sample_seeded(seed)
+            for algo in totals:
+                totals[algo] += run(algo, inst).cost
+        assert totals["move_to_front"] <= totals["worst_fit"]

@@ -1,0 +1,146 @@
+"""Unit tests for the discrete-event simulation engine."""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+import pytest
+
+from repro.algorithms.base import AnyFitAlgorithm
+from repro.algorithms.first_fit import FirstFit
+from repro.core.errors import AlgorithmError
+from repro.core.instance import Instance
+from repro.core.items import Item
+from repro.simulation.engine import Engine, SimulationObserver, simulate
+
+
+class RecordingObserver(SimulationObserver):
+    """Collects every hook invocation for assertions."""
+
+    def __init__(self):
+        self.events: List[tuple] = []
+
+    def on_start(self, instance, algorithm):
+        self.events.append(("start", algorithm.name))
+
+    def on_bin_opened(self, bin_, now):
+        self.events.append(("open", bin_.index, now))
+
+    def on_packed(self, bin_, item, now, opened_new):
+        self.events.append(("pack", bin_.index, item.uid, now, opened_new))
+
+    def on_departed(self, bin_, item, now, closed):
+        self.events.append(("depart", bin_.index, item.uid, now, closed))
+
+    def on_finish(self, packing):
+        self.events.append(("finish", packing.num_bins))
+
+
+class TestEngineBasics:
+    def test_single_item(self):
+        inst = Instance([Item(0, 1, np.array([0.5]), 0)])
+        packing = simulate(FirstFit(), inst)
+        assert packing.num_bins == 1
+        assert packing.cost == pytest.approx(1.0)
+
+    def test_cost_matches_bin_spans(self, tiny_instance):
+        packing = simulate(FirstFit(), tiny_instance)
+        assert packing.cost == pytest.approx(
+            sum(r.usage_time for r in packing.bins)
+        )
+
+    def test_assignment_covers_all_items(self, uniform_small):
+        packing = simulate(FirstFit(), uniform_small)
+        assert set(packing.assignment) == {it.uid for it in uniform_small.items}
+
+    def test_engine_is_single_use(self, tiny_instance):
+        engine = Engine(tiny_instance, FirstFit())
+        engine.run()
+        with pytest.raises(AlgorithmError):
+            engine.run()
+
+    def test_algorithm_reusable_across_engines(self, tiny_instance, uniform_small):
+        algo = FirstFit()
+        p1 = simulate(algo, tiny_instance)
+        p2 = simulate(algo, uniform_small)
+        p1.validate()
+        p2.validate()
+
+    def test_bins_indexed_in_opening_order(self, uniform_small):
+        packing = simulate(FirstFit(), uniform_small)
+        opens = [r.opened_at for r in sorted(packing.bins, key=lambda r: r.index)]
+        assert opens == sorted(opens)
+
+
+class TestObserverHooks:
+    def test_all_hooks_fire(self, tiny_instance):
+        obs = RecordingObserver()
+        simulate(FirstFit(), tiny_instance, observers=[obs])
+        kinds = [e[0] for e in obs.events]
+        assert kinds[0] == "start"
+        assert kinds[-1] == "finish"
+        assert kinds.count("pack") == 3
+        assert kinds.count("depart") == 3
+
+    def test_open_precedes_pack_for_new_bins(self, tiny_instance):
+        obs = RecordingObserver()
+        simulate(FirstFit(), tiny_instance, observers=[obs])
+        seen_open = set()
+        for e in obs.events:
+            if e[0] == "open":
+                seen_open.add(e[1])
+            if e[0] == "pack" and e[4]:  # opened_new
+                assert e[1] in seen_open
+
+    def test_departures_report_closure(self):
+        inst = Instance([Item(0, 1, np.array([0.5]), 0)])
+        obs = RecordingObserver()
+        simulate(FirstFit(), inst, observers=[obs])
+        departs = [e for e in obs.events if e[0] == "depart"]
+        assert departs == [("depart", 0, 0, 1.0, True)]
+
+
+class TestEngineContracts:
+    def test_double_open_rejected(self, tiny_instance):
+        class DoubleOpener(AnyFitAlgorithm):
+            name = "double_opener"
+
+            def choose(self, item, candidates, now):
+                return candidates[0]
+
+            def dispatch(self, item, now, open_new_bin):
+                open_new_bin()
+                return open_new_bin()  # second open must raise
+
+        with pytest.raises(AlgorithmError):
+            simulate(DoubleOpener(), tiny_instance)
+
+    def test_unoffered_bin_rejected(self, tiny_instance):
+        from repro.core.bins import Bin
+
+        class Rogue(AnyFitAlgorithm):
+            name = "rogue"
+
+            def choose(self, item, candidates, now):
+                # returns a bin that was never offered
+                return Bin(np.ones(1), index=99, opened_at=now)
+
+        with pytest.raises(AlgorithmError):
+            simulate(Rogue(), tiny_instance)
+
+    def test_dispatch_before_start_rejected(self, tiny_instance):
+        algo = FirstFit()
+        with pytest.raises(AlgorithmError):
+            algo.dispatch(tiny_instance[0], 0.0, lambda: None)
+
+    def test_irrevocability(self, uniform_small):
+        """Once packed, an item's bin never changes (engine guarantees it
+        structurally; assert the assignment maps each uid exactly once)."""
+        packing = simulate(FirstFit(), uniform_small)
+        seen = {}
+        for rec in packing.bins:
+            for uid in rec.item_uids:
+                assert uid not in seen, f"item {uid} appears in two bins"
+                seen[uid] = rec.index
+        assert seen == dict(packing.assignment)

@@ -1,0 +1,160 @@
+"""Tests for the experiment drivers (tables and figures)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.experiments.config import FULL, QUICK, SMOKE, ExperimentConfig
+from repro.experiments.figure4 import render_figure4, run_figure4
+from repro.experiments.figures123 import run_figure1, run_figure2, run_figure3
+from repro.experiments.table1 import (
+    render_table1,
+    render_table1_bounds,
+    run_table1,
+)
+from repro.experiments.table2 import render_table2
+
+
+class TestConfig:
+    def test_full_matches_paper(self):
+        assert FULL.d_values == (1, 2, 5)
+        assert FULL.mu_values == (1, 2, 5, 10, 100, 200)
+        assert FULL.n == 1000 and FULL.T == 1000 and FULL.B == 100 and FULL.m == 1000
+
+    def test_quick_same_grid(self):
+        assert QUICK.d_values == FULL.d_values
+        assert QUICK.mu_values == FULL.mu_values
+
+    def test_scaled(self):
+        cfg = FULL.scaled(n=50, m=3)
+        assert cfg.n == 50 and cfg.m == 3 and cfg.d_values == FULL.d_values
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(d_values=())
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(mu_values=(0,))
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(mu_values=(2000,), T=1000)
+
+
+class TestTable2:
+    def test_full_render_contains_paper_values(self):
+        out = render_table2()
+        assert "{1, 2, 5}" in out
+        assert "n = 1000" in out
+        assert "B = 100" in out
+
+    def test_scaled_render_self_describing(self):
+        out = render_table2(SMOKE)
+        assert "n = 100" in out and "m = 5" in out
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_table1(ks=(2, 4), d_values=(1, 2), mu=3.0,
+                          anyfit_algorithms=("move_to_front", "first_fit"))
+
+    def test_rows_cover_all_families(self, rows):
+        families = {r.family for r in rows}
+        assert families == {"thm5_anyfit", "thm6_nextfit", "thm8_mtf", "bf_trap"}
+
+    def test_measured_ratio_below_target(self, rows):
+        for r in rows:
+            assert r.measured_ratio <= r.target_ratio + 1e-6
+
+    def test_measured_ratio_below_theory_upper(self, rows):
+        for r in rows:
+            if not math.isinf(r.theory_upper):
+                assert r.measured_ratio <= r.theory_upper + 1e-6
+
+    def test_fraction_of_target_grows_with_k(self, rows):
+        thm8 = [r for r in rows if r.family == "thm8_mtf" and r.algorithm == "move_to_front"]
+        fracs = [r.fraction_of_target for r in sorted(thm8, key=lambda r: r.k)]
+        assert fracs == sorted(fracs)
+
+    def test_render_contains_all_families(self, rows):
+        out = render_table1(rows)
+        assert "thm5_anyfit" in out and "bf_trap" in out
+
+    def test_render_bounds_table(self):
+        out = render_table1_bounds(mu=5.0, d_values=(1, 2))
+        assert "move_to_front" in out and "unbounded" in out
+
+
+class TestFigures123:
+    def test_figure1_reports_partition_ok(self):
+        out = run_figure1()
+        assert "Figure 1" in out
+        if "Claim 1 check" in out:
+            assert "OK" in out
+
+    def test_figure2_runs(self):
+        out = run_figure2()
+        assert "Figure 2" in out and "span(R)" in out
+
+    def test_figure3_shows_three_phases(self):
+        out = run_figure3(d=2, k=2, mu=3.0)
+        assert "(a)" in out and "(b)" in out and "(c)" in out
+        # phase (c): each of dk bins holds one small R1 item
+        assert "4 open bins" in out
+
+
+class TestFigure4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_figure4(config=SMOKE)
+
+    def test_grid_covered(self, result):
+        assert set(result.cells) == {
+            (d, mu) for d in SMOKE.d_values for mu in SMOKE.mu_values
+        }
+
+    def test_series_lengths(self, result):
+        series = result.series(1)
+        assert all(len(v) == len(SMOKE.mu_values) for v in series.values())
+
+    def test_all_ratios_at_least_one(self, result):
+        for cell in result.cells.values():
+            for st in cell.stats.values():
+                assert st.mean >= 1.0 - 1e-9
+
+    def test_render_contains_panels(self, result):
+        out = render_figure4(result)
+        for d in SMOKE.d_values:
+            assert f"d = {d}" in out
+
+    def test_reproducible(self):
+        a = run_figure4(config=SMOKE)
+        b = run_figure4(config=SMOKE)
+        for key in a.cells:
+            for algo in a.algorithms:
+                assert a.cells[key].stats[algo].mean == pytest.approx(
+                    b.cells[key].stats[algo].mean
+                )
+
+
+class TestFigure4Extras:
+    def test_csv_export_shape(self):
+        from repro.experiments.figure4 import figure4_csv
+
+        result = run_figure4(config=SMOKE)
+        csv = figure4_csv(result)
+        lines = csv.strip().splitlines()
+        expected = 1 + len(SMOKE.d_values) * len(SMOKE.mu_values) * len(result.algorithms)
+        assert len(lines) == expected
+        assert lines[0] == "d,mu,algorithm,mean,std,count"
+        assert all(line.count(",") == 5 for line in lines[1:])
+
+    def test_parallel_matches_serial(self):
+        serial = run_figure4(config=SMOKE, processes=0)
+        parallel = run_figure4(config=SMOKE, processes=2)
+        for key in serial.cells:
+            for algo in serial.algorithms:
+                assert serial.cells[key].stats[algo].mean == pytest.approx(
+                    parallel.cells[key].stats[algo].mean
+                )

@@ -1,0 +1,86 @@
+"""Tests for the Harmonic-style size-classified baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.harmonic import HarmonicFit
+from repro.core.errors import ConfigurationError
+from repro.core.instance import Instance
+from repro.core.items import Item
+from repro.simulation.engine import simulate
+from repro.simulation.runner import run
+from repro.workloads.uniform import UniformWorkload
+
+
+def seq_1d(sizes, horizon=10.0):
+    return Instance(
+        [Item(0.0, horizon, np.array([s]), uid=i) for i, s in enumerate(sizes)]
+    )
+
+
+class TestClassification:
+    def test_valid_packing(self, uniform_small):
+        run(HarmonicFit(), uniform_small, validate=True)
+
+    def test_classes_never_mix(self):
+        # class 1: size in (1/2, 1]; class 2: size in (1/3, 1/2]
+        packing = simulate(HarmonicFit(num_classes=5), seq_1d([0.6, 0.4, 0.6, 0.4]))
+        by_uid = {it.uid: it for it in packing.instance.items}
+        for rec in packing.bins:
+            classes = {int(1.0 / by_uid[u].size[0]) for u in rec.item_uids}
+            assert len(classes) == 1
+
+    def test_class_c_bins_hold_c_items(self):
+        # four 0.25-items (class 4) share one bin
+        packing = simulate(HarmonicFit(), seq_1d([0.25, 0.25, 0.25, 0.25]))
+        assert packing.num_bins == 1
+
+    def test_residual_class_packs_first_fit(self):
+        # with num_classes=2, items of size 0.1 all land in the residual
+        # class and share bins greedily
+        packing = simulate(HarmonicFit(num_classes=2), seq_1d([0.1] * 9))
+        assert packing.num_bins == 1
+
+    def test_big_items_one_per_bin(self):
+        packing = simulate(HarmonicFit(), seq_1d([0.9, 0.8, 0.7]))
+        assert packing.num_bins == 3
+
+    def test_classification_uses_normalised_demand(self):
+        # capacity 100; size 60 is class 1, size 40 class 2
+        inst = Instance(
+            [Item(0, 5, np.array([60.0]), 0), Item(0, 5, np.array([40.0]), 1)],
+            capacity=100.0,
+        )
+        packing = simulate(HarmonicFit(), inst)
+        assert packing.num_bins == 2  # 60+40 would fit, but classes differ
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            HarmonicFit(num_classes=0)
+
+
+class TestBehaviour:
+    def test_registered(self):
+        from repro.algorithms.registry import make_algorithm
+
+        algo = make_algorithm("harmonic_fit", num_classes=3)
+        assert algo.num_classes == 3
+
+    def test_opens_more_bins_than_first_fit(self):
+        """Size classification can only fragment relative to FF."""
+        inst = UniformWorkload(d=2, n=150, mu=10, T=60, B=10).sample_seeded(1)
+        hf = run(HarmonicFit(), inst)
+        ff = run("first_fit", inst)
+        assert hf.num_bins >= ff.num_bins
+
+    def test_multi_dim_classifies_by_max_demand(self):
+        inst = Instance(
+            [
+                Item(0, 5, np.array([0.6, 0.1]), 0),  # class 1 (max 0.6)
+                Item(0, 5, np.array([0.1, 0.3]), 1),  # class 3 (max 0.3)
+            ]
+        )
+        packing = simulate(HarmonicFit(), inst)
+        assert packing.num_bins == 2

@@ -1,0 +1,163 @@
+"""Unit tests for repro.core.instance."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import InvalidInstanceError, InvalidItemError
+from repro.core.instance import Instance
+from repro.core.intervals import Interval
+from repro.core.items import Item
+
+
+def inst_1d(*triples):
+    return Instance.from_tuples([(a, e, [s]) for a, e, s in triples])
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            Instance([])
+
+    def test_mixed_dimensions_rejected(self):
+        items = [Item(0, 1, np.array([0.5]), 0), Item(0, 1, np.array([0.5, 0.5]), 1)]
+        with pytest.raises(InvalidInstanceError):
+            Instance(items)
+
+    def test_oversized_item_rejected(self):
+        with pytest.raises(InvalidItemError):
+            Instance([Item(0, 1, np.array([1.5]), 0)])
+
+    def test_oversized_vs_explicit_capacity(self):
+        # size 1.5 is fine under capacity 2
+        Instance([Item(0, 1, np.array([1.5]), 0)], capacity=2.0)
+
+    def test_scalar_capacity_broadcast(self):
+        inst = Instance([Item(0, 1, np.array([1.0, 1.0]), 0)], capacity=2.0)
+        assert np.allclose(inst.capacity, [2.0, 2.0])
+
+    def test_capacity_dim_mismatch_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            Instance([Item(0, 1, np.array([0.5, 0.5]), 0)], capacity=[1.0, 1.0, 1.0])
+
+    def test_nonpositive_capacity_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            Instance([Item(0, 1, np.array([0.0]), 0)], capacity=[0.0])
+
+    def test_arrival_order_enforced(self):
+        items = [Item(5, 6, np.array([0.1]), 0), Item(0, 1, np.array([0.1]), 1)]
+        with pytest.raises(InvalidInstanceError):
+            Instance(items)
+
+    def test_from_tuples_sorts_and_assigns_uids(self):
+        inst = Instance.from_tuples([(5, 6, 0.1), (0, 1, 0.2), (0, 2, 0.3)])
+        assert [it.uid for it in inst] == [0, 1, 2]
+        assert [it.arrival for it in inst] == [0, 0, 5]
+
+    def test_from_tuples_stable_at_ties(self):
+        inst = Instance.from_tuples([(0, 1, 0.2), (0, 2, 0.3)])
+        assert inst[0].size[0] == 0.2  # original order preserved
+
+    def test_len_iter_getitem(self):
+        inst = inst_1d((0, 1, 0.1), (0, 2, 0.2))
+        assert len(inst) == 2
+        assert inst[1].duration == 2.0
+        assert sum(1 for _ in inst) == 2
+
+
+class TestPaperQuantities:
+    def test_mu(self):
+        inst = inst_1d((0, 1, 0.1), (0, 5, 0.1))
+        assert inst.mu == 5.0
+
+    def test_mu_unit_when_equal_durations(self):
+        inst = inst_1d((0, 2, 0.1), (1, 3, 0.1))
+        assert inst.mu == 1.0
+
+    def test_span_contiguous(self):
+        inst = inst_1d((0, 2, 0.1), (1, 4, 0.1))
+        assert inst.span == 4.0
+
+    def test_span_with_gap(self):
+        inst = inst_1d((0, 1, 0.1), (5, 7, 0.1))
+        assert inst.span == 3.0
+
+    def test_horizon(self):
+        inst = inst_1d((1, 2, 0.1), (5, 7, 0.1))
+        assert inst.horizon == Interval(1, 7)
+
+    def test_total_utilization(self):
+        inst = Instance(
+            [Item(0, 2, np.array([0.5, 0.2]), 0), Item(0, 3, np.array([0.1, 0.4]), 1)]
+        )
+        assert inst.total_utilization() == pytest.approx(0.5 * 2 + 0.4 * 3)
+
+    def test_active_at_and_load_at(self):
+        inst = inst_1d((0, 2, 0.3), (1, 4, 0.4))
+        assert len(inst.active_at(0.5)) == 1
+        assert len(inst.active_at(1.5)) == 2
+        assert inst.load_at(1.5)[0] == pytest.approx(0.7)
+        assert inst.load_at(2.0)[0] == pytest.approx(0.4)  # half-open
+
+    def test_event_times(self):
+        inst = inst_1d((0, 2, 0.1), (1, 2, 0.1))
+        assert inst.event_times() == [0, 1, 2]
+
+    def test_active_components(self):
+        inst = inst_1d((0, 1, 0.1), (3, 4, 0.1))
+        assert inst.active_components() == [Interval(0, 1), Interval(3, 4)]
+
+
+class TestTransforms:
+    def test_normalized(self):
+        inst = Instance([Item(0, 1, np.array([50.0, 20.0]), 0)], capacity=[100.0, 40.0])
+        norm = inst.normalized()
+        assert np.allclose(norm.capacity, 1.0)
+        assert np.allclose(norm[0].size, [0.5, 0.5])
+
+    def test_normalized_noop_when_unit(self):
+        inst = inst_1d((0, 1, 0.5))
+        assert inst.normalized() is inst
+
+    def test_restricted_to(self):
+        inst = inst_1d((0, 1, 0.1), (5, 7, 0.1))
+        sub = inst.restricted_to(Interval(4, 6))
+        assert len(sub) == 1 and sub[0].arrival == 5
+
+    def test_restricted_to_empty_raises(self):
+        inst = inst_1d((0, 1, 0.1))
+        with pytest.raises(InvalidInstanceError):
+            inst.restricted_to(Interval(10, 12))
+
+    def test_concatenated(self):
+        a = inst_1d((0, 1, 0.1))
+        b = inst_1d((2, 3, 0.2))
+        both = a.concatenated(b)
+        assert len(both) == 2
+        assert [it.uid for it in both] == [0, 1]
+
+    def test_concatenated_capacity_mismatch(self):
+        a = inst_1d((0, 1, 0.1))
+        b = Instance([Item(0, 1, np.array([0.1]), 0)], capacity=2.0)
+        with pytest.raises(InvalidInstanceError):
+            a.concatenated(b)
+
+
+class TestSerialisation:
+    def test_roundtrip_dict(self):
+        inst = Instance(
+            [Item(0, 2, np.array([0.5, 0.2]), 0), Item(1, 3, np.array([0.1, 0.4]), 1)],
+            name="demo",
+        )
+        back = Instance.from_dict(inst.to_dict())
+        assert back.name == "demo"
+        assert len(back) == 2
+        assert np.allclose(back[0].size, inst[0].size)
+        assert back[1].departure == 3
+
+    def test_roundtrip_json(self):
+        inst = inst_1d((0, 2, 0.5), (1, 3, 0.25))
+        back = Instance.from_json(inst.to_json())
+        assert back.span == inst.span
+        assert back.mu == inst.mu

@@ -1,0 +1,146 @@
+"""Tests for the analysis observers (Figures 1-3 instrumentation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.first_fit import FirstFit
+from repro.algorithms.move_to_front import MoveToFront
+from repro.core.instance import Instance
+from repro.core.intervals import Interval, intervals_partition, union_length
+from repro.core.items import Item
+from repro.simulation.engine import Engine
+from repro.simulation.instrumentation import (
+    LeaderTracker,
+    LoadSnapshotter,
+    UsagePeriodTracker,
+)
+from repro.workloads.uniform import UniformWorkload
+
+
+@pytest.fixture
+def mf_run(uniform_small):
+    tracker = LeaderTracker()
+    packing = Engine(uniform_small, MoveToFront(), observers=[tracker]).run()
+    return tracker, packing
+
+
+class TestLeaderTracker:
+    def test_requires_move_to_front(self, uniform_small):
+        tracker = LeaderTracker()
+        with pytest.raises(TypeError):
+            Engine(uniform_small, FirstFit(), observers=[tracker]).run()
+
+    def test_leading_intervals_are_disjoint(self, mf_run):
+        tracker, _ = mf_run
+        all_leading = sorted(
+            (iv for ivs in tracker.leading_intervals().values() for iv in ivs),
+            key=lambda iv: iv.start,
+        )
+        for a, b in zip(all_leading, all_leading[1:]):
+            assert a.end <= b.start + 1e-9
+
+    def test_leading_intervals_cover_span(self, mf_run):
+        """Claim 1's structural fact: leading intervals tile the active
+        time exactly (total length == span)."""
+        tracker, packing = mf_run
+        total = sum(
+            iv.length for ivs in tracker.leading_intervals().values() for iv in ivs
+        )
+        assert total == pytest.approx(packing.instance.span, rel=1e-9)
+
+    def test_leading_intervals_start_within_usage(self, mf_run):
+        # a bin becomes leader at opening, but that leading period can be
+        # zero-length (another same-instant arrival takes over), so the
+        # first *non-empty* leading interval starts at or after opening
+        tracker, packing = mf_run
+        leading = tracker.leading_intervals()
+        for rec in packing.bins:
+            for iv in leading.get(rec.index, []):
+                assert iv.start >= rec.opened_at - 1e-9
+                assert iv.end <= rec.closed_at + 1e-9
+
+    def test_decomposition_sums_to_cost(self, mf_run):
+        """leading + non-leading lengths == total usage time (Eq. 3)."""
+        tracker, packing = mf_run
+        leading = tracker.leading_intervals()
+        non_leading = tracker.non_leading_intervals()
+        total = 0.0
+        for rec in packing.bins:
+            total += sum(iv.length for iv in leading.get(rec.index, []))
+            total += sum(iv.length for iv in non_leading.get(rec.index, []))
+        assert total == pytest.approx(packing.cost, rel=1e-9)
+
+    def test_non_leading_within_usage(self, mf_run):
+        tracker, _ = mf_run
+        usage = tracker.usage_periods()
+        for index, gaps in tracker.non_leading_intervals().items():
+            for gap in gaps:
+                assert usage[index].start - 1e-9 <= gap.start
+                assert gap.end <= usage[index].end + 1e-9
+
+    def test_timeline_is_contiguous(self, mf_run):
+        tracker, _ = mf_run
+        timeline = tracker.leader_timeline()
+        for (iv_a, _), (iv_b, _) in zip(timeline, timeline[1:]):
+            assert iv_a.end == pytest.approx(iv_b.start)
+
+
+class TestUsagePeriodTracker:
+    def test_periods_in_opening_order(self, uniform_small):
+        tracker = UsagePeriodTracker()
+        Engine(uniform_small, FirstFit(), observers=[tracker]).run()
+        starts = [iv.start for iv in tracker.usage_periods()]
+        assert starts == sorted(starts)
+
+    def test_decomposition_partitions_each_period(self, uniform_small):
+        tracker = UsagePeriodTracker()
+        Engine(uniform_small, FirstFit(), observers=[tracker]).run()
+        for iv, (p, q) in zip(tracker.usage_periods(), tracker.decomposition()):
+            assert p.length + q.length == pytest.approx(iv.length)
+            assert p.start == iv.start
+            assert q.end == iv.end
+
+    def test_q_lengths_sum_to_span_single_component(self):
+        """Claim 4: sum of Q_i equals span(R) when activity is contiguous."""
+        inst = UniformWorkload(d=1, n=80, mu=10, T=30, B=5).sample_seeded(11)
+        assert len(inst.active_components()) == 1, "fixture must be contiguous"
+        tracker = UsagePeriodTracker()
+        Engine(inst, FirstFit(), observers=[tracker]).run()
+        q_total = sum(q.length for _, q in tracker.decomposition())
+        assert q_total == pytest.approx(inst.span, rel=1e-9)
+
+    def test_first_bin_has_empty_p(self, uniform_small):
+        tracker = UsagePeriodTracker()
+        Engine(uniform_small, FirstFit(), observers=[tracker]).run()
+        p0, _ = tracker.decomposition()[0]
+        assert p0.empty
+
+
+class TestLoadSnapshotter:
+    def test_snapshot_matches_instance_load(self, uniform_small):
+        t = uniform_small.horizon.start + uniform_small.horizon.length / 2
+        snap = LoadSnapshotter([t])
+        Engine(uniform_small, FirstFit(), observers=[snap]).run()
+        total = sum(
+            (v for v in snap.snapshots[t].values()), np.zeros(uniform_small.d)
+        )
+        assert np.allclose(total, uniform_small.load_at(t))
+
+    def test_half_open_departure_excluded(self):
+        inst = Instance([Item(0, 1, np.array([0.5]), 0)])
+        snap = LoadSnapshotter([0.5, 1.0])
+        Engine(inst, FirstFit(), observers=[snap]).run()
+        assert 0 in snap.snapshots[0.5]
+        assert snap.snapshots[1.0] == {}
+
+    def test_loads_within_capacity(self, uniform_small):
+        times = np.linspace(
+            uniform_small.horizon.start, uniform_small.horizon.end, 7
+        )
+        snap = LoadSnapshotter(list(times))
+        Engine(uniform_small, FirstFit(), observers=[snap]).run()
+        for t, loads in snap.snapshots.items():
+            for load in loads.values():
+                assert np.all(load <= uniform_small.capacity + 1e-6)

@@ -1,0 +1,133 @@
+"""Integration tests: end-to-end reproduction of the paper's qualitative
+claims at reduced scale.
+
+These are the "shape" assertions of DESIGN.md §3: who wins, who degrades
+with μ, where variance concentrates.  Scales are chosen so each test runs
+in a few seconds while the rankings are already stable.  Two Figure 4
+claims do not reproduce verbatim in this regime and are asserted in the
+form that does hold (see EXPERIMENTS.md, "Deviations"): Worst Fit is the
+worst *full-list* policy (Next Fit sits below it in our runs), and at the
+largest μ Best Fit ties Move To Front within noise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.registry import PAPER_ALGORITHMS
+from repro.analysis.sweep import sweep_cell
+from repro.workloads.base import generate_batch
+from repro.workloads.trace import CloudTraceWorkload
+from repro.workloads.uniform import UniformWorkload
+
+
+def run_cell(d: int, mu: int, n: int = 1000, m: int = 8, seed: int = 0):
+    gen = UniformWorkload(d=d, n=n, mu=mu, T=1000, B=100)
+    instances = generate_batch(gen, m, seed=seed)
+    return sweep_cell(PAPER_ALGORITHMS, instances, params={"d": d, "mu": mu})
+
+
+@pytest.fixture(scope="module")
+def cell_d2_mu10():
+    return run_cell(d=2, mu=10)
+
+
+@pytest.fixture(scope="module")
+def cell_d2_mu100():
+    return run_cell(d=2, mu=100)
+
+
+@pytest.fixture(scope="module")
+def trace_cell():
+    rng = np.random.default_rng(777)
+    gen = CloudTraceWorkload(days=2, base_rate=5.0)
+    instances = [gen.sample(rng) for _ in range(4)]
+    return sweep_cell(PAPER_ALGORITHMS, instances)
+
+
+class TestSection7Claims:
+    def test_move_to_front_leads_the_pack(self, cell_d2_mu10):
+        """'Move To Front has the best average-case performance': MF is
+        within a hair of the best mean and strictly beats FF, NF, WF and
+        RF."""
+        best = cell_d2_mu10.stats[cell_d2_mu10.ranking()[0]].mean
+        mf = cell_d2_mu10.mean("move_to_front")
+        assert mf <= best * 1.003
+        for rival in ("first_fit", "next_fit", "worst_fit", "random_fit"):
+            assert mf < cell_d2_mu10.mean(rival)
+
+    def test_first_fit_and_best_fit_close(self, cell_d2_mu10):
+        """'First Fit and Best Fit ... have nearly identical performance.'"""
+        ff = cell_d2_mu10.mean("first_fit")
+        bf = cell_d2_mu10.mean("best_fit")
+        assert abs(ff - bf) / ff < 0.05
+
+    def test_next_fit_worst_at_large_mu(self, cell_d2_mu100):
+        """Next Fit's poor alignment dominates at long durations."""
+        assert cell_d2_mu100.ranking()[-1] == "next_fit"
+
+    def test_next_fit_degrades_with_mu(self, cell_d2_mu10, cell_d2_mu100):
+        """'The performance of Next Fit degrad[es] with higher values of
+        mu' - relative to Move To Front, NF gets worse as mu grows."""
+        gap10 = cell_d2_mu10.mean("next_fit") / cell_d2_mu10.mean("move_to_front")
+        gap100 = cell_d2_mu100.mean("next_fit") / cell_d2_mu100.mean("move_to_front")
+        assert gap100 > gap10
+
+    def test_next_fit_highest_variance_at_large_mu(self, cell_d2_mu100):
+        """MF/FF/BF are the stable policies; NF's std dominates theirs."""
+        nf_std = cell_d2_mu100.stats["next_fit"].std
+        for stable in ("move_to_front", "first_fit", "best_fit"):
+            assert cell_d2_mu100.stats[stable].std < nf_std
+
+    def test_all_means_within_theory_upper_bounds(self, cell_d2_mu10):
+        checks = cell_d2_mu10.within_theory(mu=10, d=2)
+        assert checks and all(checks.values())
+
+    def test_ratios_grow_with_dimension(self):
+        """Higher d makes packing harder: mean ratios increase from d=1
+        to d=5 for every algorithm (at fixed mu)."""
+        low = run_cell(d=1, mu=10, n=400, m=6)
+        high = run_cell(d=5, mu=10, n=400, m=6)
+        for algo in PAPER_ALGORITHMS:
+            assert high.mean(algo) >= low.mean(algo) - 0.05
+
+
+class TestCloudTraceClaims:
+    """On the lighter-load, heavy-tailed synthetic VM trace the paper's
+    Worst Fit observation reproduces cleanly."""
+
+    def test_worst_fit_worst_full_list_policy(self, trace_cell):
+        """'As expected, Worst Fit has the worst performance' - among the
+        policies whose list holds every open bin.  (Next Fit sits below
+        even WF in our runs; see EXPERIMENTS.md.)"""
+        full_list = [a for a in PAPER_ALGORITHMS if a != "next_fit"]
+        wf = trace_cell.mean("worst_fit")
+        for algo in full_list:
+            assert trace_cell.mean(algo) <= wf + 1e-9
+
+    def test_next_fit_worst_overall(self, trace_cell):
+        assert trace_cell.ranking()[-1] == "next_fit"
+
+    def test_mf_beats_the_spreaders(self, trace_cell):
+        mf = trace_cell.mean("move_to_front")
+        assert mf < trace_cell.mean("worst_fit")
+        assert mf < trace_cell.mean("next_fit")
+        assert mf < trace_cell.mean("random_fit")
+
+    def test_packing_centric_policies_lead(self, trace_cell):
+        """FF and BF (tight packers) top the trace ranking."""
+        top_two = set(trace_cell.ranking()[:2])
+        assert top_two <= {"best_fit", "first_fit", "move_to_front", "last_fit"}
+
+
+class TestCrossWorkloadSanity:
+    def test_mf_competitive_on_correlated(self, rng):
+        from repro.workloads.correlated import CorrelatedWorkload
+
+        gen = CorrelatedWorkload(d=3, n=300, rho=0.8, mu=20, T=300,
+                                 min_size=0.05, max_size=0.7)
+        instances = [gen.sample(rng) for _ in range(4)]
+        cell = sweep_cell(PAPER_ALGORITHMS, instances)
+        best = cell.stats[cell.ranking()[0]].mean
+        assert cell.mean("move_to_front") <= 1.1 * best

@@ -1,0 +1,155 @@
+"""Unit tests for repro.core.intervals."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.intervals import (
+    Interval,
+    breakpoints,
+    intervals_partition,
+    merge_intervals,
+    total_span,
+    union_length,
+)
+
+
+def ivs(*pairs):
+    return [Interval(a, b) for a, b in pairs]
+
+
+class TestInterval:
+    def test_length(self):
+        assert Interval(1.0, 3.5).length == 2.5
+
+    def test_empty_interval_zero_length(self):
+        assert Interval(2.0, 2.0).length == 0.0
+        assert Interval(3.0, 2.0).length == 0.0
+
+    def test_empty_flag(self):
+        assert Interval(2.0, 2.0).empty
+        assert not Interval(2.0, 2.1).empty
+
+    def test_contains_half_open(self):
+        iv = Interval(1.0, 2.0)
+        assert iv.contains(1.0)
+        assert iv.contains(1.999)
+        assert not iv.contains(2.0)
+        assert not iv.contains(0.999)
+
+    def test_overlaps(self):
+        assert Interval(0, 2).overlaps(Interval(1, 3))
+        assert not Interval(0, 2).overlaps(Interval(2, 3))  # half-open abut
+        assert not Interval(0, 1).overlaps(Interval(2, 3))
+
+    def test_intersection(self):
+        got = Interval(0, 5).intersection(Interval(3, 8))
+        assert got == Interval(3, 5)
+
+    def test_intersection_empty(self):
+        assert Interval(0, 1).intersection(Interval(2, 3)).empty
+
+    def test_shift(self):
+        assert Interval(1, 2).shift(3) == Interval(4, 5)
+
+    def test_ordering(self):
+        assert Interval(0, 5) < Interval(1, 2)
+
+
+class TestMerge:
+    def test_disjoint_preserved(self):
+        out = merge_intervals(ivs((0, 1), (2, 3)))
+        assert out == ivs((0, 1), (2, 3))
+
+    def test_overlapping_merged(self):
+        out = merge_intervals(ivs((0, 2), (1, 3)))
+        assert out == ivs((0, 3))
+
+    def test_abutting_merged(self):
+        out = merge_intervals(ivs((0, 1), (1, 2)))
+        assert out == ivs((0, 2))
+
+    def test_nested_merged(self):
+        out = merge_intervals(ivs((0, 10), (2, 3)))
+        assert out == ivs((0, 10))
+
+    def test_unsorted_input(self):
+        out = merge_intervals(ivs((5, 6), (0, 1), (0.5, 5.5)))
+        assert out == ivs((0, 6))
+
+    def test_empty_dropped(self):
+        out = merge_intervals(ivs((1, 1), (2, 3)))
+        assert out == ivs((2, 3))
+
+    def test_empty_input(self):
+        assert merge_intervals([]) == []
+
+
+class TestUnionLength:
+    def test_single(self):
+        assert union_length(ivs((0, 4))) == 4.0
+
+    def test_overlap_counted_once(self):
+        assert union_length(ivs((0, 2), (1, 3))) == 3.0
+
+    def test_gap_not_counted(self):
+        assert union_length(ivs((0, 1), (3, 5))) == 3.0
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(0, 100), st.floats(0, 100)).map(
+                lambda t: Interval(min(t), max(t))
+            ),
+            max_size=12,
+        )
+    )
+    @settings(max_examples=100)
+    def test_union_at_most_sum_and_at_least_max(self, intervals):
+        u = union_length(intervals)
+        total = sum(iv.length for iv in intervals)
+        longest = max((iv.length for iv in intervals), default=0.0)
+        assert u <= total + 1e-9
+        assert u >= longest - 1e-9
+
+
+class TestTotalSpan:
+    def test_hull(self):
+        assert total_span(ivs((1, 2), (5, 9))) == Interval(1, 9)
+
+    def test_empty_family(self):
+        assert total_span([]).empty
+
+
+class TestPartitionCheck:
+    def test_exact_partition(self):
+        whole = Interval(0, 10)
+        assert intervals_partition(ivs((0, 4), (4, 7), (7, 10)), whole)
+
+    def test_gap_detected(self):
+        assert not intervals_partition(ivs((0, 4), (5, 10)), Interval(0, 10))
+
+    def test_overlap_detected(self):
+        assert not intervals_partition(ivs((0, 6), (5, 10)), Interval(0, 10))
+
+    def test_wrong_extent_detected(self):
+        assert not intervals_partition(ivs((0, 4), (4, 9)), Interval(0, 10))
+
+    def test_empty_pieces_ignored(self):
+        assert intervals_partition(ivs((0, 5), (5, 5), (5, 10)), Interval(0, 10))
+
+    def test_empty_whole_needs_no_pieces(self):
+        assert intervals_partition([], Interval(3, 3))
+        assert not intervals_partition(ivs((0, 1)), Interval(3, 3))
+
+
+class TestBreakpoints:
+    def test_basic(self):
+        assert breakpoints(ivs((0, 2), (1, 5))) == [0, 1, 2, 5]
+
+    def test_duplicates_collapsed(self):
+        assert breakpoints(ivs((0, 2), (0, 2))) == [0, 2]
+
+    def test_empty_intervals_skipped(self):
+        assert breakpoints(ivs((1, 1))) == []

@@ -1,0 +1,81 @@
+"""Tests for result persistence (analysis.io)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.io import SCHEMA_VERSION, load_cells, save_cells
+from repro.analysis.sweep import sweep_cell
+from repro.core.errors import ConfigurationError
+from repro.workloads.base import generate_batch
+from repro.workloads.uniform import UniformWorkload
+
+
+@pytest.fixture(scope="module")
+def cells():
+    gen = UniformWorkload(d=2, n=40, mu=5, T=30, B=10)
+    instances = generate_batch(gen, 4, seed=0)
+    return [
+        sweep_cell(["move_to_front", "first_fit"], instances, params={"d": 2, "mu": 5})
+    ]
+
+
+class TestRoundTrip:
+    def test_stats_preserved(self, cells, tmp_path):
+        path = str(tmp_path / "out.json")
+        save_cells(cells, path)
+        loaded = load_cells(path)
+        assert len(loaded) == 1
+        for algo in ("move_to_front", "first_fit"):
+            orig = cells[0].stats[algo]
+            back = loaded[0].stats[algo]
+            assert back.mean == pytest.approx(orig.mean)
+            assert back.std == pytest.approx(orig.std)
+            assert back.count == orig.count
+
+    def test_params_preserved(self, cells, tmp_path):
+        path = str(tmp_path / "out.json")
+        save_cells(cells, path)
+        assert load_cells(path)[0].params == {"d": 2, "mu": 5}
+
+    def test_raw_ratios_preserved(self, cells, tmp_path):
+        path = str(tmp_path / "out.json")
+        save_cells(cells, path, include_raw=True)
+        loaded = load_cells(path)
+        assert loaded[0].ratios["move_to_front"] == pytest.approx(
+            cells[0].ratios["move_to_front"]
+        )
+
+    def test_raw_ratios_omittable(self, cells, tmp_path):
+        path = str(tmp_path / "out.json")
+        save_cells(cells, path, include_raw=False)
+        assert load_cells(path)[0].ratios == {}
+
+    def test_parent_dirs_created(self, cells, tmp_path):
+        path = str(tmp_path / "a" / "b" / "out.json")
+        save_cells(cells, path)
+        assert load_cells(path)
+
+
+class TestSchema:
+    def test_schema_header_written(self, cells, tmp_path):
+        path = str(tmp_path / "out.json")
+        save_cells(cells, path)
+        with open(path) as fh:
+            payload = json.load(fh)
+        assert payload["schema"] == SCHEMA_VERSION
+
+    def test_unknown_schema_rejected(self, tmp_path):
+        path = str(tmp_path / "bad.json")
+        with open(path, "w") as fh:
+            json.dump({"schema": 999, "cells": []}, fh)
+        with pytest.raises(ConfigurationError):
+            load_cells(path)
+
+    def test_file_is_human_readable(self, cells, tmp_path):
+        path = str(tmp_path / "out.json")
+        save_cells(cells, path)
+        text = open(path).read()
+        assert "move_to_front" in text and "\n" in text

@@ -1,0 +1,129 @@
+"""Unit tests for repro.core.items."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import InvalidItemError
+from repro.core.intervals import Interval
+from repro.core.items import Item, make_item
+
+
+class TestValidation:
+    def test_basic_construction(self):
+        it = Item(1.0, 3.0, np.array([0.5, 0.2]), uid=7)
+        assert it.arrival == 1.0
+        assert it.departure == 3.0
+        assert it.uid == 7
+
+    def test_scalar_size_promoted(self):
+        assert Item(0.0, 1.0, 0.5).d == 1
+
+    def test_departure_must_exceed_arrival(self):
+        with pytest.raises(InvalidItemError):
+            Item(2.0, 2.0, np.array([0.1]))
+
+    def test_departure_before_arrival_rejected(self):
+        with pytest.raises(InvalidItemError):
+            Item(2.0, 1.0, np.array([0.1]))
+
+    def test_negative_arrival_rejected(self):
+        with pytest.raises(InvalidItemError):
+            Item(-0.5, 1.0, np.array([0.1]))
+
+    def test_nonfinite_times_rejected(self):
+        with pytest.raises(InvalidItemError):
+            Item(0.0, np.inf, np.array([0.1]))
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(InvalidItemError):
+            Item(0.0, 1.0, np.array([-0.1]))
+
+    def test_size_is_frozen(self):
+        it = Item(0.0, 1.0, np.array([0.5]))
+        with pytest.raises(ValueError):
+            it.size[0] = 0.9
+
+
+class TestDerived:
+    def test_duration(self):
+        assert Item(1.0, 4.5, 0.1).duration == 3.5
+
+    def test_interval(self):
+        assert Item(1.0, 4.0, 0.1).interval == Interval(1.0, 4.0)
+
+    def test_max_demand(self):
+        assert Item(0.0, 1.0, np.array([0.2, 0.9, 0.4])).max_demand == 0.9
+
+    def test_utilization(self):
+        it = Item(0.0, 3.0, np.array([0.2, 0.5]))
+        assert it.utilization == pytest.approx(1.5)
+
+    def test_active_at_half_open(self):
+        it = Item(1.0, 2.0, 0.1)
+        assert it.active_at(1.0)
+        assert it.active_at(1.5)
+        assert not it.active_at(2.0)
+        assert not it.active_at(0.9)
+
+    def test_d(self):
+        assert Item(0.0, 1.0, np.array([0.1, 0.2, 0.3])).d == 3
+
+
+class TestTransforms:
+    def test_scaled_scalar(self):
+        it = Item(0.0, 1.0, np.array([0.4, 0.8]), uid=3)
+        scaled = it.scaled(0.5)
+        assert np.allclose(scaled.size, [0.2, 0.4])
+        assert scaled.uid == 3
+
+    def test_scaled_vector(self):
+        it = Item(0.0, 1.0, np.array([10.0, 20.0]))
+        scaled = it.scaled(np.array([0.1, 0.01]))
+        assert np.allclose(scaled.size, [1.0, 0.2])
+
+    def test_shifted(self):
+        it = Item(1.0, 2.0, 0.1)
+        sh = it.shifted(3.0)
+        assert sh.arrival == 4.0 and sh.departure == 5.0
+
+    def test_with_uid(self):
+        assert Item(0.0, 1.0, 0.1, uid=1).with_uid(9).uid == 9
+
+    def test_with_departure(self):
+        it = Item(0.0, 1.0, 0.1).with_departure(5.0)
+        assert it.duration == 5.0
+
+
+class TestEqualityHash:
+    def test_equal_items(self):
+        a = Item(0.0, 1.0, np.array([0.5]), uid=1)
+        b = Item(0.0, 1.0, np.array([0.5]), uid=1)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_uid_distinguishes(self):
+        a = Item(0.0, 1.0, np.array([0.5]), uid=1)
+        b = Item(0.0, 1.0, np.array([0.5]), uid=2)
+        assert a != b
+
+    def test_size_distinguishes(self):
+        a = Item(0.0, 1.0, np.array([0.5]), uid=1)
+        b = Item(0.0, 1.0, np.array([0.6]), uid=1)
+        assert a != b
+
+    def test_usable_in_sets(self):
+        a = Item(0.0, 1.0, np.array([0.5]), uid=1)
+        b = Item(0.0, 1.0, np.array([0.5]), uid=1)
+        assert len({a, b}) == 1
+
+
+class TestMakeItem:
+    def test_from_duration(self):
+        it = make_item(2.0, 3.0, 0.5, uid=4)
+        assert it.departure == 5.0 and it.uid == 4
+
+    def test_nonpositive_duration_rejected(self):
+        with pytest.raises(InvalidItemError):
+            make_item(0.0, 0.0, 0.5)

@@ -1,0 +1,87 @@
+"""Tests for simulation metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.first_fit import FirstFit
+from repro.core.instance import Instance
+from repro.core.items import Item
+from repro.simulation.engine import simulate
+from repro.simulation.metrics import (
+    compute_metrics,
+    cost_breakdown_by_bin,
+    open_bins_timeline,
+)
+
+
+@pytest.fixture
+def packing(tiny_instance):
+    return simulate(FirstFit(), tiny_instance)
+
+
+class TestTimeline:
+    def test_segments_tile_horizon(self, packing):
+        segments = open_bins_timeline(packing)
+        assert segments[0][0].start == packing.instance.horizon.start
+        assert segments[-1][0].end == packing.instance.horizon.end
+        for (a, _), (b, _) in zip(segments, segments[1:]):
+            assert a.end == pytest.approx(b.start)
+
+    def test_counts_match_bins_open_at(self, packing):
+        for iv, count in open_bins_timeline(packing):
+            mid = (iv.start + iv.end) / 2
+            assert count == packing.bins_open_at(mid)
+
+    def test_integral_of_timeline_equals_cost(self, packing):
+        total = sum(iv.length * count for iv, count in open_bins_timeline(packing))
+        assert total == pytest.approx(packing.cost)
+
+    def test_zero_count_segment_in_gap(self):
+        inst = Instance(
+            [Item(0, 1, np.array([0.5]), 0), Item(3, 4, np.array([0.5]), 1)]
+        )
+        p = simulate(FirstFit(), inst)
+        counts = {(iv.start, iv.end): c for iv, c in open_bins_timeline(p)}
+        assert counts[(1.0, 3.0)] == 0
+
+
+class TestBreakdown:
+    def test_sums_to_cost(self, packing):
+        assert sum(cost_breakdown_by_bin(packing).values()) == pytest.approx(
+            packing.cost
+        )
+
+    def test_keys_are_bin_indices(self, packing):
+        assert set(cost_breakdown_by_bin(packing)) == {
+            r.index for r in packing.bins
+        }
+
+
+class TestComputeMetrics:
+    def test_fields_consistent(self, packing):
+        m = compute_metrics(packing)
+        assert m.cost == pytest.approx(packing.cost)
+        assert m.num_bins == packing.num_bins
+        assert m.span == pytest.approx(packing.instance.span)
+        assert m.max_concurrent == packing.max_concurrent_bins()
+
+    def test_mean_concurrent(self, packing):
+        m = compute_metrics(packing)
+        horizon = packing.instance.horizon.length
+        assert m.mean_concurrent == pytest.approx(packing.cost / horizon)
+
+    def test_mean_bin_lifetime(self, packing):
+        m = compute_metrics(packing)
+        lifetimes = [r.usage_time for r in packing.bins]
+        assert m.mean_bin_lifetime == pytest.approx(np.mean(lifetimes))
+
+    def test_as_dict_keys(self, packing):
+        d = compute_metrics(packing).as_dict()
+        assert "cost" in d and "mean_concurrent" in d
+
+    def test_utilization_bounded(self, uniform_small):
+        p = simulate(FirstFit(), uniform_small)
+        m = compute_metrics(p)
+        assert 0 < m.average_utilization <= 1.0

@@ -1,0 +1,146 @@
+"""Tests for offline static-assignment packing (no repacking)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import SolverLimitError
+from repro.core.instance import Instance
+from repro.core.items import Item
+from repro.optimum.offline_assignment import (
+    assignment_cost,
+    assignment_feasible,
+    exact_assignment,
+    greedy_assignment,
+    local_search,
+)
+from repro.optimum.opt_cost import optimum_cost
+from repro.simulation.runner import run
+from repro.workloads.uniform import UniformWorkload
+
+
+def inst_1d(*triples):
+    return Instance.from_tuples([(a, e, [s]) for a, e, s in triples])
+
+
+class TestCostAndFeasibility:
+    def test_cost_counts_union_not_hull(self):
+        # two disjoint items in one bin: cost is 2, not 4 (idle time free)
+        inst = inst_1d((0, 1, 0.9), (3, 4, 0.9))
+        assert assignment_cost(inst, {0: 0, 1: 0}) == pytest.approx(2.0)
+
+    def test_cost_overlapping_counted_once(self):
+        inst = inst_1d((0, 2, 0.4), (1, 3, 0.4))
+        assert assignment_cost(inst, {0: 0, 1: 0}) == pytest.approx(3.0)
+
+    def test_feasibility_detects_overload(self):
+        inst = inst_1d((0, 2, 0.6), (1, 3, 0.6))
+        assert not assignment_feasible(inst, {0: 0, 1: 0})
+        assert assignment_feasible(inst, {0: 0, 1: 1})
+
+    def test_feasibility_multi_dim(self):
+        inst = Instance(
+            [Item(0, 2, np.array([0.9, 0.1]), 0), Item(0, 2, np.array([0.1, 0.9]), 1)]
+        )
+        assert assignment_feasible(inst, {0: 0, 1: 0})
+
+
+class TestGreedy:
+    def test_valid_packing(self, uniform_small):
+        packing = greedy_assignment(uniform_small)
+        packing.validate()
+
+    def test_duration_awareness_beats_first_fit_trap(self):
+        """On the Theorem 8 family, offline duration-aware greedy avoids
+        pinning bins with long small items next to short large ones."""
+        from repro.workloads.adversarial import theorem8_instance
+
+        adv = theorem8_instance(n=4, mu=10.0)
+        greedy = greedy_assignment(adv.instance)
+        mf = run("move_to_front", adv.instance)
+        assert greedy.cost < mf.cost
+
+    def test_reuses_covered_time_for_free(self):
+        # long item [0, 10); short item [2, 3) of compatible size should
+        # join it (marginal cost 0) rather than open a new bin
+        inst = inst_1d((0, 10, 0.5), (2, 3, 0.4))
+        packing = greedy_assignment(inst)
+        assert packing.num_bins == 1
+        assert packing.cost == pytest.approx(10.0)
+
+    def test_at_least_repack_opt(self):
+        for seed in range(3):
+            inst = UniformWorkload(d=2, n=12, mu=4, T=10, B=4).sample_seeded(seed)
+            packing = greedy_assignment(inst)
+            assert packing.cost >= optimum_cost(inst) - 1e-9
+
+
+class TestLocalSearch:
+    def test_never_worse_than_start(self, uniform_small):
+        start = greedy_assignment(uniform_small)
+        improved = local_search(uniform_small, dict(start.assignment))
+        assert improved.cost <= start.cost + 1e-9
+        improved.validate()
+
+    def test_improves_a_bad_assignment(self):
+        # start from everything-in-own-bin; local search must consolidate
+        inst = inst_1d((0, 2, 0.2), (0, 2, 0.2), (0, 2, 0.2))
+        bad = {0: 0, 1: 1, 2: 2}
+        improved = local_search(inst, bad)
+        assert improved.cost == pytest.approx(2.0)
+        assert improved.num_bins == 1
+
+    def test_default_start_is_greedy(self, uniform_small):
+        packing = local_search(uniform_small)
+        assert packing.cost <= greedy_assignment(uniform_small).cost + 1e-9
+
+    def test_bin_indices_dense(self, uniform_small):
+        packing = local_search(uniform_small)
+        indices = sorted(r.index for r in packing.bins)
+        assert indices == list(range(len(indices)))
+
+
+class TestExact:
+    def test_matches_hand_optimum(self):
+        # three pairwise-compatible items: one bin, cost = union
+        inst = inst_1d((0, 2, 0.3), (1, 3, 0.3), (2, 4, 0.3))
+        packing = exact_assignment(inst)
+        assert packing.cost == pytest.approx(4.0)
+
+    def test_no_repack_at_least_repack_opt(self):
+        for seed in range(4):
+            inst = UniformWorkload(d=2, n=9, mu=3, T=8, B=4).sample_seeded(seed)
+            exact = exact_assignment(inst)
+            assert exact.cost >= optimum_cost(inst) - 1e-9
+
+    def test_at_most_heuristics(self):
+        for seed in range(4):
+            inst = UniformWorkload(d=1, n=9, mu=3, T=8, B=4).sample_seeded(seed)
+            exact = exact_assignment(inst)
+            assert exact.cost <= greedy_assignment(inst).cost + 1e-9
+            assert exact.cost <= local_search(inst).cost + 1e-9
+
+    def test_at_most_every_online_algorithm(self):
+        from repro.algorithms.registry import PAPER_ALGORITHMS, make_algorithm
+
+        inst = UniformWorkload(d=2, n=8, mu=3, T=8, B=4).sample_seeded(7)
+        exact = exact_assignment(inst)
+        for name in PAPER_ALGORITHMS:
+            online = run(make_algorithm(name), inst)
+            assert exact.cost <= online.cost + 1e-9
+
+    def test_node_budget(self):
+        inst = UniformWorkload(d=1, n=18, mu=4, T=10, B=10).sample_seeded(0)
+        with pytest.raises(SolverLimitError):
+            exact_assignment(inst, max_nodes=10)
+
+    def test_repack_gap_exists(self):
+        """The repack-vs-no-repack gap is real: on the 3-staircase
+        instance repacking achieves 6 while any static assignment
+        needs more."""
+        inst = inst_1d((0, 2, 0.6), (1, 3, 0.6), (2, 4, 0.6))
+        repack = optimum_cost(inst)
+        static = exact_assignment(inst).cost
+        assert repack == pytest.approx(6.0)
+        assert static >= repack

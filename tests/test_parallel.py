@@ -1,0 +1,71 @@
+"""Tests for the parallel sweep executor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulation.parallel import parallel_sweep, simulate_unit
+from repro.simulation.runner import run
+from repro.workloads.base import generate_batch
+from repro.workloads.uniform import UniformWorkload
+
+ALGOS = ["move_to_front", "first_fit"]
+
+
+@pytest.fixture(scope="module")
+def batch():
+    gen = UniformWorkload(d=2, n=40, mu=5, T=30, B=10)
+    return generate_batch(gen, 6, seed=0)
+
+
+class TestSerialPath:
+    def test_results_match_direct_runs(self, batch):
+        results = parallel_sweep(ALGOS, batch, processes=0)
+        for name in ALGOS:
+            assert len(results[name]) == len(batch)
+            for res, inst in zip(results[name], batch):
+                direct = run(name, inst)
+                assert res.cost == pytest.approx(direct.cost)
+                assert res.num_bins == direct.num_bins
+
+    def test_ratio_property(self, batch):
+        results = parallel_sweep(ALGOS, batch, processes=0)
+        for res in results["move_to_front"]:
+            assert res.ratio == pytest.approx(res.cost / res.lower_bound)
+            assert res.ratio >= 1.0 - 1e-9
+
+    def test_ordered_by_instance_index(self, batch):
+        results = parallel_sweep(ALGOS, batch, processes=0)
+        for name in ALGOS:
+            indices = [r.instance_index for r in results[name]]
+            assert indices == sorted(indices)
+
+    def test_algorithm_kwargs_forwarded(self, batch):
+        a = parallel_sweep(["random_fit"], batch, processes=0,
+                           algorithm_kwargs={"random_fit": {"seed": 1}})
+        b = parallel_sweep(["random_fit"], batch, processes=0,
+                           algorithm_kwargs={"random_fit": {"seed": 1}})
+        costs_a = [r.cost for r in a["random_fit"]]
+        costs_b = [r.cost for r in b["random_fit"]]
+        assert costs_a == costs_b
+
+
+class TestUnitWorker:
+    def test_unit_is_self_contained(self, batch):
+        from repro.optimum.lower_bounds import height_lower_bound
+
+        inst = batch[0]
+        payload = ("first_fit", {}, 0, inst.to_dict(), height_lower_bound(inst))
+        res = simulate_unit(payload)
+        assert res.algorithm == "first_fit"
+        assert res.cost == pytest.approx(run("first_fit", inst).cost)
+
+
+class TestProcessPath:
+    def test_multiprocess_matches_serial(self, batch):
+        serial = parallel_sweep(ALGOS, batch, processes=0)
+        parallel = parallel_sweep(ALGOS, batch, processes=2)
+        for name in ALGOS:
+            assert [r.cost for r in parallel[name]] == pytest.approx(
+                [r.cost for r in serial[name]]
+            )

@@ -1,0 +1,128 @@
+"""Tests for the learning-augmented (predicted-duration) policies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.clairvoyant import AlignmentBestFit
+from repro.algorithms.predictions import (
+    DurationPredictor,
+    PredictedAlignmentFit,
+    PredictedDurationClassifiedFirstFit,
+)
+from repro.core.errors import ConfigurationError
+from repro.simulation.runner import run
+from repro.workloads.distributions import DirichletSize, ParetoDuration
+from repro.workloads.poisson import PoissonWorkload
+from repro.workloads.uniform import UniformWorkload
+
+
+@pytest.fixture
+def heavy_instance():
+    gen = PoissonWorkload(
+        d=2, rate=20.0, horizon=40,
+        durations=ParetoDuration(alpha=1.2, floor=1, cap=300),
+        sizes=DirichletSize(min_mag=0.1, max_mag=0.8),
+    )
+    return gen.sample_seeded(0)
+
+
+class TestDurationPredictor:
+    def test_zero_sigma_is_exact(self, uniform_small):
+        oracle = DurationPredictor(sigma=0.0)
+        for it in uniform_small.items:
+            assert oracle.predicted_duration(it) == pytest.approx(it.duration)
+
+    def test_predictions_cached_and_stable(self, uniform_small):
+        oracle = DurationPredictor(sigma=1.0, seed=3)
+        it = uniform_small[0]
+        assert oracle.predicted_duration(it) == oracle.predicted_duration(it)
+
+    def test_same_seed_same_predictions(self, uniform_small):
+        a = DurationPredictor(sigma=1.0, seed=3)
+        b = DurationPredictor(sigma=1.0, seed=3)
+        it = uniform_small[0]
+        assert a.predicted_duration(it) == b.predicted_duration(it)
+
+    def test_different_seed_changes_predictions(self, uniform_small):
+        a = DurationPredictor(sigma=1.0, seed=3)
+        b = DurationPredictor(sigma=1.0, seed=4)
+        preds_a = [a.predicted_duration(it) for it in uniform_small.items]
+        preds_b = [b.predicted_duration(it) for it in uniform_small.items]
+        assert preds_a != preds_b
+
+    def test_noise_clipped(self, uniform_small):
+        oracle = DurationPredictor(sigma=5.0, seed=0, min_factor=0.5, max_factor=2.0)
+        for it in uniform_small.items:
+            ratio = oracle.predicted_duration(it) / it.duration
+            assert 0.5 - 1e-9 <= ratio <= 2.0 + 1e-9
+
+    def test_reset_clears_cache(self, uniform_small):
+        oracle = DurationPredictor(sigma=1.0)
+        it = uniform_small[0]
+        oracle.predicted_duration(it)
+        oracle.reset()
+        assert oracle._cache == {}
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DurationPredictor(sigma=-1.0)
+        with pytest.raises(ConfigurationError):
+            DurationPredictor(min_factor=2.0)
+
+
+class TestPredictedAlignmentFit:
+    def test_valid_packing(self, uniform_small):
+        run(PredictedAlignmentFit(), uniform_small, validate=True)
+
+    def test_exact_predictions_match_clairvoyant(self, uniform_small):
+        exact = PredictedAlignmentFit(DurationPredictor(sigma=0.0))
+        clair = AlignmentBestFit()
+        p1 = run(exact, uniform_small)
+        p2 = run(clair, uniform_small)
+        assert p1.assignment == p2.assignment
+
+    def test_noisy_predictions_stay_feasible(self, heavy_instance):
+        noisy = PredictedAlignmentFit(DurationPredictor(sigma=3.0, seed=1))
+        run(noisy, heavy_instance, validate=True)
+
+    def test_cost_degrades_gracefully_with_noise(self, heavy_instance):
+        """More noise should not help (allowing slack for randomness);
+        infinite noise should still be within the worst Any Fit range."""
+        costs = {}
+        for sigma in (0.0, 4.0):
+            algo = PredictedAlignmentFit(DurationPredictor(sigma=sigma, seed=2))
+            costs[sigma] = run(algo, heavy_instance).cost
+        worst_anyfit = run("worst_fit", heavy_instance).cost
+        assert costs[4.0] <= worst_anyfit * 1.2
+        assert costs[0.0] <= costs[4.0] * 1.05  # exact is ~at least as good
+
+    def test_is_any_fit(self, uniform_small):
+        from tests.test_anyfit_property import assert_any_fit_property
+
+        packing = run(PredictedAlignmentFit(), uniform_small)
+        assert_any_fit_property(packing)
+
+
+class TestPredictedClassifiedFF:
+    def test_valid_packing(self, uniform_small):
+        run(PredictedDurationClassifiedFirstFit(), uniform_small, validate=True)
+
+    def test_exact_predictions_match_clairvoyant(self):
+        from repro.algorithms.clairvoyant import DurationClassifiedFirstFit
+
+        inst = UniformWorkload(d=2, n=80, mu=16, T=60, B=10).sample_seeded(4)
+        exact = PredictedDurationClassifiedFirstFit(DurationPredictor(sigma=0.0))
+        clair = DurationClassifiedFirstFit()
+        assert run(exact, inst).assignment == run(clair, inst).assignment
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PredictedDurationClassifiedFirstFit(base=1.0)
+
+    def test_noisy_runs_feasible(self, heavy_instance):
+        algo = PredictedDurationClassifiedFirstFit(
+            DurationPredictor(sigma=2.0, seed=5), base=4.0
+        )
+        run(algo, heavy_instance, validate=True)

@@ -1,0 +1,91 @@
+"""Tests for the proof-decomposition verification (Theorems 2 and 4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.proofs import verify_theorem2, verify_theorem4
+from repro.core.instance import Instance
+from repro.core.items import Item
+from repro.workloads.adversarial import theorem5_instance, theorem8_instance
+from repro.workloads.uniform import UniformWorkload
+from tests.test_properties import instances
+
+
+class TestTheorem2Verification:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_holds_on_uniform_instances(self, seed):
+        inst = UniformWorkload(d=2, n=80, mu=8, T=50, B=10).sample_seeded(seed)
+        report = verify_theorem2(inst)
+        assert report.all_hold, report.failed()
+
+    def test_holds_on_adversarial_thm8(self):
+        adv = theorem8_instance(n=6, mu=5.0)
+        report = verify_theorem2(adv.instance)
+        assert report.all_hold, report.failed()
+        # the construction displaces the leader at every odd item after
+        # the first pair
+        assert report.displacement_count >= 5
+
+    def test_holds_on_adversarial_thm5(self):
+        adv = theorem5_instance(d=2, k=4, mu=3.0)
+        report = verify_theorem2(adv.instance)
+        assert report.all_hold, report.failed()
+
+    def test_holds_in_five_dimensions(self):
+        inst = UniformWorkload(d=5, n=60, mu=10, T=40, B=10).sample_seeded(3)
+        report = verify_theorem2(inst)
+        assert report.all_hold, report.failed()
+
+    def test_no_displacements_on_trivial_instance(self):
+        inst = Instance([Item(0, 2, np.array([0.3]), 0), Item(0, 2, np.array([0.3]), 1)])
+        report = verify_theorem2(inst)
+        assert report.displacement_count == 0
+        assert report.all_hold
+
+    def test_report_fields(self):
+        inst = UniformWorkload(d=1, n=30, mu=4, T=20, B=5).sample_seeded(1)
+        report = verify_theorem2(inst)
+        assert report.mu == inst.mu and report.d == 1
+        assert report.span == pytest.approx(inst.span)
+        assert report.cost > 0
+
+    @given(inst=instances(max_items=20))
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_holds_on_random_instances(self, inst):
+        report = verify_theorem2(inst)
+        assert report.all_hold, report.failed()
+
+
+class TestTheorem4Verification:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_holds_on_uniform_instances(self, seed):
+        inst = UniformWorkload(d=2, n=80, mu=8, T=50, B=10).sample_seeded(seed)
+        report = verify_theorem4(inst)
+        assert report.all_hold, report.failed()
+
+    def test_holds_on_adversarial_thm6(self):
+        from repro.workloads.adversarial import theorem6_instance
+
+        adv = theorem6_instance(d=2, k=6, mu=4.0)
+        report = verify_theorem4(adv.instance)
+        assert report.all_hold, report.failed()
+        # the construction releases a bin per phase transition
+        assert report.release_count >= 6
+
+    def test_no_releases_when_everything_fits(self):
+        inst = Instance([Item(0, 2, np.array([0.2]), i) for i in range(3)])
+        report = verify_theorem4(inst)
+        assert report.release_count == 0
+        assert report.all_hold
+
+    @given(inst=instances(max_items=20))
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_holds_on_random_instances(self, inst):
+        report = verify_theorem4(inst)
+        assert report.all_hold, report.failed()

@@ -1,0 +1,60 @@
+"""Tests for the algorithm registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.base import OnlineAlgorithm
+from repro.algorithms.registry import (
+    ALGORITHM_FACTORIES,
+    PAPER_ALGORITHMS,
+    available_algorithms,
+    make_algorithm,
+)
+from repro.core.errors import ConfigurationError
+
+
+def test_paper_lineup_is_seven():
+    assert len(PAPER_ALGORITHMS) == 7
+    assert PAPER_ALGORITHMS[0] == "move_to_front"
+
+
+def test_all_paper_algorithms_registered():
+    assert set(PAPER_ALGORITHMS) <= set(ALGORITHM_FACTORIES)
+
+
+def test_make_returns_online_algorithm():
+    for name in available_algorithms():
+        algo = make_algorithm(name)
+        assert isinstance(algo, OnlineAlgorithm)
+
+
+def test_instances_not_shared():
+    assert make_algorithm("first_fit") is not make_algorithm("first_fit")
+
+
+def test_names_match_keys():
+    # registry key and the algorithm's display name agree for the core set
+    for name in PAPER_ALGORITHMS:
+        assert make_algorithm(name).name == name
+
+
+def test_kwargs_forwarded():
+    algo = make_algorithm("random_fit", seed=42)
+    assert algo.seed == 42
+
+
+def test_unknown_name_lists_alternatives():
+    with pytest.raises(ConfigurationError, match="move_to_front"):
+        make_algorithm("does_not_exist")
+
+
+def test_available_sorted():
+    names = available_algorithms()
+    assert names == sorted(names)
+
+
+def test_best_fit_variants_distinct():
+    linf = make_algorithm("best_fit")
+    l1 = make_algorithm("best_fit_l1")
+    assert linf.name != l1.name

@@ -1,0 +1,89 @@
+"""Tests for the plain-text report renderers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import (
+    format_interval_diagram,
+    format_series_chart,
+    format_table,
+)
+
+
+class TestFormatTable:
+    def test_headers_and_rows_present(self):
+        out = format_table(["a", "b"], [[1, 2.5], ["x", 3.0]])
+        assert "a" in out and "b" in out
+        assert "2.500" in out and "x" in out
+
+    def test_title_on_first_line(self):
+        out = format_table(["a"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_columns_aligned(self):
+        out = format_table(["col"], [["short"], ["a-much-longer-cell"]])
+        lines = out.splitlines()
+        data = [l for l in lines if "|" not in l and "-+-" not in l]
+        widths = {len(l) for l in lines if "short" in l or "longer" in l}
+        assert len(widths) == 1
+
+    def test_custom_float_format(self):
+        out = format_table(["x"], [[1.23456]], float_fmt="{:.1f}")
+        assert "1.2" in out and "1.23" not in out
+
+    def test_empty_rows(self):
+        out = format_table(["x"], [])
+        assert "x" in out
+
+
+class TestSeriesChart:
+    def test_contains_values_and_bars(self):
+        out = format_series_chart([1, 2], {"alg": [1.0, 2.0]}, title="T")
+        assert "T" in out and "alg" in out
+        assert "#" in out
+
+    def test_empty_series(self):
+        assert format_series_chart([], {}, title="E") == "E"
+
+    def test_bar_lengths_monotone(self):
+        out = format_series_chart([1, 2], {"a": [1.0, 2.0]})
+        bars = [l.count("#") for l in out.splitlines() if "#" in l]
+        assert bars[0] < bars[1]
+
+    def test_handles_short_series(self):
+        out = format_series_chart([1, 2, 3], {"a": [1.0]})
+        assert "x = 3" in out
+
+
+class TestIntervalDiagram:
+    def test_basic_rendering(self):
+        out = format_interval_diagram(
+            {"bin 0": [(0, 5, "lead")], "bin 1": [(5, 10, "lead")]}, horizon=10
+        )
+        assert "bin 0" in out and "bin 1" in out
+        assert "= = lead" in out or "lead" in out
+
+    def test_distinct_markers_per_kind(self):
+        out = format_interval_diagram(
+            {"b": [(0, 5, "x"), (5, 10, "y")]}, horizon=10
+        )
+        # two different fill characters appear
+        body = [l for l in out.splitlines() if l.startswith("b")][0]
+        fills = {c for c in body if c not in " |b"}
+        assert len(fills) == 2
+
+    def test_custom_markers(self):
+        out = format_interval_diagram(
+            {"b": [(0, 10, "k")]}, horizon=10, markers={"k": "@"}
+        )
+        assert "@" in out
+
+    def test_invalid_horizon(self):
+        with pytest.raises(ValueError):
+            format_interval_diagram({}, horizon=0)
+
+    def test_interval_clipped_to_horizon(self):
+        out = format_interval_diagram({"b": [(0, 100, "k")]}, horizon=10, width=20)
+        body = [l for l in out.splitlines() if l.startswith("b")][0]
+        assert len(body) <= len("b |") + 20 + 1

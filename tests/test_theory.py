@@ -1,0 +1,94 @@
+"""Tests for the Table 1 bound formulas."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.theory import (
+    TABLE1,
+    any_fit_lower_bound,
+    first_fit_upper_bound,
+    lower_bound,
+    move_to_front_lower_bound,
+    move_to_front_upper_bound,
+    next_fit_lower_bound,
+    next_fit_upper_bound,
+    upper_bound,
+)
+from repro.core.errors import ConfigurationError
+
+
+class TestFormulas:
+    def test_any_fit_lower(self):
+        assert any_fit_lower_bound(5, 2) == 12
+
+    def test_mtf_upper(self):
+        assert move_to_front_upper_bound(5, 2) == 23
+
+    def test_mtf_upper_d1_improves_prior(self):
+        # (2mu+1)*1 + 1 = 2mu + 2 < 6mu + 7 for all mu >= 1
+        for mu in (1, 2, 10, 100):
+            assert move_to_front_upper_bound(mu, 1) == 2 * mu + 2
+            assert move_to_front_upper_bound(mu, 1) < 6 * mu + 7
+
+    def test_mtf_lower_max_form(self):
+        assert move_to_front_lower_bound(5, 1) == 10  # 2mu dominates at d=1
+        assert move_to_front_lower_bound(5, 3) == 18  # (mu+1)d dominates
+
+    def test_ff_upper(self):
+        assert first_fit_upper_bound(5, 2) == 15
+
+    def test_nf_bounds_nearly_tight(self):
+        for mu in (1, 2, 10):
+            for d in (1, 2, 5):
+                assert next_fit_upper_bound(mu, d) - next_fit_lower_bound(mu, d) == 1
+
+    def test_d1_reductions_match_prior_work(self):
+        mu = 7
+        assert any_fit_lower_bound(mu, 1) == mu + 1  # [22, 28]
+        assert next_fit_lower_bound(mu, 1) == 2 * mu  # [32]
+        assert next_fit_upper_bound(mu, 1) == 2 * mu + 1  # [18]
+
+
+class TestConsistency:
+    @pytest.mark.parametrize("mu", [1, 2, 5, 10, 100])
+    @pytest.mark.parametrize("d", [1, 2, 5])
+    @pytest.mark.parametrize("algo", sorted(TABLE1))
+    def test_lower_at_most_upper(self, algo, mu, d):
+        assert lower_bound(algo, mu, d) <= upper_bound(algo, mu, d)
+
+    @pytest.mark.parametrize("mu", [1, 5, 100])
+    @pytest.mark.parametrize("d", [1, 2, 5])
+    def test_bounded_algorithms_dominate_family_lower(self, mu, d):
+        # every specific Any Fit algorithm's lower bound is at least the
+        # family-wide (mu+1)d
+        fam = lower_bound("any_fit", mu, d)
+        for algo in ("move_to_front", "first_fit", "next_fit"):
+            assert lower_bound(algo, mu, d) >= fam
+
+    def test_best_fit_unbounded(self):
+        assert math.isinf(lower_bound("best_fit", 5, 2))
+        assert math.isinf(upper_bound("best_fit", 5, 2))
+
+    def test_any_fit_family_has_no_upper(self):
+        assert math.isinf(upper_bound("any_fit", 5, 2))
+
+    def test_provenance_strings_present(self):
+        for entry in TABLE1.values():
+            assert entry.lower_source and entry.upper_source
+
+
+class TestValidation:
+    def test_unknown_algorithm(self):
+        with pytest.raises(ConfigurationError):
+            lower_bound("magic_fit", 5, 2)
+
+    def test_invalid_mu(self):
+        with pytest.raises(ConfigurationError):
+            upper_bound("first_fit", 0.5, 2)
+
+    def test_invalid_d(self):
+        with pytest.raises(ConfigurationError):
+            upper_bound("first_fit", 5, 0)

@@ -1,0 +1,114 @@
+"""Tests for simulation traces and instance profiling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.first_fit import FirstFit
+from repro.algorithms.random_fit import RandomFit
+from repro.core.instance import Instance
+from repro.core.items import Item
+from repro.simulation.engine import simulate
+from repro.simulation.trace import TraceRecorder, render_trace, traces_equal
+from repro.workloads.describe import describe_instance, render_description
+from repro.workloads.uniform import UniformWorkload
+
+
+class TestTraceRecorder:
+    def test_record_counts(self, tiny_instance):
+        rec = TraceRecorder()
+        simulate(FirstFit(), tiny_instance, observers=[rec])
+        kinds = [r.kind for r in rec.records]
+        assert kinds.count("pack") == 3
+        assert kinds.count("depart") == 3
+        assert kinds.count("open") == len([r for r in rec.packs() if r.flag])
+
+    def test_pack_loads_match_replay(self, uniform_small):
+        rec = TraceRecorder()
+        packing = simulate(FirstFit(), uniform_small, observers=[rec])
+        # the last 'depart' record of each bin must have zero load
+        last_depart = {}
+        for r in rec.records:
+            if r.kind == "depart":
+                last_depart[r.bin_index] = r
+        for r in last_depart.values():
+            if r.flag:  # closed
+                assert all(abs(x) < 1e-9 for x in r.load_after)
+
+    def test_deterministic_policy_identical_traces(self, uniform_small):
+        a, b = TraceRecorder(), TraceRecorder()
+        simulate(FirstFit(), uniform_small, observers=[a])
+        simulate(FirstFit(), uniform_small, observers=[b])
+        assert traces_equal(a, b)
+
+    def test_seeded_random_fit_identical_traces(self, uniform_small):
+        a, b = TraceRecorder(), TraceRecorder()
+        simulate(RandomFit(seed=4), uniform_small, observers=[a])
+        simulate(RandomFit(seed=4), uniform_small, observers=[b])
+        assert traces_equal(a, b)
+
+    def test_different_policies_different_traces(self):
+        from repro.algorithms.last_fit import LastFit
+
+        inst = Instance(
+            [Item(0, 9, np.array([0.5]), 0), Item(0, 9, np.array([0.6]), 1),
+             Item(0, 9, np.array([0.3]), 2)]
+        )
+        a, b = TraceRecorder(), TraceRecorder()
+        simulate(FirstFit(), inst, observers=[a])
+        simulate(LastFit(), inst, observers=[b])
+        assert not traces_equal(a, b)
+
+    def test_render_contains_key_events(self, tiny_instance):
+        rec = TraceRecorder()
+        simulate(FirstFit(), tiny_instance, observers=[rec])
+        text = render_trace(rec)
+        assert "pack" in text and "depart" in text and "first_fit" in text
+
+    def test_render_truncation(self, uniform_small):
+        rec = TraceRecorder()
+        simulate(FirstFit(), uniform_small, observers=[rec])
+        text = render_trace(rec, max_records=5)
+        assert "more records" in text
+
+
+class TestDescribe:
+    def test_profile_basic_fields(self, uniform_small):
+        p = describe_instance(uniform_small)
+        assert p.n == uniform_small.n
+        assert p.d == uniform_small.d
+        assert p.mu == pytest.approx(uniform_small.mu)
+        assert p.span == pytest.approx(uniform_small.span)
+
+    def test_duration_stats_ordered(self, uniform_small):
+        p = describe_instance(uniform_small)
+        assert p.duration_median <= p.duration_p95 + 1e-9
+        assert 0 < p.duration_mean <= p.duration_p95 * 2
+
+    def test_peak_load_at_least_mean(self, uniform_small):
+        p = describe_instance(uniform_small)
+        for peak, mean in zip(p.peak_load, p.time_weighted_load_mean):
+            assert peak >= mean - 1e-9
+
+    def test_concurrency_sane(self):
+        # two fully overlapping items: concurrency exactly 2 throughout
+        inst = Instance(
+            [Item(0, 4, np.array([0.2]), 0), Item(0, 4, np.array([0.2]), 1)]
+        )
+        p = describe_instance(inst)
+        assert p.concurrency_mean == pytest.approx(2.0)
+        assert p.concurrency_p95 == pytest.approx(2.0)
+
+    def test_normalises_capacity(self):
+        inst = UniformWorkload(d=2, n=50, mu=5, T=30, B=100).sample_seeded(0)
+        p = describe_instance(inst)
+        assert 0 < p.max_demand_mean <= 1.0  # fractions of capacity
+
+    def test_render_mentions_key_lines(self, uniform_small):
+        text = render_description(uniform_small)
+        assert "durations" in text and "peak load" in text
+
+    def test_as_dict_round(self, uniform_small):
+        d = describe_instance(uniform_small).as_dict()
+        assert d["n"] == uniform_small.n and "peak_load" in d
