@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Perf-baseline harness: run the pinned-seed suite, write BENCH_core.json.
+
+This is the repo's performance trajectory recorder.  It runs the
+standard scenario grid (uniform workloads, ``d ∈ {1, 2, 4}`` × small /
+medium / large ``n``) through all seven Any Fit variants and writes
+``BENCH_core.json`` at the repo root — per-scenario wall-times, event
+throughput, hot-path counters (fit checks, candidate scans), and cost
+ratios.  Subsequent perf PRs re-run it and compare: counters must not
+regress silently, and wall-times bound the before/after claim.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python benchmarks/harness.py                # core suite
+    PYTHONPATH=src python benchmarks/harness.py --suite smoke  # seconds-fast
+    PYTHONPATH=src python benchmarks/harness.py --overhead     # also run the
+                                                               # <= 2% check
+    PYTHONPATH=src python benchmarks/harness.py --trace runs.jsonl
+
+Equivalent CLI form: ``python -m repro bench``.  See
+docs/observability.md for how to read the output file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+# Allow running as a plain script from a checkout without installing.
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SRC = os.path.join(_REPO_ROOT, "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.observability.bench import (  # noqa: E402
+    CORE_SCENARIOS,
+    SMOKE_SCENARIOS,
+    measure_overhead,
+    run_suite,
+    write_bench,
+)
+from repro.observability.sinks import JsonLinesSink, NullSink  # noqa: E402
+
+_SUITES = {"core": CORE_SCENARIOS, "smoke": SMOKE_SCENARIOS}
+_DEFAULT_OUTPUT = os.path.join(_REPO_ROOT, "BENCH_core.json")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--suite", choices=sorted(_SUITES), default="core")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="runs per (scenario, algorithm); wall-time is the min")
+    parser.add_argument("--output", default=_DEFAULT_OUTPUT,
+                        help="output JSON path (default: BENCH_core.json at the repo root)")
+    parser.add_argument("--trace", default=None,
+                        help="also emit per-run records to this JSON-lines file")
+    parser.add_argument("--overhead", action="store_true",
+                        help="measure instrumented-vs-plain engine overhead "
+                             "on the medium scenario and report it")
+    args = parser.parse_args(argv)
+
+    sink = JsonLinesSink(args.trace) if args.trace else NullSink()
+    try:
+        print(f"running {args.suite} suite ({len(_SUITES[args.suite])} scenarios, "
+              f"repeats={args.repeats}) ...")
+        payload = run_suite(
+            scenarios=_SUITES[args.suite],
+            repeats=args.repeats,
+            suite=args.suite,
+            sink=sink,
+            progress=print,
+        )
+    finally:
+        sink.close()
+
+    if args.overhead:
+        report = measure_overhead()
+        payload["overhead"] = report
+        print(f"instrumentation overhead on {report['scenario']} "
+              f"({report['algorithm']}): {report['overhead_frac'] * 100:+.2f}% "
+              f"(plain {report['plain_s'] * 1e3:.2f} ms, "
+              f"instrumented {report['instrumented_s'] * 1e3:.2f} ms)")
+
+    write_bench(payload, args.output)
+    print(f"suite finished in {payload['total_wall_time_s']:.1f} s; "
+          f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -43,6 +43,20 @@ class OnlineAlgorithm(abc.ABC):
     #: Human-readable policy name used in reports/legends.
     name: str = "online"
 
+    #: Optional stats collector bound by an instrumented engine for the
+    #: duration of one run (see ``repro.observability``).  Class-level
+    #: ``None`` means instrumentation costs nothing unless enabled.
+    _collector = None
+
+    def bind_collector(self, collector) -> None:
+        """Attach (or with ``None`` detach) a stats collector.
+
+        Called by :class:`~repro.simulation.engine.Engine` around an
+        instrumented run.  Subclasses with hot-path counters read
+        ``self._collector`` and skip counting when it is ``None``.
+        """
+        self._collector = collector
+
     @abc.abstractmethod
     def start(self, instance: Instance) -> None:
         """Reset all per-run state for a fresh simulation of ``instance``."""
@@ -160,6 +174,10 @@ class AnyFitAlgorithm(OnlineAlgorithm):
         """
         if not self._list:
             return []
+        col = self._collector
+        if col is not None:
+            col.candidate_scans += 1
+            col.fit_checks += len(self._list)
         loads = np.stack([b.load for b in self._list])
         mask = fits_batch(loads, item.size, self._capacity)
         return [b for b, ok in zip(self._list, mask) if ok]

@@ -8,7 +8,9 @@ Subcommands regenerate each paper artefact:
 * ``figure1`` / ``figure2`` / ``figure3`` — the analysis diagrams;
 * ``figure4`` — the average-case sweep (``--scale quick|full|smoke``);
 * ``compare`` — run all registered algorithms on one generated instance
-  and print the metric table (a quick interactive probe).
+  and print the metric table (a quick interactive probe);
+* ``bench``   — the pinned-seed perf-baseline suite (writes the
+  ``BENCH_core.json`` trajectory file; see docs/observability.md).
 """
 
 from __future__ import annotations
@@ -104,6 +106,20 @@ def _build_parser() -> argparse.ArgumentParser:
                     choices=available_algorithms())
     pr.add_argument("--validate", action="store_true",
                     help="audit the packing before reporting")
+
+    pb = sub.add_parser(
+        "bench", help="run the pinned-seed perf-baseline suite (writes JSON)"
+    )
+    pb.add_argument("--suite", choices=["core", "smoke"], default="core",
+                    help="core = the BENCH_core.json grid; smoke = seconds-fast subset")
+    pb.add_argument("--repeats", type=int, default=3,
+                    help="runs per (scenario, algorithm); wall-time is the min")
+    pb.add_argument("--output", default="BENCH_core.json",
+                    help="output JSON path (defaults to ./BENCH_core.json)")
+    pb.add_argument("--trace", default=None,
+                    help="also emit per-run records to this JSON-lines file")
+    pb.add_argument("--overhead", action="store_true",
+                    help="measure and report instrumented-vs-plain engine overhead")
 
     pv = sub.add_parser(
         "verify", help="check the Theorem 2/4 proof decompositions on a run"
@@ -211,6 +227,33 @@ def main(argv: Optional[List[str]] = None) -> int:
         rows = [[k, v] for k, v in m.as_dict().items()]
         print(format_table(["metric", "value"], rows,
                            title=f"{args.algorithm} on {instance!r}"))
+    elif args.command == "bench":
+        from .observability.bench import (
+            CORE_SCENARIOS,
+            SMOKE_SCENARIOS,
+            measure_overhead,
+            run_suite,
+            write_bench,
+        )
+        from .observability.sinks import JsonLinesSink, NullSink
+
+        scenarios = CORE_SCENARIOS if args.suite == "core" else SMOKE_SCENARIOS
+        sink = JsonLinesSink(args.trace) if args.trace else NullSink()
+        try:
+            print(f"running {args.suite} suite ({len(scenarios)} scenarios, "
+                  f"repeats={args.repeats}) ...")
+            payload = run_suite(scenarios=scenarios, repeats=args.repeats,
+                                suite=args.suite, sink=sink, progress=print)
+        finally:
+            sink.close()
+        if args.overhead:
+            report = measure_overhead()
+            payload["overhead"] = report
+            print(f"instrumentation overhead on {report['scenario']} "
+                  f"({report['algorithm']}): {report['overhead_frac'] * 100:+.2f}%")
+        write_bench(payload, args.output)
+        print(f"suite finished in {payload['total_wall_time_s']:.1f} s; "
+              f"wrote {args.output}")
     elif args.command == "verify":
         from .analysis.proofs import verify_theorem2, verify_theorem4
 

@@ -1,0 +1,260 @@
+"""The pinned-seed perf-baseline suite behind ``BENCH_core.json``.
+
+This module defines the standardized benchmark every perf PR is judged
+against: a grid of uniform workloads (``d ∈ {1, 2, 4}`` × small /
+medium / large ``n``) run through all seven Any Fit variants of the
+paper's Section 7 study, with wall-time, event throughput, hot-path
+counters, and cost ratios recorded per (scenario, algorithm) cell.
+
+Entry points
+------------
+* ``python -m repro bench`` — the CLI wrapper;
+* ``benchmarks/harness.py`` — the repo-root script that writes
+  ``BENCH_core.json`` (the perf trajectory file);
+* :func:`run_suite` / :func:`run_scenario` — the library API;
+* :func:`measure_overhead` — the instrumentation-overhead protocol
+  (plain engine loop vs. instrumented loop with the default no-op
+  sink), used to enforce the documented <= 2% budget.
+
+Reproducibility
+---------------
+Scenario seeds are pinned (derived deterministically from the suite
+base seed), wall-times are the **minimum** over ``repeats`` runs (the
+standard low-noise estimator for short benchmarks), and all counter
+fields are exactly reproducible — so two harness runs differ only in
+the timing fields.  See docs/observability.md for how to read and
+update the trajectory file.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..algorithms.registry import PAPER_ALGORITHMS, make_algorithm
+from ..optimum.lower_bounds import height_lower_bound
+from ..simulation.runner import run
+from ..workloads.uniform import UniformWorkload
+from .sinks import TraceSink
+from .stats import StatsCollector
+
+__all__ = [
+    "SCHEMA",
+    "BASE_SEED",
+    "BenchScenario",
+    "CORE_SCENARIOS",
+    "SMOKE_SCENARIOS",
+    "run_scenario",
+    "run_suite",
+    "write_bench",
+    "measure_overhead",
+]
+
+#: Schema tag stamped on every payload; bump on incompatible changes.
+SCHEMA = "repro-bench/v1"
+
+#: Suite base seed (the paper's arXiv date, matching ExperimentConfig).
+BASE_SEED = 20230419
+
+
+@dataclass(frozen=True)
+class BenchScenario:
+    """One benchmark cell: a pinned uniform-workload configuration."""
+
+    name: str
+    d: int
+    n: int
+    size: str  # "small" | "medium" | "large" (grouping label)
+    mu: int = 10
+    T: int = 1000
+    B: int = 100
+    seed: int = BASE_SEED
+
+    def build_instance(self):
+        """Materialise the scenario's (deterministic) instance."""
+        gen = UniformWorkload(d=self.d, n=self.n, mu=self.mu, T=self.T, B=self.B,
+                              name=self.name)
+        return gen.sample_seeded(self.seed)
+
+    def params(self) -> Dict[str, Any]:
+        """JSON-ready parameter record."""
+        return {"d": self.d, "n": self.n, "mu": self.mu, "T": self.T,
+                "B": self.B, "seed": self.seed, "size": self.size}
+
+
+def _grid(sizes: Dict[str, int], d_values: Sequence[int]) -> List[BenchScenario]:
+    out: List[BenchScenario] = []
+    for d in d_values:
+        for size, n in sizes.items():
+            out.append(
+                BenchScenario(
+                    name=f"uniform-d{d}-{size}",
+                    d=d,
+                    n=n,
+                    size=size,
+                    # distinct pinned seed per cell, derived deterministically
+                    seed=BASE_SEED + 100_000 * d + n,
+                )
+            )
+    return out
+
+
+#: The standard suite: 3 dimensions × 3 sizes = 9 scenarios, each run
+#: through all seven Any Fit variants.  ``large`` matches the paper's
+#: Table 2 sequence length (n = 1000).
+CORE_SCENARIOS: List[BenchScenario] = _grid(
+    {"small": 200, "medium": 600, "large": 1200}, d_values=(1, 2, 4)
+)
+
+#: A seconds-fast subset for tests and smoke checks (same schema).
+SMOKE_SCENARIOS: List[BenchScenario] = _grid(
+    {"small": 40, "medium": 80}, d_values=(1, 2)
+)
+
+#: The cell used by the overhead protocol (and quoted in docs): the
+#: middle of the grid, where per-event work is representative.
+MEDIUM_SCENARIO: BenchScenario = next(
+    s for s in CORE_SCENARIOS if s.d == 2 and s.size == "medium"
+)
+
+
+def run_scenario(
+    scenario: BenchScenario,
+    algorithms: Sequence[str] = tuple(PAPER_ALGORITHMS),
+    repeats: int = 3,
+    sink: Optional[TraceSink] = None,
+) -> Dict[str, Any]:
+    """Run one scenario through every algorithm; return its JSON record.
+
+    Wall-time per algorithm is the minimum over ``repeats`` instrumented
+    runs; counters and costs are taken from the last run (they are
+    identical across repeats for the deterministic policies and
+    per-seed-stable for Random Fit, which the registry seeds afresh —
+    its default seed makes even that deterministic).
+    """
+    instance = scenario.build_instance()
+    lb = height_lower_bound(instance)
+    results: Dict[str, Any] = {}
+    for name in algorithms:
+        best: Optional[Dict[str, Any]] = None
+        for _ in range(max(1, repeats)):
+            collector = StatsCollector(sink=sink)
+            packing = run(make_algorithm(name), instance, collector=collector)
+            stats = collector.snapshot()
+            cell = {
+                "wall_time_s": stats.wall_time_s,
+                "dispatch_time_s": stats.dispatch_time_s,
+                "events": stats.events,
+                "events_per_sec": stats.events_per_sec,
+                "cost": packing.cost,
+                "cost_ratio": packing.cost / lb,
+                "num_bins": packing.num_bins,
+                "peak_open_bins": stats.peak_open_bins,
+                "candidate_scans": stats.candidate_scans,
+                "fit_checks": stats.fit_checks,
+            }
+            if best is None or cell["wall_time_s"] < best["wall_time_s"]:
+                best = cell
+        results[name] = best
+    record = {
+        "name": scenario.name,
+        "params": scenario.params(),
+        "lower_bound": lb,
+        "results": results,
+    }
+    if sink is not None:
+        sink.emit("scenario", record)
+    return record
+
+
+def run_suite(
+    scenarios: Sequence[BenchScenario] = tuple(CORE_SCENARIOS),
+    algorithms: Sequence[str] = tuple(PAPER_ALGORITHMS),
+    repeats: int = 3,
+    suite: str = "core",
+    sink: Optional[TraceSink] = None,
+    progress=None,
+) -> Dict[str, Any]:
+    """Run the whole suite and return the ``BENCH_core.json`` payload.
+
+    ``progress`` is an optional ``callable(str)`` (e.g. ``print``)
+    invoked once per finished scenario.
+    """
+    t0 = time.perf_counter()
+    records = []
+    for scenario in scenarios:
+        record = run_scenario(scenario, algorithms, repeats=repeats, sink=sink)
+        records.append(record)
+        if progress is not None:
+            slowest = max(r["wall_time_s"] for r in record["results"].values())
+            progress(f"  {scenario.name}: {len(record['results'])} algorithms, "
+                     f"slowest {slowest * 1e3:.1f} ms")
+    payload = {
+        "schema": SCHEMA,
+        "suite": suite,
+        "generated_unix": time.time(),
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "repeats": repeats,
+        "algorithms": list(algorithms),
+        "total_wall_time_s": time.perf_counter() - t0,
+        "scenarios": records,
+    }
+    if sink is not None:
+        sink.emit("suite", {k: v for k, v in payload.items() if k != "scenarios"})
+    return payload
+
+
+def write_bench(payload: Dict[str, Any], path: str) -> None:
+    """Write a suite payload as pretty-printed JSON (trailing newline)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+
+
+def measure_overhead(
+    scenario: Optional[BenchScenario] = None,
+    algorithm: str = "move_to_front",
+    repeats: int = 5,
+) -> Dict[str, Any]:
+    """Measure the cost of the instrumented engine loop.
+
+    Runs ``repeats`` *interleaved pairs* of a plain run
+    (``collector=None`` — the default every test and experiment uses)
+    and an instrumented run with the default no-op sink, on the
+    harness's medium scenario, and reports the minimum of each side plus
+    the relative overhead.  Interleaving pairs (rather than timing the
+    two sides back to back) cancels clock-frequency and cache drift on
+    shared machines; the clock is **process CPU time**, not wall time,
+    so scheduler preemption on loaded machines does not pollute a
+    sub-millisecond difference measurement.  The documented budget is
+    2%: perf PRs touching the engine should re-run this.
+    """
+    scenario = scenario or MEDIUM_SCENARIO
+    instance = scenario.build_instance()
+
+    clock = time.process_time
+    plain_s = instrumented_s = float("inf")
+    for _ in range(max(1, repeats)):
+        algo = make_algorithm(algorithm)
+        t0 = clock()
+        run(algo, instance)
+        plain_s = min(plain_s, clock() - t0)
+
+        algo = make_algorithm(algorithm)
+        collector = StatsCollector()
+        t0 = clock()
+        run(algo, instance, collector=collector)
+        instrumented_s = min(instrumented_s, clock() - t0)
+    return {
+        "scenario": scenario.name,
+        "algorithm": algorithm,
+        "repeats": repeats,
+        "plain_s": plain_s,
+        "instrumented_s": instrumented_s,
+        "overhead_frac": instrumented_s / plain_s - 1.0 if plain_s > 0 else 0.0,
+    }

@@ -1,0 +1,165 @@
+"""Low-overhead counters and wall-clock timers.
+
+These are the primitive instruments of the observability layer: a
+:class:`Counter` is a named integer, a :class:`Timer` accumulates
+``time.perf_counter`` intervals, and a :class:`MetricsRegistry` groups
+either by name so harnesses can snapshot everything at once.
+
+Design constraints (this code sits next to the simulation hot path):
+
+* no locks — the engine is single-threaded per process, and
+  cross-process aggregation happens on immutable snapshots;
+* plain attribute arithmetic (``c.value += n``) rather than callbacks,
+  so an increment costs one attribute store;
+* snapshots are plain dicts, ready for JSON.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional, Union
+
+__all__ = ["Counter", "Timer", "MetricsRegistry"]
+
+
+class Counter:
+    """A named monotonically growing integer.
+
+    >>> c = Counter("fit_checks")
+    >>> c.inc()
+    >>> c.inc(4)
+    >>> c.value
+    5
+    """
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: int = 0) -> None:
+        self.name = name
+        self.value = value
+
+    def inc(self, n: int = 1) -> None:
+        """Add ``n`` (default 1) to the counter."""
+        self.value += n
+
+    def reset(self) -> None:
+        """Zero the counter."""
+        self.value = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Counter({self.name!r}, value={self.value})"
+
+
+class Timer:
+    """Accumulates wall-clock time over any number of timed sections.
+
+    Use as a context manager (re-entrant use is an error) or drive the
+    :meth:`start` / :meth:`stop` pair manually when the timed region
+    spans a callback boundary.
+
+    >>> t = Timer("dispatch")
+    >>> with t:
+    ...     _ = sum(range(100))
+    >>> t.count
+    1
+    >>> t.total_s >= 0.0
+    True
+    """
+
+    __slots__ = ("name", "total_s", "count", "_t0")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.total_s = 0.0
+        self.count = 0
+        self._t0: Optional[float] = None
+
+    def start(self) -> None:
+        """Begin a timed section."""
+        if self._t0 is not None:
+            raise RuntimeError(f"Timer {self.name!r} already started")
+        self._t0 = time.perf_counter()
+
+    def stop(self) -> float:
+        """End the current section; returns its duration in seconds."""
+        if self._t0 is None:
+            raise RuntimeError(f"Timer {self.name!r} stopped without start")
+        elapsed = time.perf_counter() - self._t0
+        self._t0 = None
+        self.total_s += elapsed
+        self.count += 1
+        return elapsed
+
+    def reset(self) -> None:
+        """Zero the accumulated time and section count."""
+        self.total_s = 0.0
+        self.count = 0
+        self._t0 = None
+
+    @property
+    def mean_s(self) -> float:
+        """Average section duration (0.0 before the first section)."""
+        return self.total_s / self.count if self.count else 0.0
+
+    def __enter__(self) -> "Timer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Timer({self.name!r}, total_s={self.total_s:.6f}, count={self.count})"
+
+
+class MetricsRegistry:
+    """A named collection of counters and timers.
+
+    ``counter(name)`` / ``timer(name)`` create on first use and return
+    the same instrument thereafter, so call sites never need set-up
+    code.  :meth:`snapshot` renders everything as one flat JSON-ready
+    dict (timers contribute ``<name>_s`` and ``<name>_count`` keys).
+
+    >>> reg = MetricsRegistry()
+    >>> reg.counter("bins").inc(3)
+    >>> reg.snapshot()["bins"]
+    3
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._timers: Dict[str, Timer] = {}
+
+    def counter(self, name: str) -> Counter:
+        """Get (or create) the counter called ``name``."""
+        try:
+            return self._counters[name]
+        except KeyError:
+            c = self._counters[name] = Counter(name)
+            return c
+
+    def timer(self, name: str) -> Timer:
+        """Get (or create) the timer called ``name``."""
+        try:
+            return self._timers[name]
+        except KeyError:
+            t = self._timers[name] = Timer(name)
+            return t
+
+    def snapshot(self) -> Dict[str, Union[int, float]]:
+        """All instruments as one flat dict (stable key order)."""
+        out: Dict[str, Union[int, float]] = {}
+        for name in sorted(self._counters):
+            out[name] = self._counters[name].value
+        for name in sorted(self._timers):
+            t = self._timers[name]
+            out[f"{name}_s"] = t.total_s
+            out[f"{name}_count"] = t.count
+        return out
+
+    def reset(self) -> None:
+        """Reset every registered instrument (registrations are kept)."""
+        for c in self._counters.values():
+            c.reset()
+        for t in self._timers.values():
+            t.reset()

@@ -1,0 +1,102 @@
+"""Pluggable trace sinks: where instrumented runs send their records.
+
+A sink receives ``(kind, payload)`` pairs — ``kind`` is a short record
+type tag (currently ``"run"`` from the collector and ``"scenario"`` /
+``"suite"`` from the bench harness), ``payload`` a JSON-ready mapping.
+The engine never formats or buffers; the sink decides what persistence
+means:
+
+* :class:`NullSink` — the default; every method is a no-op so the
+  disabled-instrumentation path stays zero-cost;
+* :class:`MemorySink` — keeps records in a list (tests, notebooks);
+* :class:`JsonLinesSink` — appends one JSON object per line to a file,
+  the interchange format the bench harness and future dashboards read.
+
+All sinks are context managers; ``close`` is idempotent.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from typing import Any, Dict, List, Mapping, Tuple, Union
+
+__all__ = ["TraceSink", "NullSink", "MemorySink", "JsonLinesSink"]
+
+
+class TraceSink:
+    """Abstract sink interface (and no-op base implementation)."""
+
+    def emit(self, kind: str, payload: Mapping[str, Any]) -> None:
+        """Receive one record.  ``payload`` must be JSON-serialisable."""
+
+    def close(self) -> None:
+        """Flush and release any resources.  Idempotent."""
+
+    def __enter__(self) -> "TraceSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class NullSink(TraceSink):
+    """Discard everything — the default sink.
+
+    Exists as a named class (rather than ``None`` checks sprinkled
+    around) so call sites that *require* a sink object can be handed one
+    with no behavioural consequences.
+    """
+
+
+class MemorySink(TraceSink):
+    """Buffer records in memory; read them back via :attr:`records`."""
+
+    def __init__(self) -> None:
+        self.records: List[Tuple[str, Dict[str, Any]]] = []
+
+    def emit(self, kind: str, payload: Mapping[str, Any]) -> None:
+        self.records.append((kind, dict(payload)))
+
+    def by_kind(self, kind: str) -> List[Dict[str, Any]]:
+        """All payloads of the given record kind, in emission order."""
+        return [p for k, p in self.records if k == kind]
+
+
+class JsonLinesSink(TraceSink):
+    """Write one JSON object per record to a file (JSON-lines format).
+
+    Each line is ``{"kind": <kind>, ...payload}``, sorted keys, so files
+    diff cleanly and stream-parse with one ``json.loads`` per line.
+
+    Parameters
+    ----------
+    target:
+        A path (opened for append, created if missing) or an existing
+        writable text file object (not closed by this sink unless it was
+        opened here).
+    """
+
+    def __init__(self, target: Union[str, "io.TextIOBase"]) -> None:
+        if isinstance(target, (str, bytes)):
+            self._fh = open(target, "a", encoding="utf-8")
+            self._owns = True
+        else:
+            self._fh = target
+            self._owns = False
+        self._closed = False
+
+    def emit(self, kind: str, payload: Mapping[str, Any]) -> None:
+        if self._closed:
+            raise ValueError("emit on a closed JsonLinesSink")
+        record = {"kind": kind}
+        record.update(payload)
+        self._fh.write(json.dumps(record, sort_keys=True, default=float) + "\n")
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._fh.flush()
+        if self._owns:
+            self._fh.close()

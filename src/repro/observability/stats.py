@@ -1,0 +1,305 @@
+"""Per-run statistics: the structured record every instrumented run emits.
+
+:class:`StatsCollector` is the mutable object the engine (and the Any
+Fit hot path) write into while a simulation runs; :class:`RunStats` is
+the immutable snapshot taken afterwards.  The split keeps the hot path
+cheap — plain integer attribute stores, no dataclass churn per event —
+while giving everything downstream (sinks, the bench harness, the
+parallel sweep aggregation) a frozen, serialisable record.
+
+Counter semantics
+-----------------
+``events`` / ``arrivals`` / ``departures``
+    Events replayed by the engine (``events = arrivals + departures``).
+``bins_opened`` / ``bins_closed`` / ``peak_open_bins``
+    Bin lifecycle totals plus the peak simultaneously open count.
+``candidate_scans`` / ``fit_checks``
+    The Any Fit hot path: one *scan* per vectorised
+    :func:`~repro.core.vectors.fits_batch` call (i.e. per arrival that
+    found a non-empty open list), and one *fit check* per candidate bin
+    inspected by that call.  ``fit_checks`` is the size of the work the
+    dispatch loop does — the quantity perf PRs on the hot path must
+    drive down.
+``dispatch_time_s`` / ``wall_time_s``
+    Wall-clock spent inside arrival dispatch (policy decision + pack)
+    vs. the whole run (event replay + observer fan-out included).
+``peak_rss_bytes``
+    Optional process peak RSS sampled at run end (``None`` when
+    sampling is off or the platform lacks :mod:`resource`).
+
+All counters are deterministic for a fixed (algorithm, instance) pair;
+only the two wall-time fields and RSS vary between repeats.  Equality
+of the deterministic part is what the cross-process aggregation tests
+assert.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, replace
+from typing import Any, Dict, Iterable, Mapping, Optional
+
+try:  # POSIX-only; the collector degrades gracefully without it
+    import resource as _resource
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    _resource = None
+
+__all__ = ["RunStats", "StatsCollector"]
+
+
+def _peak_rss_bytes() -> Optional[int]:
+    """Current process peak RSS in bytes, or ``None`` if unavailable.
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; normalise to
+    bytes using the platform convention.
+    """
+    if _resource is None:  # pragma: no cover - non-POSIX platforms
+        return None
+    peak = _resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss
+    import sys
+
+    return int(peak) if sys.platform == "darwin" else int(peak) * 1024
+
+
+@dataclass(frozen=True)
+class RunStats:
+    """Immutable per-run (or aggregated multi-run) statistics record."""
+
+    algorithm: str = ""
+    runs: int = 0
+    events: int = 0
+    arrivals: int = 0
+    departures: int = 0
+    bins_opened: int = 0
+    bins_closed: int = 0
+    peak_open_bins: int = 0
+    candidate_scans: int = 0
+    fit_checks: int = 0
+    dispatch_time_s: float = 0.0
+    wall_time_s: float = 0.0
+    peak_rss_bytes: Optional[int] = None
+
+    @property
+    def events_per_sec(self) -> float:
+        """Event throughput over the whole run (0.0 for a zero-time run)."""
+        return self.events / self.wall_time_s if self.wall_time_s > 0 else 0.0
+
+    @property
+    def checks_per_scan(self) -> float:
+        """Mean open-list length seen by the vectorised fit check."""
+        return self.fit_checks / self.candidate_scans if self.candidate_scans else 0.0
+
+    # -- serialisation --------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form, including the derived throughput fields."""
+        out = asdict(self)
+        out["events_per_sec"] = self.events_per_sec
+        out["checks_per_scan"] = self.checks_per_scan
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunStats":
+        """Rebuild from :meth:`to_dict` output (derived fields ignored)."""
+        fields = {f for f in cls.__dataclass_fields__}  # noqa: C416 - py39
+        return cls(**{k: v for k, v in data.items() if k in fields})
+
+    def to_json(self) -> str:
+        """Single-line JSON form (the JSON-lines sink record payload)."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunStats":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))
+
+    # -- aggregation ----------------------------------------------------
+    @classmethod
+    def aggregate(cls, parts: Iterable["RunStats"]) -> "RunStats":
+        """Combine records from several runs (or several worker processes).
+
+        Counters and times sum; peaks take the max (each worker's peak is
+        a valid lower bound on its own process peak, and peaks are not
+        additive across processes); ``algorithm`` is kept when unanimous
+        and set to ``"mixed"`` otherwise.
+        """
+        parts = list(parts)
+        if not parts:
+            return cls()
+        names = {p.algorithm for p in parts}
+        rss = [p.peak_rss_bytes for p in parts if p.peak_rss_bytes is not None]
+        return cls(
+            algorithm=names.pop() if len(names) == 1 else "mixed",
+            runs=sum(p.runs for p in parts),
+            events=sum(p.events for p in parts),
+            arrivals=sum(p.arrivals for p in parts),
+            departures=sum(p.departures for p in parts),
+            bins_opened=sum(p.bins_opened for p in parts),
+            bins_closed=sum(p.bins_closed for p in parts),
+            peak_open_bins=max(p.peak_open_bins for p in parts),
+            candidate_scans=sum(p.candidate_scans for p in parts),
+            fit_checks=sum(p.fit_checks for p in parts),
+            dispatch_time_s=sum(p.dispatch_time_s for p in parts),
+            wall_time_s=sum(p.wall_time_s for p in parts),
+            peak_rss_bytes=max(rss) if rss else None,
+        )
+
+    def deterministic_part(self) -> "RunStats":
+        """Copy with the timing/RSS fields zeroed.
+
+        Two runs of the same (algorithm, instance) pair — serial or
+        across processes — must agree exactly on this part; tests and
+        the parallel aggregation check compare it.
+        """
+        return replace(self, dispatch_time_s=0.0, wall_time_s=0.0, peak_rss_bytes=None)
+
+
+class StatsCollector:
+    """Mutable accumulator the engine writes into during a run.
+
+    One collector may observe any number of runs (the bench harness
+    reuses one per scenario cell); counters accumulate across runs and
+    :meth:`snapshot` freezes the running totals into a
+    :class:`RunStats`.  The Any Fit base class increments
+    ``candidate_scans`` / ``fit_checks`` directly on this object — plain
+    attribute adds, the cheapest hook Python offers.
+
+    Parameters
+    ----------
+    sink:
+        Optional :class:`~repro.observability.sinks.TraceSink`; each
+        finished run is emitted as a ``"run"`` record.
+    sample_rss:
+        When ``True``, record process peak RSS at every run end.
+    """
+
+    __slots__ = (
+        "sink",
+        "sample_rss",
+        "algorithm",
+        "runs",
+        "arrivals",
+        "departures",
+        "bins_opened",
+        "bins_closed",
+        "open_bins",
+        "peak_open_bins",
+        "candidate_scans",
+        "fit_checks",
+        "dispatch_time_s",
+        "wall_time_s",
+        "peak_rss_bytes",
+    )
+
+    def __init__(self, sink=None, sample_rss: bool = False) -> None:
+        self.sink = sink
+        self.sample_rss = sample_rss
+        self.algorithm = ""
+        self.runs = 0
+        self.arrivals = 0
+        self.departures = 0
+        self.bins_opened = 0
+        self.bins_closed = 0
+        self.open_bins = 0
+        self.peak_open_bins = 0
+        self.candidate_scans = 0
+        self.fit_checks = 0
+        self.dispatch_time_s = 0.0
+        self.wall_time_s = 0.0
+        self.peak_rss_bytes: Optional[int] = None
+
+    # -- engine hooks (called once per event; keep them lean) -----------
+    def run_started(self, instance, algorithm) -> None:
+        """Reset the per-run open-bin gauge and note the policy name."""
+        self.algorithm = getattr(algorithm, "name", type(algorithm).__name__)
+        self.open_bins = 0
+
+    def record_arrival(self, elapsed_s: float, opened_new: bool) -> None:
+        """One arrival dispatched in ``elapsed_s`` seconds."""
+        self.arrivals += 1
+        self.dispatch_time_s += elapsed_s
+        if opened_new:
+            self.bins_opened += 1
+            self.open_bins += 1
+            if self.open_bins > self.peak_open_bins:
+                self.peak_open_bins = self.open_bins
+
+    def record_departure(self, closed: bool) -> None:
+        """One departure processed (``closed`` iff it emptied its bin)."""
+        self.departures += 1
+        if closed:
+            self.bins_closed += 1
+            self.open_bins -= 1
+
+    def record_run_totals(
+        self,
+        arrivals: int,
+        departures: int,
+        bins_opened: int,
+        bins_closed: int,
+        peak_open_bins: int,
+        dispatch_time_s: float,
+    ) -> None:
+        """Bulk variant of the per-event hooks.
+
+        The engine accumulates per-event state in loop locals and pushes
+        the totals once per run through this method — functionally
+        identical to calling :meth:`record_arrival` /
+        :meth:`record_departure` per event, but without a method call on
+        the hot path.
+        """
+        self.arrivals += arrivals
+        self.departures += departures
+        self.bins_opened += bins_opened
+        self.bins_closed += bins_closed
+        if peak_open_bins > self.peak_open_bins:
+            self.peak_open_bins = peak_open_bins
+        self.dispatch_time_s += dispatch_time_s
+
+    def run_finished(self, wall_time_s: float, context: Optional[Mapping[str, Any]] = None) -> None:
+        """Close out one run: totals, optional RSS sample, sink emission."""
+        self.runs += 1
+        self.wall_time_s += wall_time_s
+        if self.sample_rss:
+            rss = _peak_rss_bytes()
+            if rss is not None:
+                self.peak_rss_bytes = max(self.peak_rss_bytes or 0, rss)
+        if self.sink is not None:
+            record = self.snapshot().to_dict()
+            if context:
+                record.update(context)
+            self.sink.emit("run", record)
+
+    # -- reading --------------------------------------------------------
+    def snapshot(self) -> RunStats:
+        """Freeze the running totals into an immutable :class:`RunStats`."""
+        return RunStats(
+            algorithm=self.algorithm,
+            runs=self.runs,
+            events=self.arrivals + self.departures,
+            arrivals=self.arrivals,
+            departures=self.departures,
+            bins_opened=self.bins_opened,
+            bins_closed=self.bins_closed,
+            peak_open_bins=self.peak_open_bins,
+            candidate_scans=self.candidate_scans,
+            fit_checks=self.fit_checks,
+            dispatch_time_s=self.dispatch_time_s,
+            wall_time_s=self.wall_time_s,
+            peak_rss_bytes=self.peak_rss_bytes,
+        )
+
+    def reset(self) -> None:
+        """Zero every accumulator (the sink binding is kept)."""
+        self.algorithm = ""
+        self.runs = 0
+        self.arrivals = 0
+        self.departures = 0
+        self.bins_opened = 0
+        self.bins_closed = 0
+        self.open_bins = 0
+        self.peak_open_bins = 0
+        self.candidate_scans = 0
+        self.fit_checks = 0
+        self.dispatch_time_s = 0.0
+        self.wall_time_s = 0.0
+        self.peak_rss_bytes = None

@@ -15,7 +15,7 @@ from .metrics import (
     cost_breakdown_by_bin,
     open_bins_timeline,
 )
-from .parallel import UnitResult, parallel_sweep
+from .parallel import UnitResult, aggregate_sweep_stats, parallel_sweep
 from .runner import compare_algorithms, run, run_many
 from .trace import TraceRecord, TraceRecorder, render_trace, traces_equal
 
@@ -33,6 +33,7 @@ __all__ = [
     "TraceRecord",
     "TraceRecorder",
     "UnitResult",
+    "aggregate_sweep_stats",
     "parallel_sweep",
     "render_trace",
     "traces_equal",

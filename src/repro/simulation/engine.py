@@ -15,6 +15,7 @@ experiment-agnostic.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Dict, List, Optional, Sequence
 
 from ..algorithms.base import OnlineAlgorithm
@@ -24,6 +25,7 @@ from ..core.events import EventKind, event_stream
 from ..core.instance import Instance
 from ..core.items import Item
 from ..core.packing import Packing
+from ..observability.stats import StatsCollector
 
 __all__ = ["SimulationObserver", "Engine", "simulate"]
 
@@ -66,10 +68,12 @@ class Engine:
         instance: Instance,
         algorithm: OnlineAlgorithm,
         observers: Sequence[SimulationObserver] = (),
+        collector: Optional[StatsCollector] = None,
     ) -> None:
         self.instance = instance
         self.algorithm = algorithm
         self.observers = list(observers)
+        self.collector = collector
         self.bins: List[Bin] = []
         self._bin_of_item: Dict[int, Bin] = {}
         self._assignment: Dict[int, int] = {}
@@ -77,10 +81,18 @@ class Engine:
 
     # ------------------------------------------------------------------
     def run(self) -> Packing:
-        """Execute the full event stream and return the final packing."""
+        """Execute the full event stream and return the final packing.
+
+        With ``collector=None`` (the default) the event loop is the
+        original uninstrumented fast path; with a collector the loop
+        additionally times each dispatch and feeds the per-event
+        counters (see docs/observability.md).
+        """
         if self._ran:
             raise AlgorithmError("Engine instances are single-use; build a new one")
         self._ran = True
+        if self.collector is not None:
+            return self._run_instrumented(self.collector)
 
         self.algorithm.start(self.instance)
         for obs in self.observers:
@@ -97,6 +109,76 @@ class Engine:
         )
         for obs in self.observers:
             obs.on_finish(packing)
+        return packing
+
+    def _run_instrumented(self, col: StatsCollector) -> Packing:
+        """The instrumented twin of :meth:`run`'s event loop.
+
+        Kept as a separate loop (rather than per-event ``if`` checks on
+        the shared path) so disabling instrumentation costs literally
+        nothing.  The collector is bound to the algorithm for the
+        duration of the run so the Any Fit hot path can count its
+        candidate scans, and unbound afterwards because algorithm
+        objects are reusable across engines.
+        """
+        t_run = perf_counter()
+        self.algorithm.bind_collector(col)
+        # Per-event state lives in locals and is pushed to the collector
+        # once at the end: local integer arithmetic keeps the overhead of
+        # an instrumented run within the documented <= 2% budget.
+        arrivals = departures = opened = closed_count = 0
+        open_bins = peak_open = 0
+        dispatch_s = 0.0
+        # Hot names bound to locals: the per-event lookups this saves
+        # (vs. the plain loop's attribute walks) pay for the two clock
+        # reads per arrival.
+        arrival_kind = EventKind.ARRIVAL
+        bins = self.bins
+        pc = perf_counter
+        handle_arrival = self._handle_arrival
+        handle_departure = self._handle_departure
+        try:
+            col.run_started(self.instance, self.algorithm)
+            self.algorithm.start(self.instance)
+            for obs in self.observers:
+                obs.on_start(self.instance, self.algorithm)
+
+            for event in event_stream(self.instance):
+                if event.kind is arrival_kind:
+                    t0 = pc()
+                    handle_arrival(event.item, event.time)
+                    dispatch_s += pc() - t0
+                    arrivals += 1
+                    if len(bins) > opened:
+                        opened += 1
+                        open_bins += 1
+                        if open_bins > peak_open:
+                            peak_open = open_bins
+                else:
+                    departures += 1
+                    if handle_departure(event.item, event.time):
+                        closed_count += 1
+                        open_bins -= 1
+
+            packing = Packing.from_assignment(
+                self.instance, self._assignment, algorithm=self.algorithm.name
+            )
+            for obs in self.observers:
+                obs.on_finish(packing)
+        finally:
+            self.algorithm.bind_collector(None)
+        col.record_run_totals(
+            arrivals=arrivals,
+            departures=departures,
+            bins_opened=opened,
+            bins_closed=closed_count,
+            peak_open_bins=peak_open,
+            dispatch_time_s=dispatch_s,
+        )
+        col.run_finished(
+            perf_counter() - t_run,
+            context={"instance": self.instance.name, "n": self.instance.n},
+        )
         return packing
 
     # ------------------------------------------------------------------
@@ -125,21 +207,23 @@ class Engine:
         for obs in self.observers:
             obs.on_packed(target, item, now, opened_new=bool(opened))
 
-    def _handle_departure(self, item: Item, now: float) -> None:
+    def _handle_departure(self, item: Item, now: float) -> bool:
         bin_ = self._bin_of_item.pop(item.uid)
         closed = bin_.remove(item, now)
         self.algorithm.notify_departure(bin_, item, now, closed)
         for obs in self.observers:
             obs.on_departed(bin_, item, now, closed)
+        return closed
 
 
 def simulate(
     algorithm: OnlineAlgorithm,
     instance: Instance,
     observers: Sequence[SimulationObserver] = (),
+    collector: Optional[StatsCollector] = None,
 ) -> Packing:
     """Convenience wrapper: run ``algorithm`` on ``instance`` once.
 
-    Equivalent to ``Engine(instance, algorithm, observers).run()``.
+    Equivalent to ``Engine(instance, algorithm, observers, collector).run()``.
     """
-    return Engine(instance, algorithm, observers).run()
+    return Engine(instance, algorithm, observers, collector).run()

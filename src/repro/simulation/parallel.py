@@ -24,21 +24,29 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..algorithms.registry import make_algorithm
 from ..core.instance import Instance
+from ..observability.stats import RunStats, StatsCollector
 from ..optimum.lower_bounds import height_lower_bound
 from .runner import run
 
-__all__ = ["UnitResult", "simulate_unit", "parallel_sweep"]
+__all__ = ["UnitResult", "simulate_unit", "parallel_sweep", "aggregate_sweep_stats"]
 
 
 @dataclass(frozen=True)
 class UnitResult:
-    """Result of one (algorithm, instance) work unit."""
+    """Result of one (algorithm, instance) work unit.
+
+    ``stats`` is populated (with the worker-side
+    :class:`~repro.observability.stats.RunStats`) only when the sweep
+    ran with ``collect_stats=True``; it rides back across the process
+    boundary as a small frozen record, never the full packing.
+    """
 
     algorithm: str
     instance_index: int
     cost: float
     num_bins: int
     lower_bound: float
+    stats: Optional[RunStats] = None
 
     @property
     def ratio(self) -> float:
@@ -51,19 +59,23 @@ def simulate_unit(
 ) -> UnitResult:
     """Worker entry point: simulate one algorithm on one instance.
 
-    ``payload`` is ``(name, kwargs, index, instance_dict, lower_bound)``.
-    Module-level (picklable) by design so it works with the spawn start
-    method.
+    ``payload`` is ``(name, kwargs, index, instance_dict, lower_bound)``
+    with an optional sixth ``collect_stats`` flag (older five-element
+    payloads remain valid).  Module-level (picklable) by design so it
+    works with the spawn start method.
     """
-    name, kwargs, index, inst_dict, lb = payload
+    name, kwargs, index, inst_dict, lb, *rest = payload
+    collect_stats = bool(rest[0]) if rest else False
     instance = Instance.from_dict(inst_dict)
-    packing = run(make_algorithm(name, **dict(kwargs)), instance)
+    collector = StatsCollector() if collect_stats else None
+    packing = run(make_algorithm(name, **dict(kwargs)), instance, collector=collector)
     return UnitResult(
         algorithm=name,
         instance_index=index,
         cost=packing.cost,
         num_bins=packing.num_bins,
         lower_bound=lb,
+        stats=collector.snapshot() if collector is not None else None,
     )
 
 
@@ -73,6 +85,7 @@ def parallel_sweep(
     processes: Optional[int] = None,
     algorithm_kwargs: Optional[Mapping[str, Mapping[str, object]]] = None,
     chunksize: int = 4,
+    collect_stats: bool = False,
 ) -> Dict[str, List[UnitResult]]:
     """Run every algorithm on every instance, possibly across processes.
 
@@ -89,6 +102,12 @@ def parallel_sweep(
         Optional per-algorithm constructor kwargs.
     chunksize:
         Futures map chunk size (coarser = less IPC overhead).
+    collect_stats:
+        When ``True``, every worker instruments its run and ships the
+        per-run :class:`~repro.observability.stats.RunStats` back on
+        ``UnitResult.stats``; aggregate across workers with
+        :func:`aggregate_sweep_stats`.  The deterministic counters of
+        the aggregate are identical for any ``processes`` value.
 
     Returns
     -------
@@ -100,7 +119,7 @@ def parallel_sweep(
     lbs = [height_lower_bound(inst) for inst in instances]
     inst_dicts = [inst.to_dict() for inst in instances]
     payloads = [
-        (name, dict(algorithm_kwargs.get(name, {})), i, inst_dicts[i], lbs[i])
+        (name, dict(algorithm_kwargs.get(name, {})), i, inst_dicts[i], lbs[i], collect_stats)
         for name in algorithms
         for i in range(len(instances))
     ]
@@ -118,3 +137,20 @@ def parallel_sweep(
     for name in algorithms:
         out[name].sort(key=lambda r: r.instance_index)
     return out
+
+
+def aggregate_sweep_stats(
+    results: Mapping[str, Sequence[UnitResult]]
+) -> Dict[str, RunStats]:
+    """Combine per-worker run stats into one record per algorithm.
+
+    ``results`` is the mapping :func:`parallel_sweep` returns (run with
+    ``collect_stats=True``).  Counters sum across instances, peaks take
+    the max — see :meth:`~repro.observability.stats.RunStats.aggregate`.
+    Units that carried no stats are skipped; an algorithm with no stats
+    at all aggregates to an empty record.
+    """
+    return {
+        name: RunStats.aggregate(u.stats for u in units if u.stats is not None)
+        for name, units in results.items()
+    }

@@ -13,6 +13,7 @@ from ..algorithms.base import OnlineAlgorithm
 from ..algorithms.registry import make_algorithm
 from ..core.instance import Instance
 from ..core.packing import Packing
+from ..observability.stats import StatsCollector
 from .engine import Engine, SimulationObserver
 
 __all__ = ["run", "run_many", "compare_algorithms"]
@@ -29,6 +30,7 @@ def run(
     instance: Instance,
     observers: Sequence[SimulationObserver] = (),
     validate: bool = False,
+    collector: Optional[StatsCollector] = None,
 ) -> Packing:
     """Run one algorithm on one instance.
 
@@ -45,8 +47,12 @@ def run(
         feasibility before being returned (raises
         :class:`~repro.core.errors.PackingAuditError` on violation).
         Experiments enable this in tests and disable it in hot loops.
+    collector:
+        Optional :class:`~repro.observability.stats.StatsCollector`;
+        when given, the engine records per-run counters and timings into
+        it (``None`` keeps the uninstrumented fast path).
     """
-    packing = Engine(instance, _resolve(algorithm), observers).run()
+    packing = Engine(instance, _resolve(algorithm), observers, collector).run()
     if validate:
         packing.validate()
     return packing
@@ -56,14 +62,16 @@ def run_many(
     algorithm: AlgorithmSpec,
     instances: Iterable[Instance],
     validate: bool = False,
+    collector: Optional[StatsCollector] = None,
 ) -> List[Packing]:
     """Run one algorithm over a sequence of instances.
 
     The same algorithm object is reused (its ``start`` resets state), so
-    string specs are resolved once.
+    string specs are resolved once.  A shared ``collector`` accumulates
+    stats across all runs (``RunStats.runs`` counts them).
     """
     algo = _resolve(algorithm)
-    return [run(algo, inst, validate=validate) for inst in instances]
+    return [run(algo, inst, validate=validate, collector=collector) for inst in instances]
 
 
 def compare_algorithms(

@@ -1,0 +1,150 @@
+"""Tests for the perf-baseline bench suite and its CLI/script entry points.
+
+Everything runs at smoke scale (seconds) — the core suite's shape is
+identical, only the scenario grid differs.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.algorithms.registry import PAPER_ALGORITHMS
+from repro.cli import main
+from repro.observability import MemorySink
+from repro.observability.bench import (
+    BASE_SEED,
+    CORE_SCENARIOS,
+    MEDIUM_SCENARIO,
+    SCHEMA,
+    SMOKE_SCENARIOS,
+    BenchScenario,
+    measure_overhead,
+    run_scenario,
+    run_suite,
+    write_bench,
+)
+
+FAST = BenchScenario(name="tiny", d=1, n=30, size="small", mu=5, T=100, B=10,
+                     seed=BASE_SEED)
+
+
+class TestScenarios:
+    def test_core_grid_shape(self):
+        assert len(CORE_SCENARIOS) == 9  # d in {1,2,4} x 3 sizes
+        assert {s.d for s in CORE_SCENARIOS} == {1, 2, 4}
+        assert {s.size for s in CORE_SCENARIOS} == {"small", "medium", "large"}
+        # seeds are pinned and unique per cell
+        assert len({s.seed for s in CORE_SCENARIOS}) == len(CORE_SCENARIOS)
+
+    def test_medium_scenario_is_in_the_core_grid(self):
+        assert MEDIUM_SCENARIO in CORE_SCENARIOS
+        assert MEDIUM_SCENARIO.d == 2 and MEDIUM_SCENARIO.size == "medium"
+
+    def test_instances_are_reproducible(self):
+        a = FAST.build_instance()
+        b = FAST.build_instance()
+        assert a.to_dict() == b.to_dict()
+
+
+class TestRunScenario:
+    @pytest.fixture(scope="class")
+    def record(self):
+        return run_scenario(FAST, repeats=1)
+
+    def test_covers_all_seven_paper_algorithms(self, record):
+        assert sorted(record["results"]) == sorted(PAPER_ALGORITHMS)
+        assert len(record["results"]) == 7
+
+    def test_cell_fields(self, record):
+        for name, cell in record["results"].items():
+            assert cell["wall_time_s"] > 0.0
+            assert cell["events_per_sec"] > 0.0
+            assert cell["cost_ratio"] >= 1.0 - 1e-9, name
+            assert cell["events"] == 2 * FAST.n
+            assert cell["num_bins"] >= 1
+            assert cell["cost"] == pytest.approx(
+                cell["cost_ratio"] * record["lower_bound"])
+
+    def test_emits_scenario_record_to_sink(self):
+        sink = MemorySink()
+        run_scenario(FAST, algorithms=["first_fit"], repeats=1, sink=sink)
+        assert len(sink.by_kind("scenario")) == 1
+        # one "run" record per repeat per algorithm
+        assert len(sink.by_kind("run")) == 1
+
+
+class TestRunSuite:
+    def test_payload_schema(self, tmp_path):
+        payload = run_suite(scenarios=[FAST], algorithms=["first_fit", "next_fit"],
+                            repeats=1, suite="smoke")
+        assert payload["schema"] == SCHEMA
+        assert payload["suite"] == "smoke"
+        assert payload["algorithms"] == ["first_fit", "next_fit"]
+        assert len(payload["scenarios"]) == 1
+        path = tmp_path / "BENCH_test.json"
+        write_bench(payload, str(path))
+        reread = json.loads(path.read_text())
+        assert reread == json.loads(json.dumps(payload))  # JSON-stable
+
+    def test_progress_callback_invoked(self):
+        lines = []
+        run_suite(scenarios=[FAST], algorithms=["first_fit"], repeats=1,
+                  progress=lines.append)
+        assert len(lines) == 1 and "tiny" in lines[0]
+
+    def test_smoke_scenarios_are_small(self):
+        assert all(s.n <= 100 for s in SMOKE_SCENARIOS)
+
+
+class TestMeasureOverhead:
+    def test_report_fields(self):
+        report = measure_overhead(scenario=FAST, repeats=2)
+        assert report["scenario"] == "tiny"
+        assert report["plain_s"] > 0.0
+        assert report["instrumented_s"] > 0.0
+        assert isinstance(report["overhead_frac"], float)
+
+
+class TestCliBench:
+    def test_bench_subcommand_writes_json(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_core.json"
+        trace = tmp_path / "trace.jsonl"
+        code = main(["bench", "--suite", "smoke", "--repeats", "1",
+                     "--output", str(out), "--trace", str(trace)])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["suite"] == "smoke"
+        assert {s["name"] for s in payload["scenarios"]} == \
+            {s.name for s in SMOKE_SCENARIOS}
+        # trace got one run record per (scenario, algorithm, repeat)
+        kinds = [json.loads(line)["kind"] for line in trace.read_text().splitlines()]
+        assert kinds.count("run") == len(SMOKE_SCENARIOS) * len(PAPER_ALGORITHMS)
+        assert kinds.count("suite") == 1
+        assert "wrote" in capsys.readouterr().out
+
+    def test_bench_overhead_flag(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        code = main(["bench", "--suite", "smoke", "--repeats", "1",
+                     "--output", str(out), "--overhead"])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert "overhead" in payload
+        assert "overhead" in capsys.readouterr().out
+
+
+class TestHarnessScript:
+    def test_script_main_smoke(self, tmp_path, capsys):
+        import importlib.util
+        import pathlib
+
+        script = pathlib.Path(__file__).resolve().parents[1] / "benchmarks" / "harness.py"
+        spec = importlib.util.spec_from_file_location("bench_harness_script", script)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        out = tmp_path / "BENCH_core.json"
+        assert module.main(["--suite", "smoke", "--repeats", "1",
+                            "--output", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["schema"] == SCHEMA

@@ -1,0 +1,159 @@
+#!/usr/bin/env python
+"""Documentation gate: links resolve, code blocks run, api.md is complete.
+
+Run from anywhere (the repo root is derived from this file's location):
+
+    python tools/check_docs.py
+
+Three checks, any failure exits non-zero with a per-item report:
+
+1. **Links** — every intra-repo markdown link (``[text](relative/path)``)
+   in the checked files points at a file that exists.  External
+   (``http``/``mailto``) and pure-fragment (``#...``) links are skipped.
+2. **Code blocks** — every ``python`` fenced block either executes (if
+   it is doctest-style, i.e. its first line starts with ``>>>``) or at
+   least compiles.  All doctest blocks of one markdown file run in a
+   single shared-globals session, so later blocks may reuse names bound
+   by earlier ones (the docs are written that way on purpose).
+3. **API coverage** — every module under ``src/repro`` is mentioned by
+   its dotted name in ``docs/api.md``; new modules must be documented
+   before CI goes green.
+"""
+
+from __future__ import annotations
+
+import doctest
+import re
+import sys
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+REPO = Path(__file__).resolve().parents[1]
+SRC = REPO / "src"
+
+#: Markdown files under the gate.  Driver-owned scratch files (ISSUE,
+#: PAPER(S), SNIPPETS, CHANGES) are deliberately out of scope.
+CHECKED_FILES = [
+    REPO / "README.md",
+    REPO / "DESIGN.md",
+    REPO / "EXPERIMENTS.md",
+    REPO / "ROADMAP.md",
+    *sorted((REPO / "docs").glob("*.md")),
+]
+
+LINK_RE = re.compile(r"\[[^\]\[]*\]\(([^)\s]+)\)")
+FENCE_RE = re.compile(r"^```(\w*)\s*$")
+
+
+def iter_code_blocks(text: str) -> List[Tuple[str, int, str]]:
+    """Yield ``(language, start_line, body)`` for each fenced block."""
+    blocks = []
+    lang, start, buf = None, 0, []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        m = FENCE_RE.match(line)
+        if m and lang is None:
+            lang, start, buf = m.group(1) or "", lineno, []
+        elif line.strip() == "```" and lang is not None:
+            blocks.append((lang, start, "\n".join(buf)))
+            lang = None
+        elif lang is not None:
+            buf.append(line)
+    return blocks
+
+
+def check_links(path: Path, text: str, errors: List[str]) -> None:
+    for target in LINK_RE.findall(text):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        rel = target.split("#", 1)[0]
+        if not rel:
+            continue
+        if not (path.parent / rel).exists():
+            errors.append(f"{path.relative_to(REPO)}: broken link -> {target}")
+
+
+def check_code_blocks(path: Path, text: str, errors: List[str]) -> None:
+    doctest_blocks: List[Tuple[int, str]] = []
+    for lang, lineno, body in iter_code_blocks(text):
+        if lang != "python":
+            continue
+        stripped = body.lstrip()
+        if stripped.startswith(">>>"):
+            doctest_blocks.append((lineno, body))
+        else:
+            try:
+                compile(body, f"{path.name}:{lineno}", "exec")
+            except SyntaxError as exc:
+                errors.append(
+                    f"{path.relative_to(REPO)}:{lineno}: block does not "
+                    f"compile: {exc}"
+                )
+    if not doctest_blocks:
+        return
+    # One shared-globals session per file: later blocks reuse earlier names.
+    source = "\n".join(body for _, body in doctest_blocks)
+    parser = doctest.DocTestParser()
+    test = parser.get_doctest(source, {}, path.name, str(path), 0)
+    runner = doctest.DocTestRunner(optionflags=doctest.ELLIPSIS, verbose=False)
+    failures: List[str] = []
+    runner.run(test, out=failures.append)
+    if runner.failures or runner.tries == 0 and doctest_blocks:
+        detail = "".join(failures).strip() or "no examples parsed"
+        errors.append(
+            f"{path.relative_to(REPO)}: doctest session failed "
+            f"({runner.failures}/{runner.tries}):\n{detail}"
+        )
+
+
+def public_modules() -> Dict[str, Path]:
+    """Dotted name -> path for every module under ``src/repro``."""
+    out: Dict[str, Path] = {}
+    for py in sorted((SRC / "repro").rglob("*.py")):
+        rel = py.relative_to(SRC)
+        parts = list(rel.with_suffix("").parts)
+        if parts[-1] == "__init__":
+            parts = parts[:-1]  # the package itself
+        if not parts or any(
+            p.startswith("_") and p != "__main__" for p in parts
+        ):
+            continue
+        out[".".join(parts)] = py
+    return out
+
+
+def check_api_coverage(errors: List[str]) -> int:
+    api_text = (REPO / "docs" / "api.md").read_text(encoding="utf-8")
+    modules = public_modules()
+    for dotted in sorted(modules):
+        if dotted == "repro":
+            continue
+        if dotted not in api_text:
+            errors.append(f"docs/api.md: module {dotted} is not documented")
+    return len(modules)
+
+
+def main() -> int:
+    sys.path.insert(0, str(SRC))
+    errors: List[str] = []
+    for path in CHECKED_FILES:
+        if not path.exists():
+            errors.append(f"missing checked file: {path.relative_to(REPO)}")
+            continue
+        text = path.read_text(encoding="utf-8")
+        check_links(path, text, errors)
+        check_code_blocks(path, text, errors)
+    n_modules = check_api_coverage(errors)
+    if errors:
+        print(f"check_docs: {len(errors)} problem(s)")
+        for err in errors:
+            print(f"  - {err}")
+        return 1
+    print(
+        f"check_docs: OK ({len(CHECKED_FILES)} files, "
+        f"{n_modules} modules covered by docs/api.md)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
