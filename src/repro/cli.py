@@ -10,7 +10,10 @@ Subcommands regenerate each paper artefact:
 * ``compare`` — run all registered algorithms on one generated instance
   and print the metric table (a quick interactive probe);
 * ``bench``   — the pinned-seed perf-baseline suite (writes the
-  ``BENCH_core.json`` trajectory file; see docs/observability.md).
+  ``BENCH_core.json`` trajectory file; see docs/observability.md);
+* ``verify``  — the differential/invariant fuzzing harness
+  (``--profile quick|deep``; see docs/verification.md) or a single
+  Theorem 2/4 proof decomposition (``--theorem``).
 """
 
 from __future__ import annotations
@@ -122,13 +125,23 @@ def _build_parser() -> argparse.ArgumentParser:
                     help="measure and report instrumented-vs-plain engine overhead")
 
     pv = sub.add_parser(
-        "verify", help="check the Theorem 2/4 proof decompositions on a run"
+        "verify",
+        help="run the differential/invariant fuzz harness (--profile) or "
+             "check a Theorem 2/4 proof decomposition (--theorem)",
     )
+    pv.add_argument("--profile", choices=["quick", "deep"], default=None,
+                    help="run the repro.verify harness: every corpus instance "
+                         "through all seven policies against the reference "
+                         "simulator and invariant auditor")
+    pv.add_argument("--instances", type=int, default=None,
+                    help="override the profile's corpus size (replay/debug)")
     pv.add_argument("--theorem", type=int, choices=[2, 4], default=2)
     pv.add_argument("--d", type=int, default=2)
     pv.add_argument("--n", type=int, default=300)
     pv.add_argument("--mu", type=int, default=20)
-    pv.add_argument("--seed", type=int, default=0)
+    pv.add_argument("--seed", type=int, default=None,
+                    help="workload seed (--theorem path) or corpus seed "
+                         "override (--profile path)")
 
     return parser
 
@@ -255,9 +268,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"suite finished in {payload['total_wall_time_s']:.1f} s; "
               f"wrote {args.output}")
     elif args.command == "verify":
+        if args.profile is not None:
+            from .verify import run_verify
+
+            report = run_verify(
+                profile=args.profile, instances=args.instances,
+                seed=args.seed, progress=print,
+            )
+            print(report.render())
+            return 0 if report.ok else 1
+
         from .analysis.proofs import verify_theorem2, verify_theorem4
 
-        instance = UniformWorkload(d=args.d, n=args.n, mu=args.mu).sample_seeded(args.seed)
+        seed = 0 if args.seed is None else args.seed
+        instance = UniformWorkload(d=args.d, n=args.n, mu=args.mu).sample_seeded(seed)
         report = (verify_theorem2 if args.theorem == 2 else verify_theorem4)(instance)
         rows = [
             [c.name, c.lhs, c.rhs, "OK" if c.holds else "VIOLATED"]

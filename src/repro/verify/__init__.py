@@ -1,0 +1,76 @@
+"""repro.verify — differential & property-based verification subsystem.
+
+Turns the paper's theorems into executable checks: a brute-force
+reference simulator every registry policy is replayed against
+(:mod:`~repro.verify.reference`), an invariant auditor asserting
+feasibility, half-open semantics, the Any Fit property, and the
+Theorem 2/3/4 upper bounds per run (:mod:`~repro.verify.invariants`),
+first-principles cost and sweep-path differentials
+(:mod:`~repro.verify.oracles`), a deterministic fuzz corpus
+(:mod:`~repro.verify.generators`), mutation smoke-tests proving the
+auditor has teeth (:mod:`~repro.verify.mutation`), and the profile-driven
+harness behind ``repro verify --profile quick|deep``
+(:mod:`~repro.verify.harness`).
+
+Hypothesis strategies for property-based tests live in
+:mod:`repro.verify.strategies`; import that module explicitly (it
+requires the ``test`` extra, everything else here does not).
+"""
+
+from .generators import CORPUS_RECIPES, CorpusItem, corpus, corpus_list
+from .harness import PROFILES, VerifyProfile, VerifyReport, run_verify
+from .invariants import (
+    FULL_LIST_POLICIES,
+    THEOREM_BOUND_POLICIES,
+    Violation,
+    audit_instance,
+    audit_run,
+    check_any_fit,
+    check_capacity,
+    check_half_open,
+    check_opt_ordering,
+    check_theorem_bound,
+)
+from .mutation import MutationReport, broken_fit, mutation_smoke_test
+from .oracles import (
+    compare_with_reference,
+    cost_check,
+    differential_check,
+    eq1_cost,
+    instrumented_equality_check,
+    sweep_equality_check,
+)
+from .reference import REFERENCE_POLICIES, ReferenceResult, ReferenceSimulator
+
+__all__ = [
+    "CORPUS_RECIPES",
+    "CorpusItem",
+    "corpus",
+    "corpus_list",
+    "PROFILES",
+    "VerifyProfile",
+    "VerifyReport",
+    "run_verify",
+    "FULL_LIST_POLICIES",
+    "THEOREM_BOUND_POLICIES",
+    "Violation",
+    "audit_instance",
+    "audit_run",
+    "check_any_fit",
+    "check_capacity",
+    "check_half_open",
+    "check_opt_ordering",
+    "check_theorem_bound",
+    "MutationReport",
+    "broken_fit",
+    "mutation_smoke_test",
+    "compare_with_reference",
+    "cost_check",
+    "differential_check",
+    "eq1_cost",
+    "instrumented_equality_check",
+    "sweep_equality_check",
+    "REFERENCE_POLICIES",
+    "ReferenceResult",
+    "ReferenceSimulator",
+]

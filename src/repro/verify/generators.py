@@ -1,0 +1,190 @@
+"""Deterministic fuzz corpus: the instance stream the verify harness replays.
+
+The harness (:mod:`repro.verify.harness`) needs many *diverse* instances
+— random workloads across dimensions and duration ratios, the paper's
+adversarial gadgets, and hand-built edge shapes that stress the exact
+behaviours the oracles check (simultaneous events, exact-fit boundaries,
+half-open departure/arrival ties).  It also needs the stream to be a pure
+function of one integer seed, so a CI fuzz run is reproducible and a
+reported violation can be replayed by index.
+
+This module is that stream.  :func:`corpus` cycles a fixed recipe list
+(:data:`CORPUS_RECIPES`), giving each drawn instance an independent
+``SeedSequence``-spawned RNG (the same collision-free scheme
+:mod:`repro.workloads.base` uses for experiment batches).
+
+Hypothesis-driven *search* for failing inputs lives separately in
+:mod:`repro.verify.strategies`; this corpus trades search power for
+determinism and zero test-time dependencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Tuple
+
+import numpy as np
+
+from ..core.instance import Instance
+from ..core.items import Item
+from ..workloads.adversarial import (
+    best_fit_trap,
+    theorem5_instance,
+    theorem6_instance,
+    theorem8_instance,
+)
+from ..workloads.correlated import CorrelatedWorkload
+from ..workloads.poisson import PoissonWorkload
+from ..workloads.uniform import UniformWorkload
+
+__all__ = ["CorpusItem", "CORPUS_RECIPES", "corpus", "corpus_list"]
+
+#: Dimensions the fuzz corpus sweeps (the ISSUE's d grid).
+DIMENSIONS: Tuple[int, ...] = (1, 2, 4, 8)
+
+
+@dataclass(frozen=True)
+class CorpusItem:
+    """One corpus entry: the instance plus provenance for replay."""
+
+    index: int
+    recipe: str
+    instance: Instance
+
+
+# ----------------------------------------------------------------------
+# edge-shape builders (deterministic given an rng)
+# ----------------------------------------------------------------------
+
+def _edge_static_burst(rng: np.random.Generator) -> Instance:
+    """All items arrive at t=0 with equal durations: a static VBP slice."""
+    d = int(rng.choice(DIMENSIONS))
+    n = int(rng.integers(4, 16))
+    sizes = rng.integers(1, 9, size=(n, d)) / 8.0
+    items = [Item(0.0, 1.0, sizes[i], uid=i) for i in range(n)]
+    return Instance(items, name="edge_static_burst")
+
+
+def _edge_departure_chain(rng: np.random.Generator) -> Instance:
+    """Item ``i+1`` arrives exactly when item ``i`` departs.
+
+    Under the half-open ``[a, e)`` rule each arrival must be able to
+    reuse the capacity its predecessor just freed — the sharpest test of
+    tie-breaking (departures before arrivals at equal times).
+    """
+    d = int(rng.choice((1, 2, 4)))
+    n = int(rng.integers(3, 10))
+    size = np.full(d, 1.0)  # each item fills the whole bin
+    items = [Item(float(i), float(i + 1), size.copy(), uid=i) for i in range(n)]
+    return Instance(items, name="edge_departure_chain")
+
+
+def _edge_exact_fit(rng: np.random.Generator) -> Instance:
+    """Pairs that exactly sum to capacity: fit checks at the boundary."""
+    d = int(rng.choice((1, 2)))
+    k = int(rng.integers(2, 7))
+    items: List[Item] = []
+    uid = 0
+    for i in range(k):
+        a = float(i)
+        frac = float(rng.integers(1, 8)) / 8.0
+        for s in (frac, 1.0 - frac):
+            items.append(Item(a, a + float(rng.integers(1, 4)), np.full(d, s), uid=uid))
+            uid += 1
+    items.sort(key=lambda it: it.arrival)
+    return Instance([it.with_uid(i) for i, it in enumerate(items)], name="edge_exact_fit")
+
+
+def _edge_single_item(rng: np.random.Generator) -> Instance:
+    d = int(rng.choice(DIMENSIONS))
+    dur = float(rng.integers(1, 20))
+    return Instance([Item(0.0, dur, rng.uniform(0.05, 1.0, size=d), uid=0)],
+                    name="edge_single_item")
+
+
+def _edge_mu_extremes(rng: np.random.Generator) -> Instance:
+    """One very long item under a stream of unit-length items (μ large)."""
+    d = int(rng.choice((1, 2, 4)))
+    mu = float(rng.choice((8.0, 32.0, 128.0)))
+    items = [Item(0.0, mu, rng.uniform(0.1, 0.5, size=d), uid=0)]
+    n = int(rng.integers(5, 20))
+    for i in range(1, n + 1):
+        a = float(rng.integers(0, int(mu)))
+        items.append(Item(a, a + 1.0, rng.uniform(0.1, 0.9, size=d), uid=i))
+    items.sort(key=lambda it: it.arrival)
+    return Instance([it.with_uid(i) for i, it in enumerate(items)],
+                    name="edge_mu_extremes")
+
+
+# ----------------------------------------------------------------------
+# the recipe list
+# ----------------------------------------------------------------------
+
+def _uniform(d: int, mu: int, B: int) -> Callable[[np.random.Generator], Instance]:
+    gen = UniformWorkload(d=d, n=30, mu=mu, T=4 * mu + 8, B=B, name=f"uniform_d{d}_mu{mu}")
+    return gen.sample
+
+
+def _poisson(d: int) -> Callable[[np.random.Generator], Instance]:
+    gen = PoissonWorkload(d=d, rate=1.5, horizon=20.0, min_items=4, name=f"poisson_d{d}")
+    return gen.sample
+
+
+def _correlated(d: int, rho: float) -> Callable[[np.random.Generator], Instance]:
+    gen = CorrelatedWorkload(d=d, n=25, rho=rho, mu=8, name=f"correlated_d{d}")
+    return gen.sample
+
+
+def _gadget(builder, **kwargs) -> Callable[[np.random.Generator], Instance]:
+    def build(_rng: np.random.Generator) -> Instance:
+        return builder(**kwargs).instance
+
+    return build
+
+
+#: ``(name, builder)`` pairs; :func:`corpus` cycles this list.  Roughly
+#: half random workloads over the d × μ grid, a quarter theorem gadgets,
+#: a quarter hand-built edge shapes.
+CORPUS_RECIPES: List[Tuple[str, Callable[[np.random.Generator], Instance]]] = [
+    ("uniform_d1_mu2", _uniform(1, 2, 10)),
+    ("uniform_d1_mu20", _uniform(1, 20, 10)),
+    ("uniform_d2_mu5", _uniform(2, 5, 10)),
+    ("uniform_d2_mu10_B100", _uniform(2, 10, 100)),
+    ("uniform_d4_mu5", _uniform(4, 5, 10)),
+    ("uniform_d8_mu3", _uniform(8, 3, 10)),
+    ("poisson_d1", _poisson(1)),
+    ("poisson_d2", _poisson(2)),
+    ("poisson_d4", _poisson(4)),
+    ("correlated_d2", _correlated(2, 0.8)),
+    ("correlated_d4", _correlated(4, 0.3)),
+    ("theorem5_d1_k3", _gadget(theorem5_instance, d=1, k=3, mu=4.0)),
+    ("theorem5_d2_k2", _gadget(theorem5_instance, d=2, k=2, mu=6.0)),
+    ("theorem6_d1_k4", _gadget(theorem6_instance, d=1, k=4, mu=4.0)),
+    ("theorem6_d2_k2", _gadget(theorem6_instance, d=2, k=2, mu=3.0)),
+    ("theorem8_n12", _gadget(theorem8_instance, n=12, mu=5.0)),
+    ("best_fit_trap_k3", _gadget(best_fit_trap, k=3)),
+    ("edge_static_burst", _edge_static_burst),
+    ("edge_departure_chain", _edge_departure_chain),
+    ("edge_exact_fit", _edge_exact_fit),
+    ("edge_single_item", _edge_single_item),
+    ("edge_mu_extremes", _edge_mu_extremes),
+]
+
+
+def corpus(count: int, seed: int = 0) -> Iterator[CorpusItem]:
+    """Yield ``count`` corpus instances, a pure function of ``seed``.
+
+    Entry ``i`` uses recipe ``i % len(CORPUS_RECIPES)`` with the ``i``-th
+    spawned child seed, so any single entry can be regenerated without
+    replaying the stream.
+    """
+    children = np.random.SeedSequence(seed).spawn(count)
+    for i in range(count):
+        name, build = CORPUS_RECIPES[i % len(CORPUS_RECIPES)]
+        instance = build(np.random.default_rng(children[i]))
+        yield CorpusItem(index=i, recipe=name, instance=instance)
+
+
+def corpus_list(count: int, seed: int = 0) -> List[CorpusItem]:
+    """Materialised form of :func:`corpus`."""
+    return list(corpus(count, seed))

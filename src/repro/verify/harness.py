@@ -1,0 +1,256 @@
+"""The theorem-bound fuzzing harness behind ``repro verify --profile …``.
+
+Drives the whole verification subsystem over a deterministic corpus
+(:mod:`repro.verify.generators`): every corpus instance is checked for
+the algorithm-free invariants, then replayed through all seven Section 7
+policies with the differential oracle, the invariant auditor, and the
+Eq. 1 cost recomputation; a stride of (instance, policy) pairs
+additionally runs the plain-vs-instrumented engine differential, and one
+small batch exercises the serial-vs-worker sweep equality.  The run ends
+with the mutation smoke-test — if an injected mutant goes *uncaught*,
+the harness itself is broken, and that is reported as a violation like
+any other.
+
+Every engine run is instrumented through one shared
+:class:`~repro.observability.stats.StatsCollector`, so the report carries
+the oracle path's work counters (events, fit checks, dispatch time) in
+the same :class:`~repro.observability.stats.RunStats` currency as the
+perf-baseline suite — BENCH trajectory comparisons can therefore track
+the verification workload too.
+
+Profiles
+--------
+``quick``
+    220 instances, every policy, instrumented differential every 5th
+    pair — the CI gate (seconds to a couple of minutes).
+``deep``
+    1000 instances, instrumented differential on every pair, plus exact
+    tiny-instance optimum cross-checks — the scheduled fuzz job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..algorithms.registry import PAPER_ALGORITHMS, make_algorithm
+from ..core.errors import ConfigurationError, SolverLimitError
+from ..observability.stats import RunStats, StatsCollector
+from ..optimum.lower_bounds import opt_lower_bound
+from ..optimum.opt_cost import optimum_cost, optimum_cost_bounds
+from ..simulation.runner import run
+from .generators import corpus
+from .invariants import Violation, audit_instance, audit_run
+from .mutation import MutationReport, mutation_smoke_test
+from .oracles import (
+    compare_with_reference,
+    cost_check,
+    instrumented_equality_check,
+    sweep_equality_check,
+)
+
+__all__ = ["VerifyProfile", "PROFILES", "VerifyReport", "run_verify"]
+
+_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class VerifyProfile:
+    """Knobs of one harness configuration."""
+
+    name: str
+    instances: int
+    seed: int
+    policies: Tuple[str, ...] = tuple(PAPER_ALGORITHMS)
+    #: run the plain-vs-instrumented differential on every k-th
+    #: (instance, policy) pair
+    instrumented_stride: int = 5
+    #: corpus prefix size for the serial-vs-worker sweep equality check
+    sweep_batch: int = 6
+    #: cross-check the exact optimum on instances with at most this many
+    #: items (0 disables; expensive)
+    exact_opt_max_items: int = 0
+
+
+PROFILES = {
+    "quick": VerifyProfile(name="quick", instances=220, seed=20230613),
+    "deep": VerifyProfile(
+        name="deep",
+        instances=1000,
+        seed=20230613,
+        instrumented_stride=1,
+        sweep_batch=12,
+        exact_opt_max_items=12,
+    ),
+}
+
+
+@dataclass
+class VerifyReport:
+    """Everything one harness run learned."""
+
+    profile: str
+    instances_checked: int = 0
+    runs: int = 0
+    checks: int = 0
+    violations: List[Tuple[str, Violation]] = field(default_factory=list)
+    mutation: Optional[MutationReport] = None
+    stats: RunStats = field(default_factory=RunStats)
+    wall_time_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """True iff no invariant was violated and every mutant was caught."""
+        return not self.violations and (self.mutation is None or self.mutation.all_caught)
+
+    def render(self) -> str:
+        """Human-readable multi-line summary (the CLI output)."""
+        lines = [
+            f"verify profile={self.profile}: {self.instances_checked} instances, "
+            f"{self.runs} policy runs, {self.checks} checks "
+            f"in {self.wall_time_s:.1f} s",
+            f"  work counters: events={self.stats.events}, "
+            f"fit_checks={self.stats.fit_checks}, "
+            f"candidate_scans={self.stats.candidate_scans}, "
+            f"dispatch_time={self.stats.dispatch_time_s:.3f} s",
+        ]
+        if self.mutation is not None:
+            lines.append(
+                "  mutation smoke-test: broken-fit "
+                f"{'CAUGHT' if self.mutation.capacity_caught else 'MISSED'}, "
+                "eager-open "
+                f"{'CAUGHT' if self.mutation.any_fit_caught else 'MISSED'}"
+            )
+        if self.violations:
+            lines.append(f"  VIOLATIONS ({len(self.violations)}):")
+            for where, v in self.violations[:20]:
+                lines.append(f"    {where}: {v}")
+            if len(self.violations) > 20:
+                lines.append(f"    ... and {len(self.violations) - 20} more")
+        else:
+            lines.append("  all invariants held")
+        return "\n".join(lines)
+
+
+def _exact_opt_check(instance, cost_by_policy) -> List[Violation]:
+    """Deep-profile cross-check: bracket and bound the *exact* optimum."""
+    try:
+        opt = optimum_cost(instance, max_nodes_per_segment=50_000)
+    except SolverLimitError:
+        return []
+    lb = opt_lower_bound(instance)
+    lo, hi = optimum_cost_bounds(instance)
+    out: List[Violation] = []
+    if not (lb <= opt + _TOL and lo <= opt + _TOL and opt <= hi + _TOL):
+        out.append(Violation(
+            "exact-opt",
+            f"exact OPT {opt:.6g} outside certified bracket "
+            f"[{lo:.6g}, {hi:.6g}] (Lemma 1 LB {lb:.6g})",
+        ))
+    for policy, cost in cost_by_policy.items():
+        if cost + _TOL * max(1.0, cost) < opt:
+            out.append(Violation(
+                "exact-opt",
+                f"{policy} cost {cost:.6g} beats the exact optimum {opt:.6g}",
+            ))
+    return out
+
+
+def run_verify(
+    profile: str = "quick",
+    instances: Optional[int] = None,
+    seed: Optional[int] = None,
+    collector: Optional[StatsCollector] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> VerifyReport:
+    """Run the verification harness and return its report.
+
+    Parameters
+    ----------
+    profile:
+        ``"quick"`` or ``"deep"`` (see :data:`PROFILES`).
+    instances / seed:
+        Optional overrides of the profile's corpus size and seed (used
+        by tests and for violation replay).
+    collector:
+        Stats collector every engine run is instrumented through; a
+        fresh one is created when omitted.  The report's ``stats`` field
+        is its snapshot.
+    progress:
+        Optional ``print``-like callable for periodic progress lines.
+    """
+    try:
+        prof = PROFILES[profile]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown verify profile {profile!r}; available: "
+            f"{', '.join(sorted(PROFILES))}"
+        ) from None
+    count = prof.instances if instances is None else int(instances)
+    corpus_seed = prof.seed if seed is None else int(seed)
+    col = collector if collector is not None else StatsCollector()
+    report = VerifyReport(profile=prof.name)
+    t0 = perf_counter()
+
+    sweep_prefix = []
+    for entry in corpus(count, seed=corpus_seed):
+        where = f"corpus[{entry.index}]={entry.recipe}"
+        inst = entry.instance
+        for v in audit_instance(inst):
+            report.violations.append((where, v))
+        report.checks += 1
+        if len(sweep_prefix) < prof.sweep_batch:
+            sweep_prefix.append(inst)
+
+        cost_by_policy = {}
+        for p_idx, policy in enumerate(prof.policies):
+            kwargs = {"seed": 0} if policy == "random_fit" else {}
+            packing = run(make_algorithm(policy, **kwargs), inst, collector=col)
+            report.runs += 1
+            cost_by_policy[policy] = packing.cost
+            for v in compare_with_reference(packing, policy, seed=0):
+                report.violations.append((f"{where}/{policy}", v))
+            for v in audit_run(packing, policy):
+                report.violations.append((f"{where}/{policy}", v))
+            for v in cost_check(packing):
+                report.violations.append((f"{where}/{policy}", v))
+            report.checks += 3
+            pair = entry.index * len(prof.policies) + p_idx
+            if prof.instrumented_stride and pair % prof.instrumented_stride == 0:
+                for v in instrumented_equality_check(inst, policy, seed=0):
+                    report.violations.append((f"{where}/{policy}", v))
+                report.checks += 1
+
+        if prof.exact_opt_max_items and inst.n <= prof.exact_opt_max_items:
+            for v in _exact_opt_check(inst, cost_by_policy):
+                report.violations.append((where, v))
+            report.checks += 1
+
+        report.instances_checked += 1
+        if progress is not None and (entry.index + 1) % 50 == 0:
+            progress(
+                f"  ... {entry.index + 1}/{count} instances, "
+                f"{len(report.violations)} violations"
+            )
+
+    for v in sweep_equality_check(sweep_prefix, list(prof.policies[:3])):
+        report.violations.append(("sweep-prefix", v))
+    report.checks += 1
+
+    report.mutation = mutation_smoke_test(seed=corpus_seed)
+    if not report.mutation.capacity_caught:
+        report.violations.append((
+            "mutation",
+            Violation("mutation", "broken-fit mutant was NOT caught by the capacity auditor"),
+        ))
+    if not report.mutation.any_fit_caught:
+        report.violations.append((
+            "mutation",
+            Violation("mutation", "eager-open mutant was NOT caught by the any-fit auditor"),
+        ))
+    report.checks += 1
+
+    report.stats = col.snapshot()
+    report.wall_time_s = perf_counter() - t0
+    return report

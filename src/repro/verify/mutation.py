@@ -1,0 +1,126 @@
+"""Mutation smoke-tests: prove the verification harness has teeth.
+
+A verification suite that never fires is indistinguishable from one that
+works.  This module injects *known-broken* behaviour and asserts the
+invariant auditor catches it:
+
+* :func:`broken_fit` — a fit predicate with a classic vector-packing bug
+  (it only checks dimension 0).  Injected into the reference simulator —
+  which, unlike the engine, has no defensive capacity re-check — it
+  produces genuinely infeasible multi-dimensional packings that the
+  ``capacity`` invariant must flag.
+* :class:`EagerOpenFirstFit` — an engine policy that deliberately breaks
+  the Any Fit property by opening a fresh bin whenever its (buggy)
+  candidate filter hides the fitting bins.  The packing stays feasible,
+  so only the ``any-fit`` invariant can catch it.
+
+:func:`mutation_smoke_test` runs both mutants and reports whether each
+was caught; the harness treats an *uncaught mutant* as a violation of
+the verification subsystem itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List
+
+import numpy as np
+
+from ..core.bins import Bin
+from ..core.instance import Instance
+from ..core.items import Item
+from ..core.packing import Packing
+from ..core.vectors import EPS
+from ..simulation.runner import run
+from ..workloads.uniform import UniformWorkload
+from .invariants import Violation, check_any_fit, check_capacity
+from .reference import ReferenceSimulator
+
+__all__ = ["broken_fit", "EagerOpenFirstFit", "MutationReport", "mutation_smoke_test"]
+
+
+def broken_fit(load: np.ndarray, size: np.ndarray, capacity: np.ndarray) -> bool:
+    """A deliberately broken fit predicate: ignores every dimension but 0.
+
+    The archetypal DVBP implementation bug — treating the vector problem
+    as scalar.  For ``d = 1`` it is correct, which is exactly why the
+    smoke test must run it on a ``d >= 2`` instance.
+    """
+    return bool(load[0] + size[0] <= capacity[0] + EPS * max(capacity[0], 1.0))
+
+
+class EagerOpenFirstFit:
+    """First Fit with a broken candidate filter: every other arrival
+    pretends no open bin fits and opens a fresh bin.
+
+    Implements the :class:`~repro.algorithms.base.OnlineAlgorithm`
+    contract directly (not via ``AnyFitAlgorithm``, whose template is
+    precisely what enforces the property being broken here).
+    """
+
+    name = "eager_open_first_fit"
+
+    def __init__(self) -> None:
+        self._open: List[Bin] = []
+        self._arrivals = 0
+
+    def bind_collector(self, collector) -> None:  # engine API compatibility
+        pass
+
+    def start(self, instance: Instance) -> None:
+        self._open = []
+        self._arrivals = 0
+
+    def dispatch(self, item: Item, now: float, open_new_bin: Callable[[], Bin]) -> Bin:
+        self._arrivals += 1
+        if self._arrivals % 2 == 0:  # the bug: skip the candidate scan
+            fresh = open_new_bin()
+            self._open.append(fresh)
+            return fresh
+        for b in self._open:
+            if b.can_fit(item):
+                return b
+        fresh = open_new_bin()
+        self._open.append(fresh)
+        return fresh
+
+    def notify_departure(self, bin_: Bin, item: Item, now: float, closed: bool) -> None:
+        if closed:
+            self._open = [b for b in self._open if b is not bin_]
+
+
+@dataclass(frozen=True)
+class MutationReport:
+    """Outcome of the smoke test: what each mutant triggered."""
+
+    capacity_caught: bool
+    any_fit_caught: bool
+    capacity_violations: List[Violation]
+    any_fit_violations: List[Violation]
+
+    @property
+    def all_caught(self) -> bool:
+        """True iff every injected mutant was flagged by the auditor."""
+        return self.capacity_caught and self.any_fit_caught
+
+
+def mutation_smoke_test(seed: int = 0) -> MutationReport:
+    """Run both mutants on small random instances and audit the results."""
+    # mutant 1: broken fit predicate in the reference simulator, d >= 2
+    # (sizes near capacity so dimension-1 overflows are guaranteed)
+    inst = UniformWorkload(d=2, n=40, mu=5, T=30, B=4, name="mutation").sample_seeded(seed)
+    ref = ReferenceSimulator("first_fit", fit=broken_fit).run(inst)
+    broken_packing = Packing.from_assignment(inst, ref.assignment, algorithm="broken_fit")
+    capacity_violations = check_capacity(broken_packing)
+
+    # mutant 2: feasible but non-Any-Fit engine policy
+    inst2 = UniformWorkload(d=2, n=40, mu=5, T=30, B=10, name="mutation").sample_seeded(seed + 1)
+    eager_packing = run(EagerOpenFirstFit(), inst2)
+    any_fit_violations = check_any_fit(eager_packing)
+
+    return MutationReport(
+        capacity_caught=bool(capacity_violations),
+        any_fit_caught=bool(any_fit_violations),
+        capacity_violations=capacity_violations,
+        any_fit_violations=any_fit_violations,
+    )

@@ -1,0 +1,198 @@
+"""Differential oracles: the engine against independent re-computations.
+
+Each oracle runs the production code path *and* an independent
+counterpart and requires the two to agree exactly:
+
+* :func:`differential_check` — the optimised engine versus the
+  brute-force :class:`~repro.verify.reference.ReferenceSimulator`
+  (bit-identical bin assignments for all seven Section 7 policies);
+* :func:`instrumented_equality_check` — the engine's plain event loop
+  versus its instrumented twin (identical packing; run counters that
+  agree with ground truth derived from the packing itself);
+* :func:`cost_check` — the packing's Eq. 1 cost recomputed from first
+  principles as a sum of member-interval union lengths, using only the
+  instance and the assignment;
+* :func:`sweep_equality_check` — the in-process sweep aggregation versus
+  the process-pool worker path (instance serialisation round-trip and
+  all), which must produce identical ratio vectors.
+
+Violations are reported with the same :class:`~repro.verify.invariants.Violation`
+records as the invariant auditor, so the harness can pool them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..algorithms.registry import make_algorithm
+from ..analysis.sweep import sweep_cell
+from ..core.instance import Instance
+from ..core.intervals import union_length
+from ..core.packing import Packing
+from ..observability.stats import StatsCollector
+from ..simulation.parallel import parallel_sweep
+from ..simulation.runner import run
+from .invariants import Violation
+from .reference import ReferenceSimulator
+
+__all__ = [
+    "eq1_cost",
+    "compare_with_reference",
+    "differential_check",
+    "instrumented_equality_check",
+    "cost_check",
+    "sweep_equality_check",
+]
+
+_TOL = 1e-9
+
+
+def eq1_cost(instance: Instance, assignment: Mapping[int, int]) -> float:
+    """Eq. 1 cost recomputed from first principles.
+
+    ``cost = Σ_i span(R_i)``: for each bin, the measure of the union of
+    its members' half-open active intervals.  Uses only the instance and
+    the uid → bin map — no engine state, no
+    :class:`~repro.core.packing.BinRecord` bookkeeping.
+    """
+    by_bin: Dict[int, List] = {}
+    for it in instance.items:
+        by_bin.setdefault(assignment[it.uid], []).append(it.interval)
+    return sum(union_length(ivals) for ivals in by_bin.values())
+
+
+def compare_with_reference(
+    packing: Packing, policy: str, seed: int = 0
+) -> List[Violation]:
+    """Compare an engine-produced ``packing`` against the reference replay.
+
+    ``seed`` parameterises ``random_fit`` (both sides must draw from the
+    same seeded stream for the differential to be meaningful).
+    """
+    instance = packing.instance
+    ref = ReferenceSimulator(policy, seed=seed).run(instance)
+    out: List[Violation] = []
+    if packing.num_bins != ref.num_bins:
+        out.append(Violation(
+            "differential",
+            f"{policy}: engine opened {packing.num_bins} bins, "
+            f"reference {ref.num_bins}",
+        ))
+    if dict(packing.assignment) != ref.assignment:
+        diff = [
+            uid for uid in ref.assignment
+            if packing.assignment.get(uid) != ref.assignment[uid]
+        ]
+        out.append(Violation(
+            "differential",
+            f"{policy}: assignments differ on items {diff[:10]}"
+            f"{'...' if len(diff) > 10 else ''} "
+            f"(engine {[packing.assignment.get(u) for u in diff[:10]]}, "
+            f"reference {[ref.assignment[u] for u in diff[:10]]})",
+        ))
+    ref_cost = eq1_cost(instance, ref.assignment)
+    if not out and abs(ref_cost - packing.cost) > _TOL * max(1.0, packing.cost):
+        out.append(Violation(
+            "differential",
+            f"{policy}: engine cost {packing.cost:.9g} != reference "
+            f"first-principles cost {ref_cost:.9g}",
+        ))
+    return out
+
+
+def differential_check(
+    instance: Instance,
+    policy: str,
+    seed: int = 0,
+    collector: Optional[StatsCollector] = None,
+) -> List[Violation]:
+    """Engine vs reference simulator on one (instance, policy) pair.
+
+    Convenience wrapper: runs the engine (optionally instrumented via
+    ``collector``) and delegates to :func:`compare_with_reference`.
+    """
+    kwargs = {"seed": seed} if policy == "random_fit" else {}
+    packing = run(make_algorithm(policy, **kwargs), instance, collector=collector)
+    return compare_with_reference(packing, policy, seed=seed)
+
+
+def instrumented_equality_check(
+    instance: Instance, policy: str, seed: int = 0
+) -> List[Violation]:
+    """Plain vs instrumented engine loop on one (instance, policy) pair.
+
+    The instrumented twin loop must not change any decision, and its
+    counters must match ground truth recomputed from the packing.
+    """
+    kwargs = {"seed": seed} if policy == "random_fit" else {}
+    plain = run(make_algorithm(policy, **kwargs), instance)
+    collector = StatsCollector()
+    instrumented = run(make_algorithm(policy, **kwargs), instance, collector=collector)
+    out: List[Violation] = []
+    if dict(plain.assignment) != dict(instrumented.assignment):
+        out.append(Violation(
+            "instrumented",
+            f"{policy}: instrumented engine produced a different assignment",
+        ))
+    stats = collector.snapshot()
+    n = instance.n
+    expected = {
+        "arrivals": (stats.arrivals, n),
+        "departures": (stats.departures, n),
+        "events": (stats.events, 2 * n),
+        "bins_opened": (stats.bins_opened, instrumented.num_bins),
+        "bins_closed": (stats.bins_closed, instrumented.num_bins),
+        "peak_open_bins": (stats.peak_open_bins, instrumented.max_concurrent_bins()),
+    }
+    for name, (got, want) in expected.items():
+        if got != want:
+            out.append(Violation(
+                "instrumented",
+                f"{policy}: counter {name}={got} disagrees with packing "
+                f"ground truth {want}",
+            ))
+    if stats.fit_checks < stats.candidate_scans:
+        out.append(Violation(
+            "instrumented",
+            f"{policy}: fit_checks={stats.fit_checks} < "
+            f"candidate_scans={stats.candidate_scans}",
+        ))
+    return out
+
+
+def cost_check(packing: Packing) -> List[Violation]:
+    """Recompute Eq. 1 from the assignment and compare to the packing."""
+    recomputed = eq1_cost(packing.instance, packing.assignment)
+    if abs(recomputed - packing.cost) > _TOL * max(1.0, abs(packing.cost)):
+        return [Violation(
+            "cost",
+            f"packing cost {packing.cost:.9g} != interval-union "
+            f"recomputation {recomputed:.9g}",
+        )]
+    return []
+
+
+def sweep_equality_check(
+    instances: Sequence[Instance],
+    policies: Sequence[str],
+) -> List[Violation]:
+    """Serial sweep vs the worker code path, on the same batch.
+
+    ``sweep_cell(processes=0)`` runs algorithms in-process on the live
+    instances; ``parallel_sweep(processes=0)`` drives the exact worker
+    entry point (``simulate_unit``) including the instance dict
+    round-trip that real process pools perform.  The ratio vectors must
+    be identical.
+    """
+    serial = sweep_cell(policies, list(instances))
+    worker = parallel_sweep(policies, list(instances), processes=0)
+    out: List[Violation] = []
+    for name in policies:
+        worker_ratios = [r.ratio for r in worker[name]]
+        if serial.ratios[name] != worker_ratios:
+            out.append(Violation(
+                "sweep",
+                f"{name}: serial ratios {serial.ratios[name]} != worker-path "
+                f"ratios {worker_ratios}",
+            ))
+    return out

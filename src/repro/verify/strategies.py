@@ -1,0 +1,156 @@
+"""Hypothesis strategies for DVBP objects (property-based test inputs).
+
+Importing this module requires `hypothesis <https://hypothesis.readthedocs.io>`_
+(the ``test`` extra); the rest of :mod:`repro.verify` — including the CLI
+harness — stays importable without it.
+
+Design notes
+------------
+Values are drawn from *discrete grids* (sizes in multiples of ``1/8``,
+times in multiples of ``1/2``) rather than raw floats.  Grids make the
+interesting coincidences — simultaneous arrivals, departure/arrival
+ties, loads summing exactly to capacity — likely instead of
+measure-zero, and shrink to smaller, human-readable counterexamples.
+A ``jitter`` flag mixes in off-grid continuous values so the float
+tolerance policy is exercised too.
+
+``mu`` is a *ceiling*: generated durations lie in ``[1, mu]``, so the
+instance's realised max/min duration ratio is at most the requested
+``mu`` (the theorem-bound invariant always uses the realised ratio).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+try:
+    from hypothesis import strategies as st
+except ImportError as exc:  # pragma: no cover - exercised only without the extra
+    raise ImportError(
+        "repro.verify.strategies requires hypothesis; install the 'test' "
+        "extra (pip install repro[test])"
+    ) from exc
+
+from ..algorithms.registry import PAPER_ALGORITHMS
+from ..core.instance import Instance
+from ..workloads.adversarial import (
+    best_fit_trap,
+    theorem5_instance,
+    theorem6_instance,
+    theorem8_instance,
+)
+
+__all__ = [
+    "DIMENSIONS",
+    "dimensions",
+    "sizes",
+    "durations",
+    "arrivals",
+    "instances",
+    "adversarial_instances",
+    "policies",
+]
+
+#: The dimension grid the verification subsystem sweeps.
+DIMENSIONS: Sequence[int] = (1, 2, 4, 8)
+
+#: Size granularity: item sizes are multiples of 1/8 of capacity.
+_SIZE_STEPS = 8
+#: Time granularity: arrivals are multiples of 1/2.
+_TIME_STEPS = 2
+
+
+def dimensions() -> st.SearchStrategy[int]:
+    """One of the swept dimensions ``{1, 2, 4, 8}``."""
+    return st.sampled_from(DIMENSIONS)
+
+
+def sizes(d: int, jitter: bool = False) -> st.SearchStrategy[list]:
+    """A ``d``-dimensional size vector in ``(0, 1]^d`` (unit capacity).
+
+    Grid values ``k/8`` by default; with ``jitter`` a third of the draws
+    are continuous in ``[0.01, 1.0]``.
+    """
+    grid = st.integers(1, _SIZE_STEPS).map(lambda k: k / _SIZE_STEPS)
+    if jitter:
+        cont = st.floats(0.01, 1.0, allow_nan=False, allow_infinity=False)
+        component = st.one_of(grid, grid, cont)
+    else:
+        component = grid
+    return st.lists(component, min_size=d, max_size=d)
+
+
+def durations(mu: float) -> st.SearchStrategy[float]:
+    """A duration in ``[1, mu]`` on an 8-point grid (μ-controlled)."""
+    return st.integers(0, 8).map(lambda k: 1.0 + (float(mu) - 1.0) * k / 8.0)
+
+
+def arrivals(horizon: float = 12.0) -> st.SearchStrategy[float]:
+    """An arrival time on the half-integer grid ``{0, 1/2, …, horizon}``."""
+    steps = int(horizon * _TIME_STEPS)
+    return st.integers(0, steps).map(lambda k: k / _TIME_STEPS)
+
+
+@st.composite
+def instances(
+    draw,
+    d: Optional[int] = None,
+    min_items: int = 1,
+    max_items: int = 20,
+    mu: Optional[float] = None,
+    horizon: float = 12.0,
+    jitter: bool = False,
+) -> Instance:
+    """A valid :class:`~repro.core.instance.Instance` with unit capacity.
+
+    ``d`` defaults to a draw from :data:`DIMENSIONS`, ``mu`` to a draw
+    from ``{1, 2, 4, 16}``.  Items are sorted by arrival with ties kept
+    in draw order (via ``Instance.from_tuples``), so adversarial
+    interleavings at equal times are reachable.
+    """
+    dd = d if d is not None else draw(dimensions())
+    mu_cap = mu if mu is not None else draw(st.sampled_from((1.0, 2.0, 4.0, 16.0)))
+    n = draw(st.integers(min_items, max_items))
+    triples = []
+    for _ in range(n):
+        a = draw(arrivals(horizon))
+        ell = draw(durations(mu_cap))
+        s = draw(sizes(dd, jitter=jitter))
+        triples.append((a, a + ell, s))
+    return Instance.from_tuples(triples)
+
+
+@st.composite
+def adversarial_instances(draw) -> Instance:
+    """One of the paper's lower-bound gadget instances (Thm. 5/6/8, BF trap).
+
+    Parameters are drawn small enough that the harness's oracles stay
+    fast; each gadget family exercises the simultaneous-arrival
+    interleavings the proofs depend on.
+    """
+    family = draw(st.sampled_from(("thm5", "thm6", "thm8", "bf_trap")))
+    if family == "thm5":
+        adv = theorem5_instance(
+            d=draw(st.sampled_from((1, 2))),
+            k=draw(st.integers(2, 4)),
+            mu=float(draw(st.integers(2, 8))),
+        )
+    elif family == "thm6":
+        adv = theorem6_instance(
+            d=draw(st.sampled_from((1, 2))),
+            k=2 * draw(st.integers(1, 2)),  # Theorem 6 needs an even k
+            mu=float(draw(st.integers(2, 6))),
+        )
+    elif family == "thm8":
+        adv = theorem8_instance(
+            n=draw(st.integers(4, 16)),
+            mu=float(draw(st.integers(2, 8))),
+        )
+    else:
+        adv = best_fit_trap(k=draw(st.integers(2, 4)))
+    return adv.instance
+
+
+def policies() -> st.SearchStrategy[str]:
+    """One of the seven Section 7 registry policy names."""
+    return st.sampled_from(PAPER_ALGORITHMS)

@@ -1,6 +1,8 @@
-"""Shared fixtures for the DVBP reproduction test suite."""
+"""Shared fixtures and Hypothesis profiles for the DVBP reproduction suite."""
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 import pytest
@@ -9,6 +11,30 @@ from repro.algorithms.registry import PAPER_ALGORITHMS
 from repro.core.instance import Instance
 from repro.core.items import Item
 from repro.workloads.uniform import UniformWorkload
+
+try:
+    from hypothesis import HealthCheck, settings
+except ImportError:  # pragma: no cover - hypothesis is part of the test extra
+    pass
+else:
+    # tier1: the default profile — small, derandomised, so the tier-1 suite
+    # is fast and bit-reproducible.  ci: the fuzz job's wider search
+    # (HYPOTHESIS_PROFILE=ci), still seed-pinned via derandomize.
+    settings.register_profile(
+        "tier1",
+        max_examples=25,
+        derandomize=True,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    settings.register_profile(
+        "ci",
+        max_examples=200,
+        derandomize=True,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "tier1"))
 
 
 @pytest.fixture

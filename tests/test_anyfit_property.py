@@ -5,7 +5,12 @@ bin of its candidate list.  For every algorithm whose list contains *all*
 open bins (everything except Next Fit), this is checkable from the final
 packing alone: replay the event stream with the engine's exact ordering
 and, whenever an item is the first of its bin, assert no already-open bin
-could have held it.
+could have held it.  Next Fit keeps only its most recent bin as a
+candidate, so its (weaker) property is checked separately.
+
+All seven registry policies are exercised here; the independently
+implemented auditor in :mod:`repro.verify.invariants` is cross-checked
+against this file's replay on the same packings.
 """
 
 from __future__ import annotations
@@ -18,6 +23,7 @@ from repro.core.events import EventKind, event_stream
 from repro.core.packing import Packing
 from repro.core.vectors import EPS
 from repro.simulation.runner import run
+from repro.verify.invariants import check_any_fit
 from repro.workloads.uniform import UniformWorkload
 
 FULL_LIST_ALGORITHMS = [a for a in PAPER_ALGORITHMS if a != "next_fit"]
@@ -76,6 +82,88 @@ def test_any_fit_property_5d(algorithm):
     inst = UniformWorkload(d=5, n=60, mu=5, T=30, B=10).sample_seeded(4)
     packing = run(make_algorithm(algorithm), inst)
     assert_any_fit_property(packing)
+
+
+def assert_next_fit_property(packing: Packing) -> None:
+    """Replay the packing and check Next Fit's single-candidate discipline.
+
+    Every arrival goes to the *current* bin (the most recently opened
+    one, while it is still open) or opens a new bin; a new bin is legal
+    only when there is no current bin or the current bin does not fit.
+    """
+    inst = packing.instance
+    cap = inst.capacity
+    slack = cap + EPS * np.maximum(cap, 1.0)
+    loads: dict = {}
+    members: dict = {}
+    current = None  # index of the current bin, or None once it closed
+
+    for ev in event_stream(inst):
+        bin_index = packing.assignment[ev.item.uid]
+        if ev.kind is EventKind.DEPARTURE:
+            members[bin_index].discard(ev.item.uid)
+            loads[bin_index] = loads[bin_index] - ev.item.size
+            if not members[bin_index]:
+                del members[bin_index]
+                del loads[bin_index]
+                if current == bin_index:
+                    current = None
+            continue
+        if bin_index not in loads:
+            if current is not None:
+                assert np.any(loads[current] + ev.item.size > slack), (
+                    f"Next Fit violated: item {ev.item.uid} opened bin "
+                    f"{bin_index} at t={ev.time} although the current bin "
+                    f"{current} (load {loads[current]}) fit it"
+                )
+            current = bin_index
+            loads[bin_index] = np.zeros(inst.d)
+            members[bin_index] = set()
+        else:
+            assert bin_index == current, (
+                f"Next Fit packed item {ev.item.uid} into released bin "
+                f"{bin_index} (current is {current})"
+            )
+        loads[bin_index] = loads[bin_index] + ev.item.size
+        members[bin_index].add(ev.item.uid)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_next_fit_property_uniform(seed):
+    inst = UniformWorkload(d=2, n=80, mu=8, T=60, B=10).sample_seeded(seed)
+    packing = run(make_algorithm("next_fit"), inst)
+    assert_next_fit_property(packing)
+
+
+@pytest.mark.parametrize("algorithm", PAPER_ALGORITHMS)
+@pytest.mark.parametrize("seed", [0, 5])
+def test_auditor_agrees_with_replay(algorithm, seed):
+    """The repro.verify auditor and this file's replay must agree."""
+    inst = UniformWorkload(d=2, n=70, mu=6, T=50, B=10).sample_seeded(seed)
+    packing = run(make_algorithm(algorithm), inst)
+    violations = check_any_fit(packing)
+    if algorithm == "next_fit":
+        # Next Fit is exempt from the full-list property; its own
+        # discipline must still hold.
+        assert_next_fit_property(packing)
+    else:
+        assert violations == []
+        assert_any_fit_property(packing)
+
+
+def test_auditor_flags_next_fit_full_list_break():
+    """An instance where Next Fit provably breaks the full-list property."""
+    from repro.core.instance import Instance
+
+    inst = Instance.from_tuples([
+        (0.0, 1.0, [0.6]),
+        (0.0, 1.0, [0.7]),
+        (0.0, 1.0, [0.4]),  # fits bin 0 (0.6+0.4) but NF only sees bin 1
+    ])
+    packing = run(make_algorithm("next_fit"), inst)
+    assert packing.num_bins == 3
+    assert check_any_fit(packing)  # the full-list auditor must flag it
+    assert_next_fit_property(packing)  # while NF's own discipline holds
 
 
 @pytest.mark.parametrize("algorithm", PAPER_ALGORITHMS)

@@ -1,0 +1,96 @@
+"""The verify harness end-to-end: profiles, mutation smoke-test, CLI.
+
+Tier-1 runs the harness on a short corpus prefix; the full ``quick``
+profile (220 instances — the CI gate's exact configuration) and a
+deep-profile slice run under the ``fuzz`` marker.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core.errors import ConfigurationError
+from repro.observability.stats import StatsCollector
+from repro.verify.generators import CORPUS_RECIPES, corpus_list
+from repro.verify.harness import PROFILES, run_verify
+from repro.verify.mutation import broken_fit, mutation_smoke_test
+
+
+def test_profiles_registered():
+    assert set(PROFILES) == {"quick", "deep"}
+    # the CI gate's acceptance floor: >= 200 instances in the quick profile
+    assert PROFILES["quick"].instances >= 200
+    assert PROFILES["deep"].instances > PROFILES["quick"].instances
+    assert len(PROFILES["quick"].policies) == 7
+
+
+def test_run_verify_short_prefix_is_clean():
+    report = run_verify("quick", instances=len(CORPUS_RECIPES))
+    assert report.ok
+    assert report.instances_checked == len(CORPUS_RECIPES)
+    assert report.runs == len(CORPUS_RECIPES) * 7
+    assert report.violations == []
+    assert report.mutation is not None and report.mutation.all_caught
+    assert "all invariants held" in report.render()
+    assert "mutation smoke-test" in report.render()
+
+
+def test_run_verify_records_work_counters():
+    """The harness's engine runs flow through one shared StatsCollector."""
+    collector = StatsCollector()
+    report = run_verify("quick", instances=4, collector=collector)
+    assert report.ok
+    n_items = sum(e.instance.n for e in corpus_list(4, seed=PROFILES["quick"].seed))
+    # 7 policies x every event; the instrumented-differential oracle runs
+    # extra engine passes through its own collectors, not this one
+    assert report.stats.events == 7 * 2 * n_items
+    assert report.stats.fit_checks >= report.stats.candidate_scans
+    assert report.stats.dispatch_time_s > 0
+    assert collector.snapshot().events == report.stats.events
+
+
+def test_run_verify_unknown_profile():
+    with pytest.raises(ConfigurationError):
+        run_verify("exhaustive")
+
+
+def test_mutation_smoke_test_catches_both_mutants():
+    report = mutation_smoke_test(seed=0)
+    assert report.capacity_caught
+    assert report.any_fit_caught
+    assert report.all_caught
+
+
+def test_broken_fit_is_actually_broken():
+    """The injected predicate ignores every dimension but the first."""
+    load = np.array([0.2, 0.9])
+    size = np.array([0.2, 0.9])
+    cap = np.array([1.0, 1.0])
+    assert broken_fit(load, size, cap)  # accepts an overflow in dim 1
+    assert not broken_fit(np.array([0.9, 0.0]), size, cap)  # dim 0 still checked
+
+
+def test_cli_verify_profile_quick():
+    assert main(["verify", "--profile", "quick", "--instances", "6"]) == 0
+
+
+def test_cli_verify_theorem_path_unchanged():
+    assert main(["verify", "--theorem", "2", "--n", "60", "--mu", "5"]) == 0
+    assert main(["verify", "--theorem", "4", "--n", "60", "--mu", "5", "--seed", "3"]) == 0
+
+
+@pytest.mark.fuzz
+def test_full_quick_profile():
+    """The exact CI gate: 220 instances, all policies, zero violations."""
+    report = run_verify("quick", progress=print)
+    assert report.instances_checked >= 200
+    assert report.ok, report.render()
+
+
+@pytest.mark.fuzz
+def test_deep_profile_slice():
+    """A deep-profile slice: stride-1 instrumentation + exact-OPT checks."""
+    report = run_verify("deep", instances=40)
+    assert report.ok, report.render()

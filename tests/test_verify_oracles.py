@@ -1,0 +1,65 @@
+"""Differential oracles: cost recomputation, instrumented twin, sweep paths."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.registry import PAPER_ALGORITHMS, make_algorithm
+from repro.core.instance import Instance
+from repro.simulation.runner import run
+from repro.verify.generators import corpus_list
+from repro.verify.oracles import (
+    cost_check,
+    eq1_cost,
+    instrumented_equality_check,
+    sweep_equality_check,
+)
+
+
+def test_eq1_cost_hand_computed():
+    """Two bins; bin 0's member intervals overlap, bin 1's leave a gap.
+
+    Bin 0 holds [0,4) and [1,3): union length 4.  Bin 1 holds [2,6)
+    alone: length 4.  A *naive* sum of durations would give 4+2+4 = 10;
+    Eq. 1 says 8.
+    """
+    inst = Instance.from_tuples([
+        (0.0, 4.0, [0.5]),
+        (1.0, 3.0, [0.4]),
+        (2.0, 6.0, [0.7]),
+    ])
+    assert eq1_cost(inst, {0: 0, 1: 0, 2: 1}) == pytest.approx(8.0)
+    # every item in its own bin: cost is the plain sum of durations
+    assert eq1_cost(inst, {0: 0, 1: 1, 2: 2}) == pytest.approx(10.0)
+
+
+@pytest.mark.parametrize("policy", PAPER_ALGORITHMS)
+def test_cost_check_on_corpus(policy):
+    for entry in corpus_list(8, seed=41):
+        kwargs = {"seed": 0} if policy == "random_fit" else {}
+        packing = run(make_algorithm(policy, **kwargs), entry.instance)
+        assert cost_check(packing) == []
+        assert eq1_cost(entry.instance, packing.assignment) == pytest.approx(
+            packing.cost
+        )
+
+
+@pytest.mark.parametrize("policy", PAPER_ALGORITHMS)
+def test_instrumented_engine_is_equal(policy):
+    entry = corpus_list(5, seed=42)[3]
+    assert instrumented_equality_check(entry.instance, policy, seed=0) == []
+
+
+def test_sweep_serial_equals_worker_path():
+    instances = [e.instance for e in corpus_list(4, seed=43)]
+    violations = sweep_equality_check(instances, ["move_to_front", "first_fit", "next_fit"])
+    assert violations == []
+
+
+def test_eq1_cost_is_permutation_invariant():
+    """Relabeling bins never changes the Eq. 1 cost."""
+    inst = corpus_list(2, seed=44)[1].instance
+    packing = run(make_algorithm("first_fit"), inst)
+    relabeled = {uid: -b - 1 for uid, b in packing.assignment.items()}
+    assert eq1_cost(inst, relabeled) == pytest.approx(packing.cost)

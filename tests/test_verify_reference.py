@@ -1,0 +1,84 @@
+"""The brute-force reference simulator: hand-checks and engine differentials.
+
+The reference simulator (:mod:`repro.verify.reference`) is the
+independent re-implementation every registry policy is replayed against.
+These tests pin it two ways: against *hand-computed* packings on a tiny
+instance where the six deterministic policies provably diverge, and
+against the production engine on corpus instances (bit-identical
+assignments — the differential oracle).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.registry import PAPER_ALGORITHMS, make_algorithm
+from repro.core.instance import Instance
+from repro.simulation.runner import run
+from repro.verify.generators import corpus_list
+from repro.verify.oracles import compare_with_reference, differential_check
+from repro.verify.reference import REFERENCE_POLICIES, ReferenceSimulator
+
+
+@pytest.fixture
+def divergence_instance():
+    """Four simultaneous 1-D unit-duration items: sizes .4 .7 .2 .5.
+
+    Chosen so the deterministic policies split three ways:
+    FF/WF open 3 bins with item 2 joining bin 0; BF/LF/MF open 2 bins
+    with item 2 joining bin 1; NF releases bin 0 and opens a third bin
+    for item 3.
+    """
+    return Instance.from_tuples([
+        (0.0, 1.0, [0.4]),
+        (0.0, 1.0, [0.7]),
+        (0.0, 1.0, [0.2]),
+        (0.0, 1.0, [0.5]),
+    ])
+
+
+HAND_COMPUTED = {
+    "first_fit": ({0: 0, 1: 1, 2: 0, 3: 2}, 3),
+    "worst_fit": ({0: 0, 1: 1, 2: 0, 3: 2}, 3),
+    "best_fit": ({0: 0, 1: 1, 2: 1, 3: 0}, 2),
+    "last_fit": ({0: 0, 1: 1, 2: 1, 3: 0}, 2),
+    "move_to_front": ({0: 0, 1: 1, 2: 1, 3: 0}, 2),
+    "next_fit": ({0: 0, 1: 1, 2: 1, 3: 2}, 3),
+}
+
+
+@pytest.mark.parametrize("policy", sorted(HAND_COMPUTED))
+def test_reference_matches_hand_computation(policy, divergence_instance):
+    result = ReferenceSimulator(policy).run(divergence_instance)
+    assignment, num_bins = HAND_COMPUTED[policy]
+    assert result.assignment == assignment
+    assert result.num_bins == num_bins
+
+
+def test_reference_covers_all_registry_policies():
+    assert set(REFERENCE_POLICIES) == set(PAPER_ALGORITHMS)
+
+
+@pytest.mark.parametrize("policy", PAPER_ALGORITHMS)
+def test_engine_matches_reference_on_corpus(policy):
+    """The differential oracle holds on one full corpus cycle."""
+    for entry in corpus_list(22, seed=11):
+        violations = differential_check(entry.instance, policy, seed=0)
+        assert violations == [], f"{entry.recipe}: {violations}"
+
+
+def test_random_fit_is_seed_deterministic(divergence_instance):
+    a = ReferenceSimulator("random_fit", seed=5).run(divergence_instance)
+    b = ReferenceSimulator("random_fit", seed=5).run(divergence_instance)
+    assert a.assignment == b.assignment
+
+
+def test_random_fit_differential_uses_matching_seed():
+    inst = corpus_list(3, seed=9)[2].instance
+    packing = run(make_algorithm("random_fit", seed=5), inst)
+    assert compare_with_reference(packing, "random_fit", seed=5) == []
+
+
+def test_unknown_policy_rejected():
+    with pytest.raises(Exception):
+        ReferenceSimulator("middle_fit")

@@ -1,0 +1,72 @@
+"""Property-based tests driven by the repro.verify.strategies library.
+
+Hypothesis searches the instance space (grid-valued sizes/times, so ties
+and exact fits are dense) for inputs that break the differential oracle
+or the invariant auditor.  The tier-1 profile is small and derandomised;
+the CI fuzz job widens the search with ``HYPOTHESIS_PROFILE=ci`` and the
+``fuzz``-marked cases.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.algorithms.registry import make_algorithm
+from repro.simulation.runner import run
+from repro.verify import strategies as sts
+from repro.verify.invariants import audit_instance, audit_run
+from repro.verify.oracles import cost_check, differential_check
+
+
+@given(inst=sts.instances())
+def test_generated_instances_are_valid(inst):
+    assert inst.n >= 1
+    for it in inst.items:
+        assert it.arrival < it.departure
+        assert np.all(np.asarray(it.size) > 0)
+        assert np.all(np.asarray(it.size) <= 1.0 + 1e-12)
+    arrivals = [it.arrival for it in inst.items]
+    assert arrivals == sorted(arrivals)
+    assert audit_instance(inst) == []
+
+
+@given(inst=sts.instances(max_items=14), policy=sts.policies())
+def test_differential_property(inst, policy):
+    """Engine == reference simulator on arbitrary generated instances."""
+    assert differential_check(inst, policy, seed=0) == []
+
+
+@given(inst=sts.instances(max_items=14), policy=sts.policies())
+def test_audit_property(inst, policy):
+    kwargs = {"seed": 0} if policy == "random_fit" else {}
+    packing = run(make_algorithm(policy, **kwargs), inst)
+    assert audit_run(packing, policy) == []
+    assert cost_check(packing) == []
+
+
+@given(inst=sts.adversarial_instances())
+def test_gadget_instances_pass_audit(inst):
+    assert audit_instance(inst) == []
+    assert differential_check(inst, "first_fit") == []
+    assert differential_check(inst, "move_to_front") == []
+
+
+@given(inst=sts.instances(d=1, mu=1.0, max_items=10))
+def test_unit_duration_cost_identity(inst):
+    """With mu == 1 every duration is exactly 1, so each bin's usage is a
+    union of unit intervals and total cost is at most n."""
+    packing = run(make_algorithm("first_fit"), inst)
+    assert packing.cost <= inst.n + 1e-9
+
+
+@pytest.mark.fuzz
+@settings(max_examples=300, deadline=None)
+@given(inst=sts.instances(max_items=20, jitter=True), policy=sts.policies())
+def test_differential_property_jittered(inst, policy):
+    """Deep variant: off-grid continuous sizes exercise the EPS tolerance."""
+    assert differential_check(inst, policy, seed=0) == []
+    kwargs = {"seed": 0} if policy == "random_fit" else {}
+    packing = run(make_algorithm(policy, **kwargs), inst)
+    assert audit_run(packing, policy) == []
