@@ -19,11 +19,18 @@ Usage (from the repo root)::
 
 Equivalent CLI form: ``python -m repro bench``.  See
 docs/observability.md for how to read the output file.
+
+The classic-vs-FastEngine comparison lives in the companion script
+``benchmarks/bench_fastpath.py`` (CLI form:
+``python -m repro bench --suite fastpath``); its payload nests under
+the ``"fastpath"`` key of the same ``BENCH_core.json``, and a core
+re-run here preserves that key.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 
@@ -37,6 +44,7 @@ from repro.observability.bench import (  # noqa: E402
     CORE_SCENARIOS,
     SMOKE_SCENARIOS,
     measure_overhead,
+    merge_fastpath,
     run_suite,
     write_bench,
 )
@@ -81,6 +89,16 @@ def main(argv=None) -> int:
               f"({report['algorithm']}): {report['overhead_frac'] * 100:+.2f}% "
               f"(plain {report['plain_s'] * 1e3:.2f} ms, "
               f"instrumented {report['instrumented_s'] * 1e3:.2f} ms)")
+
+    if os.path.exists(args.output):
+        # A core re-run must not discard an existing fastpath record.
+        try:
+            with open(args.output, "r", encoding="utf-8") as fh:
+                existing = json.load(fh)
+        except (OSError, ValueError):
+            existing = None
+        if isinstance(existing, dict) and "fastpath" in existing:
+            payload = merge_fastpath(payload, existing["fastpath"])
 
     write_bench(payload, args.output)
     print(f"suite finished in {payload['total_wall_time_s']:.1f} s; "

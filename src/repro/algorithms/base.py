@@ -43,6 +43,18 @@ class OnlineAlgorithm(abc.ABC):
     #: Human-readable policy name used in reports/legends.
     name: str = "online"
 
+    #: Fast-kernel hook: the name of the
+    #: :mod:`repro.simulation.fastpath` policy kernel whose decisions
+    #: this algorithm reproduces exactly, or ``None`` when only the
+    #: classic engine may run it.  The stock Section 7 classes set it;
+    #: configurations that change decisions (e.g. a non-default Best Fit
+    #: load measure) clear it on the instance.  Setting the attribute is
+    #: necessary but not sufficient — the class must also be registered
+    #: via :func:`repro.simulation.fastpath.register_kernel_class`, so a
+    #: subclass overriding ``choose`` cannot inherit eligibility by
+    #: accident.
+    fast_kernel: Optional[str] = None
+
     #: Optional stats collector bound by an instrumented engine for the
     #: duration of one run (see ``repro.observability``).  Class-level
     #: ``None`` means instrumentation costs nothing unless enabled.

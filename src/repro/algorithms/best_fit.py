@@ -59,6 +59,7 @@ class BestFit(AnyFitAlgorithm):
     """
 
     name = "best_fit"
+    fast_kernel = "best_fit"
 
     def __init__(self, measure: str = "linf", p: float = 2.0) -> None:
         super().__init__()
@@ -66,6 +67,9 @@ class BestFit(AnyFitAlgorithm):
         self._w = load_measure(measure, p)
         if measure != "linf":
             self.name = f"best_fit_{measure}" + (f"{p:g}" if measure == "lp" else "")
+            # The fast kernel ranks bins by the L-inf load only; other
+            # measures pick different bins, so they stay classic-only.
+            self.fast_kernel = None
 
     def choose(self, item: Item, candidates: List[Bin], now: float) -> Bin:
         best = candidates[0]
@@ -85,10 +89,13 @@ class WorstFit(AnyFitAlgorithm):
     """
 
     name = "worst_fit"
+    fast_kernel = "worst_fit"
 
     def __init__(self, measure: str = "linf", p: float = 2.0) -> None:
         super().__init__()
         self._w = load_measure(measure, p)
+        if measure != "linf":
+            self.fast_kernel = None  # see BestFit: L-inf ranking only
 
     def choose(self, item: Item, candidates: List[Bin], now: float) -> Bin:
         worst = candidates[0]

@@ -109,12 +109,21 @@ def _build_parser() -> argparse.ArgumentParser:
                     choices=available_algorithms())
     pr.add_argument("--validate", action="store_true",
                     help="audit the packing before reporting")
+    pr.add_argument("--engine", choices=["classic", "fast"], default="classic",
+                    help="fast = the flat-array FastEngine (bit-identical "
+                         "packings, several times faster; falls back to "
+                         "classic for policies without a fast kernel)")
 
     pb = sub.add_parser(
         "bench", help="run the pinned-seed perf-baseline suite (writes JSON)"
     )
-    pb.add_argument("--suite", choices=["core", "smoke"], default="core",
-                    help="core = the BENCH_core.json grid; smoke = seconds-fast subset")
+    pb.add_argument("--suite",
+                    choices=["core", "smoke", "fastpath", "fastpath-smoke"],
+                    default="core",
+                    help="core = the BENCH_core.json grid; smoke = seconds-fast "
+                         "subset; fastpath = the classic-vs-FastEngine "
+                         "comparison grid (merged under the 'fastpath' key of "
+                         "the output); fastpath-smoke = its seconds-fast subset")
     pb.add_argument("--repeats", type=int, default=3,
                     help="runs per (scenario, algorithm); wall-time is the min")
     pb.add_argument("--output", default="BENCH_core.json",
@@ -235,21 +244,62 @@ def main(argv: Optional[List[str]] = None) -> int:
             instance = Instance.from_json(fh.read())
         from .simulation.runner import run as run_one
 
-        packing = run_one(args.algorithm, instance, validate=args.validate)
+        packing = run_one(args.algorithm, instance, validate=args.validate,
+                          engine=args.engine)
         m = compute_metrics(packing)
         rows = [[k, v] for k, v in m.as_dict().items()]
         print(format_table(["metric", "value"], rows,
-                           title=f"{args.algorithm} on {instance!r}"))
+                           title=f"{args.algorithm} on {instance!r} "
+                                 f"({args.engine} engine)"))
     elif args.command == "bench":
+        import json as _json
+        import os as _os
+
         from .observability.bench import (
             CORE_SCENARIOS,
+            FASTPATH_SCENARIOS,
+            FASTPATH_SMOKE_SCENARIOS,
+            SCHEMA,
             SMOKE_SCENARIOS,
             measure_overhead,
+            merge_fastpath,
+            run_fastpath_suite,
             run_suite,
             write_bench,
         )
         from .observability.sinks import JsonLinesSink, NullSink
 
+        if args.suite in ("fastpath", "fastpath-smoke"):
+            scenarios = (
+                FASTPATH_SCENARIOS if args.suite == "fastpath"
+                else FASTPATH_SMOKE_SCENARIOS
+            )
+            print(f"running {args.suite} suite ({len(scenarios)} scenarios, "
+                  f"repeats={args.repeats}) ...")
+            payload = run_fastpath_suite(
+                scenarios=scenarios, repeats=args.repeats,
+                suite=args.suite, progress=print
+            )
+            # Keep one trajectory file: nest under an existing core
+            # payload when the output already holds one.
+            out = payload
+            if _os.path.exists(args.output):
+                try:
+                    with open(args.output, "r", encoding="utf-8") as fh:
+                        existing = _json.load(fh)
+                except (OSError, ValueError):
+                    existing = None
+                if isinstance(existing, dict) and existing.get("schema") == SCHEMA:
+                    out = merge_fastpath(existing, payload)
+            write_bench(out, args.output)
+            head = payload["headline"]
+            speedups = ", ".join(
+                f"{b} {head[f'speedup_{b}']:.1f}x" for b in payload["backends"]
+            )
+            print(f"suite finished in {payload['total_wall_time_s']:.1f} s; "
+                  f"headline ({head['scenario']}): {speedups}, "
+                  f"identical={head['identical']}; wrote {args.output}")
+            return 0
         scenarios = CORE_SCENARIOS if args.suite == "core" else SMOKE_SCENARIOS
         sink = JsonLinesSink(args.trace) if args.trace else NullSink()
         try:
@@ -264,6 +314,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             payload["overhead"] = report
             print(f"instrumentation overhead on {report['scenario']} "
                   f"({report['algorithm']}): {report['overhead_frac'] * 100:+.2f}%")
+        if _os.path.exists(args.output):
+            # A core re-run must not discard an existing fastpath record.
+            try:
+                with open(args.output, "r", encoding="utf-8") as fh:
+                    existing = _json.load(fh)
+            except (OSError, ValueError):
+                existing = None
+            if isinstance(existing, dict) and "fastpath" in existing:
+                payload = merge_fastpath(payload, existing["fastpath"])
         write_bench(payload, args.output)
         print(f"suite finished in {payload['total_wall_time_s']:.1f} s; "
               f"wrote {args.output}")

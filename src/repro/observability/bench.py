@@ -37,6 +37,7 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from ..algorithms.registry import PAPER_ALGORITHMS, make_algorithm
 from ..optimum.lower_bounds import height_lower_bound
+from ..simulation.fastpath import available_backends, fast_simulate
 from ..simulation.runner import run
 from ..workloads.uniform import UniformWorkload
 from .sinks import TraceSink
@@ -44,18 +45,28 @@ from .stats import StatsCollector
 
 __all__ = [
     "SCHEMA",
+    "FASTPATH_SCHEMA",
     "BASE_SEED",
     "BenchScenario",
     "CORE_SCENARIOS",
     "SMOKE_SCENARIOS",
+    "FASTPATH_SCENARIOS",
+    "FASTPATH_SMOKE_SCENARIOS",
     "run_scenario",
     "run_suite",
+    "run_fastpath_scenario",
+    "run_fastpath_suite",
     "write_bench",
+    "merge_fastpath",
     "measure_overhead",
 ]
 
 #: Schema tag stamped on every payload; bump on incompatible changes.
 SCHEMA = "repro-bench/v1"
+
+#: Schema tag of the twin-engine comparison payload nested under the
+#: ``"fastpath"`` key of ``BENCH_core.json``.
+FASTPATH_SCHEMA = "repro-bench-fastpath/v1"
 
 #: Suite base seed (the paper's arXiv date, matching ExperimentConfig).
 BASE_SEED = 20230419
@@ -119,6 +130,31 @@ SMOKE_SCENARIOS: List[BenchScenario] = _grid(
 #: middle of the grid, where per-event work is representative.
 MEDIUM_SCENARIO: BenchScenario = next(
     s for s in CORE_SCENARIOS if s.d == 2 and s.size == "medium"
+)
+
+#: The twin-engine comparison grid: the three large core cells plus one
+#: extra-large high-concurrency sweep cell (``mu = 100`` keeps ~250
+#: items resident, so the open list — the classic engine's per-arrival
+#: re-stacking cost — is deep).  The xlarge cell is "the largest pinned
+#: sweep scenario" the fastpath acceptance speedup is judged on.
+FASTPATH_SCENARIOS: List[BenchScenario] = [
+    s for s in CORE_SCENARIOS if s.size == "large"
+] + [
+    BenchScenario(
+        name="uniform-d2-xlarge-sweep",
+        d=2,
+        n=5000,
+        size="xlarge",
+        mu=100,
+        T=1000,
+        B=100,
+        seed=BASE_SEED + 100_000 * 2 + 5000,
+    )
+]
+
+#: A seconds-fast fastpath subset for tests and the CI smoke leg.
+FASTPATH_SMOKE_SCENARIOS: List[BenchScenario] = _grid(
+    {"small": 40}, d_values=(1, 2)
 )
 
 
@@ -207,6 +243,129 @@ def run_suite(
     if sink is not None:
         sink.emit("suite", {k: v for k, v in payload.items() if k != "scenarios"})
     return payload
+
+
+def run_fastpath_scenario(
+    scenario: BenchScenario,
+    algorithms: Sequence[str] = tuple(PAPER_ALGORITHMS),
+    repeats: int = 3,
+    backends: Optional[Sequence[str]] = None,
+) -> Dict[str, Any]:
+    """Time classic vs fastpath on one scenario; return its JSON record.
+
+    Per algorithm: the classic engine and every requested fastpath
+    backend replay the same pinned instance, wall-time taken as the
+    minimum over ``repeats`` uninstrumented runs (pure engine speed, no
+    collector).  Every fast packing is checked for assignment equality
+    against the classic one — the ``identical`` flag pins the
+    twin-engine contract into the perf trajectory file itself.
+    """
+    backends = tuple(backends) if backends is not None else available_backends()
+    instance = scenario.build_instance()
+    results: Dict[str, Any] = {}
+    for name in algorithms:
+        classic_s = float("inf")
+        classic = None
+        for _ in range(max(1, repeats)):
+            algo = make_algorithm(name)
+            t0 = time.perf_counter()
+            classic = run(algo, instance)
+            classic_s = min(classic_s, time.perf_counter() - t0)
+        cell: Dict[str, Any] = {
+            "classic_s": classic_s,
+            "cost": classic.cost,
+            "num_bins": classic.num_bins,
+        }
+        identical = True
+        for backend in backends:
+            fast_s = float("inf")
+            fast = None
+            for _ in range(max(1, repeats)):
+                t0 = time.perf_counter()
+                fast = fast_simulate(name, instance, backend=backend)
+                fast_s = min(fast_s, time.perf_counter() - t0)
+            identical = identical and dict(fast.assignment) == dict(classic.assignment)
+            cell[f"fast_{backend}_s"] = fast_s
+            cell[f"speedup_{backend}"] = classic_s / fast_s if fast_s > 0 else 0.0
+        cell["identical"] = identical
+        results[name] = cell
+
+    totals: Dict[str, Any] = {
+        "classic_s": sum(c["classic_s"] for c in results.values()),
+        "identical": all(c["identical"] for c in results.values()),
+    }
+    for backend in backends:
+        fast_total = sum(c[f"fast_{backend}_s"] for c in results.values())
+        totals[f"fast_{backend}_s"] = fast_total
+        totals[f"speedup_{backend}"] = (
+            totals["classic_s"] / fast_total if fast_total > 0 else 0.0
+        )
+    return {
+        "name": scenario.name,
+        "params": scenario.params(),
+        "backends": list(backends),
+        "results": results,
+        "totals": totals,
+    }
+
+
+def run_fastpath_suite(
+    scenarios: Sequence[BenchScenario] = tuple(FASTPATH_SCENARIOS),
+    algorithms: Sequence[str] = tuple(PAPER_ALGORITHMS),
+    repeats: int = 3,
+    backends: Optional[Sequence[str]] = None,
+    suite: str = "fastpath",
+    progress=None,
+) -> Dict[str, Any]:
+    """Run the twin-engine comparison suite; return its JSON payload.
+
+    The ``headline`` block repeats the totals of the largest scenario
+    (by ``n``) — the number the acceptance gate and the README quote.
+    """
+    backends = tuple(backends) if backends is not None else available_backends()
+    t0 = time.perf_counter()
+    records = []
+    for scenario in scenarios:
+        record = run_fastpath_scenario(
+            scenario, algorithms, repeats=repeats, backends=backends
+        )
+        records.append(record)
+        if progress is not None:
+            speedups = ", ".join(
+                f"{b} {record['totals'][f'speedup_{b}']:.1f}x" for b in backends
+            )
+            progress(
+                f"  {scenario.name}: classic {record['totals']['classic_s']:.2f} s, "
+                f"speedup {speedups}, identical={record['totals']['identical']}"
+            )
+    largest = max(records, key=lambda r: r["params"]["n"])
+    payload = {
+        "schema": FASTPATH_SCHEMA,
+        "suite": suite,
+        "generated_unix": time.time(),
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "repeats": repeats,
+        "backends": list(backends),
+        "algorithms": list(algorithms),
+        "total_wall_time_s": time.perf_counter() - t0,
+        "headline": {"scenario": largest["name"], **largest["totals"]},
+        "scenarios": records,
+    }
+    return payload
+
+
+def merge_fastpath(core_payload: Dict[str, Any], fastpath_payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Attach a fastpath suite payload to a core suite payload.
+
+    ``BENCH_core.json`` stays one file: the core grid at the top level
+    (unchanged schema) with the twin-engine comparison nested under
+    ``"fastpath"``, so the perf trajectory records both engines side by
+    side.
+    """
+    merged = dict(core_payload)
+    merged["fastpath"] = fastpath_payload
+    return merged
 
 
 def write_bench(payload: Dict[str, Any], path: str) -> None:

@@ -20,6 +20,12 @@ Counter semantics
     inspected by that call.  ``fit_checks`` is the size of the work the
     dispatch loop does — the quantity perf PRs on the hot path must
     drive down.
+``fastpath_runs``
+    How many of the observed runs were executed by the flat-array
+    :class:`~repro.simulation.fastpath.FastEngine` rather than the
+    classic engine (0 for purely classic collectors).  The fast engine
+    reports the same scan/check semantics, so this is the only counter
+    telling the twin engines apart.
 ``dispatch_time_s`` / ``wall_time_s``
     Wall-clock spent inside arrival dispatch (policy decision + pack)
     vs. the whole run (event replay + observer fan-out included).
@@ -75,6 +81,7 @@ class RunStats:
     peak_open_bins: int = 0
     candidate_scans: int = 0
     fit_checks: int = 0
+    fastpath_runs: int = 0
     dispatch_time_s: float = 0.0
     wall_time_s: float = 0.0
     peak_rss_bytes: Optional[int] = None
@@ -138,6 +145,7 @@ class RunStats:
             peak_open_bins=max(p.peak_open_bins for p in parts),
             candidate_scans=sum(p.candidate_scans for p in parts),
             fit_checks=sum(p.fit_checks for p in parts),
+            fastpath_runs=sum(p.fastpath_runs for p in parts),
             dispatch_time_s=sum(p.dispatch_time_s for p in parts),
             wall_time_s=sum(p.wall_time_s for p in parts),
             peak_rss_bytes=max(rss) if rss else None,
@@ -185,6 +193,7 @@ class StatsCollector:
         "peak_open_bins",
         "candidate_scans",
         "fit_checks",
+        "fastpath_runs",
         "dispatch_time_s",
         "wall_time_s",
         "peak_rss_bytes",
@@ -203,6 +212,7 @@ class StatsCollector:
         self.peak_open_bins = 0
         self.candidate_scans = 0
         self.fit_checks = 0
+        self.fastpath_runs = 0
         self.dispatch_time_s = 0.0
         self.wall_time_s = 0.0
         self.peak_rss_bytes: Optional[int] = None
@@ -283,6 +293,7 @@ class StatsCollector:
             peak_open_bins=self.peak_open_bins,
             candidate_scans=self.candidate_scans,
             fit_checks=self.fit_checks,
+            fastpath_runs=self.fastpath_runs,
             dispatch_time_s=self.dispatch_time_s,
             wall_time_s=self.wall_time_s,
             peak_rss_bytes=self.peak_rss_bytes,
@@ -300,6 +311,7 @@ class StatsCollector:
         self.peak_open_bins = 0
         self.candidate_scans = 0
         self.fit_checks = 0
+        self.fastpath_runs = 0
         self.dispatch_time_s = 0.0
         self.wall_time_s = 0.0
         self.peak_rss_bytes = None

@@ -8,6 +8,15 @@ from .billing import (
     summarize_billing,
 )
 from .engine import Engine, SimulationObserver, simulate
+from .fastpath import (
+    FAST_POLICIES,
+    FastEngine,
+    available_backends,
+    default_backend,
+    fast_policy_for,
+    fast_simulate,
+    register_kernel_class,
+)
 from .instrumentation import LeaderTracker, LoadSnapshotter, UsagePeriodTracker
 from .metrics import (
     PackingMetrics,
@@ -15,7 +24,7 @@ from .metrics import (
     cost_breakdown_by_bin,
     open_bins_timeline,
 )
-from .parallel import UnitResult, aggregate_sweep_stats, parallel_sweep
+from .parallel import UnitResult, aggregate_sweep_stats, parallel_sweep, simulate_chunk
 from .runner import compare_algorithms, run, run_many
 from .trace import TraceRecord, TraceRecorder, render_trace, traces_equal
 
@@ -26,6 +35,14 @@ __all__ = [
     "billed_cost",
     "billing_overhead",
     "summarize_billing",
+    "FAST_POLICIES",
+    "FastEngine",
+    "available_backends",
+    "default_backend",
+    "fast_policy_for",
+    "fast_simulate",
+    "register_kernel_class",
+    "simulate_chunk",
     "LeaderTracker",
     "LoadSnapshotter",
     "PackingMetrics",

@@ -221,9 +221,25 @@ def simulate(
     instance: Instance,
     observers: Sequence[SimulationObserver] = (),
     collector: Optional[StatsCollector] = None,
+    fast: bool = False,
 ) -> Packing:
     """Convenience wrapper: run ``algorithm`` on ``instance`` once.
 
     Equivalent to ``Engine(instance, algorithm, observers, collector).run()``.
+
+    With ``fast=True`` the run is auto-routed to the flat-array
+    :class:`~repro.simulation.fastpath.FastEngine` when it is eligible —
+    no observers requested and the algorithm resolves to a fast policy
+    kernel (see :func:`~repro.simulation.fastpath.fast_policy_for`) —
+    and silently falls back to the classic engine otherwise.  Both
+    engines produce bit-identical packings, so ``fast`` is purely a
+    performance switch.
     """
+    if fast and not observers:
+        from .fastpath import FastEngine, fast_policy_for
+
+        resolved = fast_policy_for(algorithm)
+        if resolved is not None:
+            policy, seed = resolved
+            return FastEngine(instance, policy, seed=seed, collector=collector).run()
     return Engine(instance, algorithm, observers, collector).run()

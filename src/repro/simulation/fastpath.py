@@ -1,0 +1,733 @@
+"""Flat-array fast-path twin of the classic simulation :class:`Engine`.
+
+The classic engine replays Algorithm 1 over per-bin Python objects: every
+arrival re-stacks the open bins' load vectors into a fresh matrix before
+the vectorised fit check, and every bin transition walks observer hooks.
+That object traversal — not the arithmetic — dominates the Table 2 /
+Figure 4 sweeps and the ``repro verify`` fuzz harness.
+
+:class:`FastEngine` keeps the *same decision procedure* in flat parallel
+arrays instead:
+
+* a dense residual-capacity matrix ``loads`` of shape ``(slots, d)`` with
+  one row per ever-opened bin slot, updated incrementally on pack and
+  recomputed per-row on departure (see below);
+* ``alive`` open/closed flags plus tombstone compaction, so closed bins
+  cost nothing after a compaction sweep and the matrix stays dense;
+* a pre-sorted event-index array built once per run (``np.lexsort`` over
+  ``(time, kind, seq)``) replacing the per-run event-object construction,
+  preserving the exact departures-before-arrivals tie-break of
+  :mod:`repro.core.events`;
+* per-policy selection kernels: first-fit ``argmax`` over the fit mask,
+  best/worst-fit masked ``argmax``/``argmin`` over row loads, Move To
+  Front recency-list front-scan, Next Fit single-row cursor check, and a
+  stream-compatible Random Fit draw.
+
+Bit-identity contract
+---------------------
+For every policy in :data:`FAST_POLICIES` the engine produces the *same
+item → bin assignment, bit for bit*, as the classic engine — not merely
+the same cost.  Two details make this non-trivial:
+
+1. **Departures re-sum, never subtract.**  :meth:`repro.core.bins.Bin.remove`
+   recomputes the load by summing the remaining residents sequentially in
+   pack order; ``(a + b) + c - b`` differs from ``a + c`` by an ulp in
+   float64, so an incremental subtract would eventually flip a fit
+   decision near the tolerance threshold.  The fast path performs the
+   identical sequential re-sum on the affected row only.
+2. **New bins copy, never accumulate.**  A fresh bin's load is
+   ``0.0 + size`` elementwise, which is bitwise equal to ``size`` for the
+   non-negative finite sizes :func:`repro.core.vectors.as_size_vector`
+   admits, so opening writes the size row directly.
+
+Backends
+--------
+Two interchangeable kernel backends produce identical decisions:
+
+* ``"numpy"`` — vectorised mask/argmin/argmax kernels (auto-selected when
+  numpy is importable, i.e. always in a standard install);
+* ``"python"`` — pure-Python short-circuit scans over lists of floats.
+  The scans stop at the first fitting bin where the policy allows, which
+  changes nothing observable: the *selected* bin is the same, and the
+  per-dimension float adds/compares are the same IEEE-754 double
+  operations numpy performs elementwise.
+
+Select explicitly via ``FastEngine(..., backend=...)`` or globally with
+the ``REPRO_FASTPATH_BACKEND`` environment variable (the CI fastpath
+matrix leg pins each backend in turn).  The two replay loops are
+deliberately written out long-hand per backend — factoring the shared
+bookkeeping through per-event callables would put several Python method
+calls back on the hot path, which is exactly the overhead this module
+exists to remove.
+
+Integration
+-----------
+``simulate(algorithm, instance, fast=True)`` auto-routes eligible runs
+here (see :func:`fast_policy_for` for eligibility) and silently falls
+back to the classic engine otherwise; ``repro run --engine fast`` and the
+``parallel_sweep(..., engine="fast")`` chunked dispatch build on the same
+resolution.  ``repro.verify`` holds the safety net: a classic-vs-fastpath
+differential oracle in the harness, a three-way corpus test, and a
+deliberately broken stale-residual mutant that must be caught.
+"""
+
+from __future__ import annotations
+
+import os
+from time import perf_counter
+from typing import Dict, List, Optional, Tuple, Union
+
+try:  # numpy is a hard dependency of repro.core, but the fast kernels
+    # degrade to the pure-python backend if it ever goes missing.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via backend="python"
+    _np = None
+
+from ..core.errors import AlgorithmError, ConfigurationError
+from ..core.instance import Instance
+from ..core.packing import Packing
+from ..core.vectors import EPS
+from ..observability.stats import StatsCollector
+
+__all__ = [
+    "BACKEND_ENV",
+    "NUMPY_BACKEND",
+    "PYTHON_BACKEND",
+    "FAST_POLICIES",
+    "available_backends",
+    "default_backend",
+    "register_kernel_class",
+    "fast_policy_for",
+    "FastEngine",
+    "fast_simulate",
+]
+
+NUMPY_BACKEND = "numpy"
+PYTHON_BACKEND = "python"
+
+#: Environment variable overriding backend auto-selection
+#: (``numpy`` | ``python``).  The CI fastpath matrix leg sets it.
+BACKEND_ENV = "REPRO_FASTPATH_BACKEND"
+
+#: The seven Section 7 registry policies the fast kernels implement.
+FAST_POLICIES = frozenset(
+    {
+        "move_to_front",
+        "first_fit",
+        "next_fit",
+        "best_fit",
+        "worst_fit",
+        "last_fit",
+        "random_fit",
+    }
+)
+
+_INITIAL_SLOTS = 64
+#: Compact the slot arrays once at least this many tombstones exist *and*
+#: they are at least half of all slots — amortised O(1) per close.
+_COMPACT_MIN_DEAD = 32
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Kernel backends usable in this process, preferred first."""
+    if _np is not None:
+        return (NUMPY_BACKEND, PYTHON_BACKEND)
+    return (PYTHON_BACKEND,)
+
+
+def default_backend() -> str:
+    """Resolve the backend to use when none is requested explicitly.
+
+    Honours :data:`BACKEND_ENV` when set (raising
+    :class:`~repro.core.errors.ConfigurationError` on an unknown or
+    unavailable value); otherwise auto-selects ``"numpy"`` when numpy is
+    importable and ``"python"`` as the fallback.
+    """
+    env = os.environ.get(BACKEND_ENV, "").strip().lower()
+    if env:
+        if env not in (NUMPY_BACKEND, PYTHON_BACKEND):
+            raise ConfigurationError(
+                f"{BACKEND_ENV}={env!r} is not a fastpath backend; "
+                f"expected {NUMPY_BACKEND!r} or {PYTHON_BACKEND!r}"
+            )
+        if env == NUMPY_BACKEND and _np is None:
+            raise ConfigurationError(
+                f"{BACKEND_ENV}={NUMPY_BACKEND!r} but numpy is not importable"
+            )
+        return env
+    return NUMPY_BACKEND if _np is not None else PYTHON_BACKEND
+
+
+# ----------------------------------------------------------------------
+# eligibility: which algorithm objects may be routed to the fast path
+# ----------------------------------------------------------------------
+
+#: Exact algorithm classes whose dispatch the fast kernels reproduce,
+#: mapped to their kernel policy name.  Checked by *identity* — a
+#: subclass may override ``choose``/``on_packed`` and silently diverge,
+#: so it must opt in through :func:`register_kernel_class`.
+_KERNEL_CLASSES: Dict[type, str] = {}
+
+
+def register_kernel_class(cls: type, policy: str) -> None:
+    """Declare that ``cls`` instances behave exactly like ``policy``.
+
+    Extension hook for algorithm classes outside the stock seven (or
+    subclasses of them) whose decisions provably match a fast kernel.
+    Registered classes become eligible for :func:`fast_policy_for`
+    resolution when their ``fast_kernel`` attribute names the policy.
+    """
+    if policy not in FAST_POLICIES:
+        raise ConfigurationError(
+            f"cannot register {cls!r} for unknown fast policy {policy!r}"
+        )
+    _KERNEL_CLASSES[cls] = policy
+
+
+def fast_policy_for(algorithm: Union[str, object]) -> Optional[Tuple[str, int]]:
+    """Resolve an algorithm spec to ``(policy, seed)`` if fast-eligible.
+
+    Accepts a registry name or an algorithm object.  An object is
+    eligible when (a) its class advertises a kernel via the
+    ``fast_kernel`` attribute, and (b) its *exact* class is registered
+    for that kernel (:func:`register_kernel_class`) — configuration that
+    changes decisions (e.g. ``BestFit(measure="l1")``) clears
+    ``fast_kernel`` on the instance, and unregistered subclasses are
+    rejected outright.  Returns ``None`` when the classic engine must be
+    used.
+    """
+    if isinstance(algorithm, str):
+        return (algorithm, 0) if algorithm in FAST_POLICIES else None
+    kernel = getattr(algorithm, "fast_kernel", None)
+    if kernel not in FAST_POLICIES:
+        return None
+    if _KERNEL_CLASSES.get(type(algorithm)) != kernel:
+        return None
+    return kernel, int(getattr(algorithm, "seed", 0))
+
+
+# ----------------------------------------------------------------------
+# the engine
+# ----------------------------------------------------------------------
+class FastEngine:
+    """Replays one instance through one fast policy kernel.
+
+    Drop-in counterpart of :class:`~repro.simulation.engine.Engine` for
+    the policies in :data:`FAST_POLICIES`: same single-use contract, same
+    returned :class:`~repro.core.packing.Packing`, bit-identical item →
+    bin assignment.  It does **not** support observers — observer fan-out
+    is per-event Python dispatch, the cost the fast path removes; runs
+    that need observers go through the classic engine (``simulate``'s
+    auto-selection enforces this).
+
+    Parameters
+    ----------
+    instance:
+        The instance to replay.
+    policy:
+        A policy name from :data:`FAST_POLICIES`.
+    seed:
+        Random stream seed (``random_fit`` only; ignored otherwise).
+    collector:
+        Optional :class:`~repro.observability.stats.StatsCollector`.
+        When given, the run records the same counters as an instrumented
+        classic run — identical deterministic part — plus the
+        ``fastpath_runs`` tally.
+    backend:
+        ``"numpy"`` or ``"python"``; default :func:`default_backend`.
+    """
+
+    #: Mutation hook for :mod:`repro.verify.mutation`: the stale-residual
+    #: mutant subclass flips this to skip the departure re-sum, which the
+    #: classic-vs-fastpath differential oracle must catch.
+    _stale_residual_bug = False
+
+    def __init__(
+        self,
+        instance: Instance,
+        policy: str,
+        seed: int = 0,
+        collector: Optional[StatsCollector] = None,
+        backend: Optional[str] = None,
+    ) -> None:
+        if policy not in FAST_POLICIES:
+            raise ConfigurationError(
+                f"fastpath does not implement policy {policy!r}; supported: "
+                f"{', '.join(sorted(FAST_POLICIES))}"
+            )
+        resolved = default_backend() if backend is None else backend
+        if resolved not in (NUMPY_BACKEND, PYTHON_BACKEND):
+            raise ConfigurationError(
+                f"unknown fastpath backend {resolved!r}; expected "
+                f"{NUMPY_BACKEND!r} or {PYTHON_BACKEND!r}"
+            )
+        if resolved == NUMPY_BACKEND and _np is None:
+            raise ConfigurationError("numpy backend requested but numpy is unavailable")
+        if policy == "random_fit" and _np is None:
+            raise ConfigurationError(
+                "random_fit needs numpy's Generator to reproduce the classic "
+                "engine's random stream"
+            )
+        self.instance = instance
+        self.policy = policy
+        #: Policy name, mirroring ``OnlineAlgorithm.name`` so collectors
+        #: and reports label fast runs identically to classic ones.
+        self.name = policy
+        self.seed = int(seed)
+        self.collector = collector
+        self.backend = resolved
+        self._ran = False
+
+    # ------------------------------------------------------------------
+    def run(self) -> Packing:
+        """Execute the full event stream and return the final packing.
+
+        Like the classic engine, a :class:`FastEngine` is single-use: a
+        second call raises :class:`~repro.core.errors.AlgorithmError`.
+        """
+        if self._ran:
+            raise AlgorithmError("FastEngine instances are single-use; build a new one")
+        self._ran = True
+        col = self.collector
+        t_run = perf_counter() if col is not None else 0.0
+        if col is not None:
+            col.run_started(self.instance, self)
+        if self.backend == NUMPY_BACKEND:
+            assignment = self._replay_numpy(col)
+        else:
+            assignment = self._replay_python(col)
+        packing = Packing.from_assignment(self.instance, assignment, algorithm=self.policy)
+        if col is not None:
+            col.fastpath_runs += 1
+            col.run_finished(
+                perf_counter() - t_run,
+                context={"instance": self.instance.name, "n": self.instance.n,
+                         "engine": "fast", "backend": self.backend},
+            )
+        return packing
+
+    # ------------------------------------------------------------------
+    # numpy backend
+    # ------------------------------------------------------------------
+    def _replay_numpy(self, col: Optional[StatsCollector]) -> Dict[int, int]:
+        np = _np
+        inst = self.instance
+        items = inst.items
+        n = len(items)
+        timing = col is not None
+        if n == 0:
+            if timing:
+                col.record_run_totals(0, 0, 0, 0, 0, 0.0)
+            return {}
+        d = inst.d
+        capacity = np.asarray(inst.capacity, dtype=np.float64)
+        slack = capacity + EPS * np.maximum(capacity, 1.0)
+        sizes = np.stack([it.size for it in items])
+
+        # Pre-sorted event indices: value < n is the arrival of item
+        # position `value`; value >= n is the departure of `value - n`.
+        # lexsort's last key is primary, matching the classic engine's
+        # (time, kind, seq) sort with DEPARTURE(0) < ARRIVAL(1), arrival
+        # seq = instance position, departure seq = uid.
+        times = np.empty(2 * n, dtype=np.float64)
+        kinds = np.empty(2 * n, dtype=np.int64)
+        seqs = np.empty(2 * n, dtype=np.int64)
+        for pos, it in enumerate(items):
+            times[pos] = it.arrival
+            times[n + pos] = it.departure
+            seqs[pos] = pos
+            seqs[n + pos] = it.uid
+        kinds[:n] = 1
+        kinds[n:] = 0
+        order = np.lexsort((seqs, kinds, times)).tolist()
+
+        policy = self.policy
+        mtf = policy == "move_to_front"
+        nf = policy == "next_fit"
+        rng = np.random.default_rng(self.seed) if policy == "random_fit" else None
+
+        cap_slots = _INITIAL_SLOTS
+        loads = np.zeros((cap_slots, d), dtype=np.float64)
+        slot_bin = np.zeros(cap_slots, dtype=np.int64)
+        alive = np.zeros(cap_slots, dtype=bool)
+        residents: List[List[int]] = []  # item positions per slot, pack order
+        slot_of: Dict[int, int] = {}  # bin id -> slot
+        bin_of = [0] * n  # item position -> bin id
+        recency: List[int] = []  # MTF bin ids, most recently used first
+        current = -1  # Next Fit cursor (bin id)
+        n_slots = n_dead = open_count = bin_count = 0
+        stale = self._stale_residual_bug
+
+        pc = perf_counter
+        scans = checks = peak_open = closed = 0
+        dispatch_s = 0.0
+
+        for ev in order:
+            if ev < n:  # ---------------------------------- arrival
+                pos = ev
+                if timing:
+                    t0 = pc()
+                size = sizes[pos]
+                slot = -1
+                if nf:
+                    if current >= 0:
+                        if timing:
+                            scans += 1
+                            checks += 1
+                        s = slot_of[current]
+                        if ((loads[s] + size) <= slack).all():
+                            slot = s
+                elif n_slots:
+                    if timing and open_count:
+                        # Same semantics as the classic hot path: one
+                        # scan per arrival with a non-empty open list,
+                        # one fit check per open bin it inspects.
+                        scans += 1
+                        checks += open_count
+                    m = n_slots
+                    mask = ((loads[:m] + size) <= slack).all(axis=1)
+                    if n_dead:
+                        mask &= alive[:m]
+                    if mtf:
+                        for bid in recency:
+                            s = slot_of[bid]
+                            if mask[s]:
+                                slot = s
+                                break
+                    elif policy == "first_fit":
+                        if mask.any():
+                            slot = int(mask.argmax())
+                    elif policy == "last_fit":
+                        if mask.any():
+                            slot = m - 1 - int(mask[::-1].argmax())
+                    elif policy == "best_fit":
+                        if mask.any():
+                            # argmax keeps the first occurrence, i.e. the
+                            # earliest-opened bin — the classic tie-break.
+                            w = np.where(mask, loads[:m].max(axis=1), -np.inf)
+                            slot = int(w.argmax())
+                    elif policy == "worst_fit":
+                        if mask.any():
+                            w = np.where(mask, loads[:m].max(axis=1), np.inf)
+                            slot = int(w.argmin())
+                    else:  # random_fit: same draw count and modulus as classic
+                        fitting = np.flatnonzero(mask)
+                        if fitting.size:
+                            slot = int(fitting[int(rng.integers(fitting.size))])
+
+                if slot >= 0:
+                    opened_new = False
+                    bid = int(slot_bin[slot])
+                    loads[slot] += size
+                    residents[slot].append(pos)
+                else:
+                    opened_new = True
+                    bid = bin_count
+                    bin_count += 1
+                    if n_slots == cap_slots:
+                        cap_slots *= 2
+                        grown = np.zeros((cap_slots, d), dtype=np.float64)
+                        grown[:n_slots] = loads
+                        loads = grown
+                        grown_b = np.zeros(cap_slots, dtype=np.int64)
+                        grown_b[:n_slots] = slot_bin
+                        slot_bin = grown_b
+                        grown_a = np.zeros(cap_slots, dtype=bool)
+                        grown_a[:n_slots] = alive
+                        alive = grown_a
+                    slot = n_slots
+                    n_slots += 1
+                    slot_bin[slot] = bid
+                    alive[slot] = True
+                    loads[slot] = size  # bitwise equal to zeros + size
+                    residents.append([pos])
+                    slot_of[bid] = slot
+                    open_count += 1
+                    if nf:
+                        current = bid
+                bin_of[pos] = bid
+                if mtf and (not recency or recency[0] != bid):
+                    if not opened_new:
+                        recency.remove(bid)
+                    recency.insert(0, bid)
+                if timing:
+                    dispatch_s += pc() - t0
+                    if opened_new and open_count > peak_open:
+                        peak_open = open_count
+            else:  # ---------------------------------------- departure
+                pos = ev - n
+                bid = bin_of[pos]
+                slot = slot_of[bid]
+                res = residents[slot]
+                res.remove(pos)
+                if res:
+                    if not stale:
+                        # Re-sum sequentially in pack order, exactly like
+                        # Bin.remove — see "Bit-identity contract" above.
+                        row = np.zeros(d, dtype=np.float64)
+                        for p in res:
+                            row += sizes[p]
+                        loads[slot] = row
+                else:
+                    alive[slot] = False
+                    del slot_of[bid]
+                    n_dead += 1
+                    open_count -= 1
+                    if timing:
+                        closed += 1
+                    if mtf:
+                        recency.remove(bid)
+                    elif nf and current == bid:
+                        current = -1
+                    if n_dead >= _COMPACT_MIN_DEAD and 2 * n_dead >= n_slots:
+                        keep = [s for s in range(n_slots) if alive[s]]
+                        k = len(keep)
+                        idx = np.asarray(keep, dtype=np.intp)
+                        loads[:k] = loads[idx]  # stable: preserves opening order
+                        slot_bin[:k] = slot_bin[idx]
+                        alive[:k] = True
+                        alive[k:n_slots] = False
+                        residents[:] = [residents[s] for s in keep]
+                        slot_of.clear()
+                        for s in range(k):
+                            slot_of[int(slot_bin[s])] = s
+                        n_slots = k
+                        n_dead = 0
+
+        if timing:
+            col.record_run_totals(
+                arrivals=n,
+                departures=n,
+                bins_opened=bin_count,
+                bins_closed=closed,
+                peak_open_bins=peak_open,
+                dispatch_time_s=dispatch_s,
+            )
+            col.candidate_scans += scans
+            col.fit_checks += checks
+        return {items[pos].uid: bin_of[pos] for pos in range(n)}
+
+    # ------------------------------------------------------------------
+    # pure-python backend
+    # ------------------------------------------------------------------
+    def _replay_python(self, col: Optional[StatsCollector]) -> Dict[int, int]:
+        inst = self.instance
+        items = inst.items
+        n = len(items)
+        timing = col is not None
+        if n == 0:
+            if timing:
+                col.record_run_totals(0, 0, 0, 0, 0, 0.0)
+            return {}
+        d = inst.d
+        slack = [float(c) + EPS * max(float(c), 1.0) for c in inst.capacity]
+        sizes = [it.size.tolist() for it in items]
+
+        keys = []
+        for pos, it in enumerate(items):
+            keys.append((it.arrival, 1, pos, pos))
+            keys.append((it.departure, 0, it.uid, n + pos))
+        keys.sort(key=lambda k: (k[0], k[1], k[2]))
+        order = [k[3] for k in keys]
+
+        policy = self.policy
+        mtf = policy == "move_to_front"
+        nf = policy == "next_fit"
+        rng = _np.random.default_rng(self.seed) if policy == "random_fit" else None
+
+        loads: List[List[float]] = []  # one row per slot (no preallocation)
+        slot_bin: List[int] = []
+        alive: List[bool] = []
+        residents: List[List[int]] = []
+        slot_of: Dict[int, int] = {}
+        bin_of = [0] * n
+        recency: List[int] = []
+        current = -1
+        n_slots = n_dead = open_count = bin_count = 0
+        stale = self._stale_residual_bug
+        dims = range(d)
+
+        pc = perf_counter
+        scans = checks = peak_open = closed = 0
+        dispatch_s = 0.0
+
+        def fits_slot(s: int, size: List[float]) -> bool:
+            # Same IEEE-754 double add/compare numpy applies elementwise.
+            row = loads[s]
+            for j in dims:
+                if row[j] + size[j] > slack[j]:
+                    return False
+            return True
+
+        for ev in order:
+            if ev < n:  # ---------------------------------- arrival
+                pos = ev
+                if timing:
+                    t0 = pc()
+                size = sizes[pos]
+                slot = -1
+                if nf:
+                    if current >= 0:
+                        if timing:
+                            scans += 1
+                            checks += 1
+                        s = slot_of[current]
+                        if fits_slot(s, size):
+                            slot = s
+                elif open_count:
+                    if timing:
+                        scans += 1
+                        checks += open_count
+                    if mtf:
+                        for bid in recency:
+                            s = slot_of[bid]
+                            if fits_slot(s, size):
+                                slot = s
+                                break
+                    elif policy == "first_fit":
+                        for s in range(n_slots):
+                            if alive[s] and fits_slot(s, size):
+                                slot = s
+                                break
+                    elif policy == "last_fit":
+                        for s in range(n_slots - 1, -1, -1):
+                            if alive[s] and fits_slot(s, size):
+                                slot = s
+                                break
+                    elif policy == "best_fit":
+                        best_w = 0.0
+                        for s in range(n_slots):
+                            if alive[s] and fits_slot(s, size):
+                                w = max(loads[s])
+                                # strict > keeps the earliest-opened bin
+                                # on ties, the classic tie-break
+                                if slot < 0 or w > best_w:
+                                    slot, best_w = s, w
+                    elif policy == "worst_fit":
+                        worst_w = 0.0
+                        for s in range(n_slots):
+                            if alive[s] and fits_slot(s, size):
+                                w = max(loads[s])
+                                if slot < 0 or w < worst_w:
+                                    slot, worst_w = s, w
+                    else:  # random_fit
+                        fitting = [
+                            s for s in range(n_slots) if alive[s] and fits_slot(s, size)
+                        ]
+                        if fitting:
+                            slot = fitting[int(rng.integers(len(fitting)))]
+
+                if slot >= 0:
+                    opened_new = False
+                    bid = slot_bin[slot]
+                    row = loads[slot]
+                    for j in dims:
+                        row[j] += size[j]
+                    residents[slot].append(pos)
+                else:
+                    opened_new = True
+                    bid = bin_count
+                    bin_count += 1
+                    slot = n_slots
+                    n_slots += 1
+                    slot_bin.append(bid)
+                    alive.append(True)
+                    loads.append(list(size))  # 0.0 + x == x exactly
+                    residents.append([pos])
+                    slot_of[bid] = slot
+                    open_count += 1
+                    if nf:
+                        current = bid
+                bin_of[pos] = bid
+                if mtf and (not recency or recency[0] != bid):
+                    if not opened_new:
+                        recency.remove(bid)
+                    recency.insert(0, bid)
+                if timing:
+                    dispatch_s += pc() - t0
+                    if opened_new and open_count > peak_open:
+                        peak_open = open_count
+            else:  # ---------------------------------------- departure
+                pos = ev - n
+                bid = bin_of[pos]
+                slot = slot_of[bid]
+                res = residents[slot]
+                res.remove(pos)
+                if res:
+                    if not stale:
+                        row = [0.0] * d
+                        for p in res:
+                            sp = sizes[p]
+                            for j in dims:
+                                row[j] += sp[j]
+                        loads[slot] = row
+                else:
+                    alive[slot] = False
+                    del slot_of[bid]
+                    n_dead += 1
+                    open_count -= 1
+                    if timing:
+                        closed += 1
+                    if mtf:
+                        recency.remove(bid)
+                    elif nf and current == bid:
+                        current = -1
+                    if n_dead >= _COMPACT_MIN_DEAD and 2 * n_dead >= n_slots:
+                        keep = [s for s in range(n_slots) if alive[s]]
+                        loads[:] = [loads[s] for s in keep]
+                        slot_bin[:] = [slot_bin[s] for s in keep]
+                        residents[:] = [residents[s] for s in keep]
+                        alive[:] = [True] * len(keep)
+                        slot_of.clear()
+                        for s, bid_ in enumerate(slot_bin):
+                            slot_of[bid_] = s
+                        n_slots = len(keep)
+                        n_dead = 0
+
+        if timing:
+            col.record_run_totals(
+                arrivals=n,
+                departures=n,
+                bins_opened=bin_count,
+                bins_closed=closed,
+                peak_open_bins=peak_open,
+                dispatch_time_s=dispatch_s,
+            )
+            col.candidate_scans += scans
+            col.fit_checks += checks
+        return {items[pos].uid: bin_of[pos] for pos in range(n)}
+
+
+def fast_simulate(
+    policy: str,
+    instance: Instance,
+    seed: int = 0,
+    collector: Optional[StatsCollector] = None,
+    backend: Optional[str] = None,
+) -> Packing:
+    """Convenience wrapper: one fast run of ``policy`` on ``instance``.
+
+    Equivalent to ``FastEngine(instance, policy, seed, collector,
+    backend).run()``.
+    """
+    return FastEngine(instance, policy, seed=seed, collector=collector, backend=backend).run()
+
+
+# Stock registrations: the seven Section 7 policy classes whose default
+# configuration the kernels reproduce bit-for-bit.  Imported down here so
+# the eligibility table never participates in an import cycle with
+# repro.algorithms (whose modules only depend on repro.core).
+from ..algorithms.best_fit import BestFit, WorstFit  # noqa: E402
+from ..algorithms.first_fit import FirstFit  # noqa: E402
+from ..algorithms.last_fit import LastFit  # noqa: E402
+from ..algorithms.move_to_front import MoveToFront  # noqa: E402
+from ..algorithms.next_fit import NextFit  # noqa: E402
+from ..algorithms.random_fit import RandomFit  # noqa: E402
+
+register_kernel_class(MoveToFront, "move_to_front")
+register_kernel_class(FirstFit, "first_fit")
+register_kernel_class(NextFit, "next_fit")
+register_kernel_class(BestFit, "best_fit")
+register_kernel_class(WorstFit, "worst_fit")
+register_kernel_class(LastFit, "last_fit")
+register_kernel_class(RandomFit, "random_fit")

@@ -28,7 +28,13 @@ from ..observability.stats import RunStats, StatsCollector
 from ..optimum.lower_bounds import height_lower_bound
 from .runner import run
 
-__all__ = ["UnitResult", "simulate_unit", "parallel_sweep", "aggregate_sweep_stats"]
+__all__ = [
+    "UnitResult",
+    "simulate_unit",
+    "simulate_chunk",
+    "parallel_sweep",
+    "aggregate_sweep_stats",
+]
 
 
 @dataclass(frozen=True)
@@ -60,15 +66,19 @@ def simulate_unit(
     """Worker entry point: simulate one algorithm on one instance.
 
     ``payload`` is ``(name, kwargs, index, instance_dict, lower_bound)``
-    with an optional sixth ``collect_stats`` flag (older five-element
-    payloads remain valid).  Module-level (picklable) by design so it
-    works with the spawn start method.
+    with an optional sixth ``collect_stats`` flag and an optional seventh
+    ``engine`` name (``"classic"``/``"fast"``; older five- and
+    six-element payloads remain valid).  Module-level (picklable) by
+    design so it works with the spawn start method.
     """
     name, kwargs, index, inst_dict, lb, *rest = payload
     collect_stats = bool(rest[0]) if rest else False
+    engine = str(rest[1]) if len(rest) > 1 else "classic"
     instance = Instance.from_dict(inst_dict)
     collector = StatsCollector() if collect_stats else None
-    packing = run(make_algorithm(name, **dict(kwargs)), instance, collector=collector)
+    packing = run(
+        make_algorithm(name, **dict(kwargs)), instance, collector=collector, engine=engine
+    )
     return UnitResult(
         algorithm=name,
         instance_index=index,
@@ -79,6 +89,18 @@ def simulate_unit(
     )
 
 
+def simulate_chunk(payloads: Sequence[tuple]) -> List[UnitResult]:
+    """Worker entry point for the fast engine's chunked dispatch.
+
+    A fast-engine unit finishes several times sooner than a classic one,
+    so per-unit futures would push the IPC share of the wall time up;
+    shipping an explicit list of payloads per task keeps the unit of
+    work as coarse as in the classic sweep.  Semantically identical to
+    ``[simulate_unit(p) for p in payloads]``.
+    """
+    return [simulate_unit(p) for p in payloads]
+
+
 def parallel_sweep(
     algorithms: Sequence[str],
     instances: Sequence[Instance],
@@ -86,6 +108,7 @@ def parallel_sweep(
     algorithm_kwargs: Optional[Mapping[str, Mapping[str, object]]] = None,
     chunksize: int = 4,
     collect_stats: bool = False,
+    engine: str = "classic",
 ) -> Dict[str, List[UnitResult]]:
     """Run every algorithm on every instance, possibly across processes.
 
@@ -108,6 +131,14 @@ def parallel_sweep(
         ``UnitResult.stats``; aggregate across workers with
         :func:`aggregate_sweep_stats`.  The deterministic counters of
         the aggregate are identical for any ``processes`` value.
+    engine:
+        ``"classic"`` (default) or ``"fast"``.  Fast mode routes every
+        unit through :class:`~repro.simulation.fastpath.FastEngine` and
+        switches to chunked dispatch (:func:`simulate_chunk`): payloads
+        are pre-grouped into explicit chunks so the much shorter fast
+        units still amortise the per-task IPC cost.  Results are
+        bit-identical to the classic sweep for every ``engine`` and
+        ``processes`` combination.
 
     Returns
     -------
@@ -119,7 +150,15 @@ def parallel_sweep(
     lbs = [height_lower_bound(inst) for inst in instances]
     inst_dicts = [inst.to_dict() for inst in instances]
     payloads = [
-        (name, dict(algorithm_kwargs.get(name, {})), i, inst_dicts[i], lbs[i], collect_stats)
+        (
+            name,
+            dict(algorithm_kwargs.get(name, {})),
+            i,
+            inst_dicts[i],
+            lbs[i],
+            collect_stats,
+            engine,
+        )
         for name in algorithms
         for i in range(len(instances))
     ]
@@ -129,7 +168,12 @@ def parallel_sweep(
     else:
         workers = processes or os.cpu_count() or 1
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            results = list(pool.map(simulate_unit, payloads, chunksize=chunksize))
+            if engine == "fast":
+                step = max(int(chunksize), 1)
+                chunks = [payloads[i : i + step] for i in range(0, len(payloads), step)]
+                results = [unit for batch in pool.map(simulate_chunk, chunks) for unit in batch]
+            else:
+                results = list(pool.map(simulate_unit, payloads, chunksize=chunksize))
 
     out: Dict[str, List[UnitResult]] = {name: [] for name in algorithms}
     for res in results:

@@ -11,10 +11,11 @@ from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 from ..algorithms.base import OnlineAlgorithm
 from ..algorithms.registry import make_algorithm
+from ..core.errors import ConfigurationError
 from ..core.instance import Instance
 from ..core.packing import Packing
 from ..observability.stats import StatsCollector
-from .engine import Engine, SimulationObserver
+from .engine import SimulationObserver, simulate
 
 __all__ = ["run", "run_many", "compare_algorithms"]
 
@@ -31,6 +32,7 @@ def run(
     observers: Sequence[SimulationObserver] = (),
     validate: bool = False,
     collector: Optional[StatsCollector] = None,
+    engine: str = "classic",
 ) -> Packing:
     """Run one algorithm on one instance.
 
@@ -51,8 +53,20 @@ def run(
         Optional :class:`~repro.observability.stats.StatsCollector`;
         when given, the engine records per-run counters and timings into
         it (``None`` keeps the uninstrumented fast path).
+    engine:
+        ``"classic"`` (default) or ``"fast"``.  ``"fast"`` requests the
+        flat-array :class:`~repro.simulation.fastpath.FastEngine`; runs
+        it cannot take (observers present, or a policy without a fast
+        kernel) fall back to the classic engine with the same result —
+        the twin engines are bit-identical.
     """
-    packing = Engine(instance, _resolve(algorithm), observers, collector).run()
+    if engine not in ("classic", "fast"):
+        raise ConfigurationError(
+            f"unknown engine {engine!r}; expected 'classic' or 'fast'"
+        )
+    packing = simulate(
+        _resolve(algorithm), instance, observers, collector, fast=engine == "fast"
+    )
     if validate:
         packing.validate()
     return packing
@@ -63,6 +77,7 @@ def run_many(
     instances: Iterable[Instance],
     validate: bool = False,
     collector: Optional[StatsCollector] = None,
+    engine: str = "classic",
 ) -> List[Packing]:
     """Run one algorithm over a sequence of instances.
 
@@ -71,7 +86,10 @@ def run_many(
     stats across all runs (``RunStats.runs`` counts them).
     """
     algo = _resolve(algorithm)
-    return [run(algo, inst, validate=validate, collector=collector) for inst in instances]
+    return [
+        run(algo, inst, validate=validate, collector=collector, engine=engine)
+        for inst in instances
+    ]
 
 
 def compare_algorithms(

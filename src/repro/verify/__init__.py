@@ -31,8 +31,14 @@ from .invariants import (
     check_opt_ordering,
     check_theorem_bound,
 )
-from .mutation import MutationReport, broken_fit, mutation_smoke_test
+from .mutation import (
+    MutationReport,
+    StaleResidualFastEngine,
+    broken_fit,
+    mutation_smoke_test,
+)
 from .oracles import (
+    compare_with_fastpath,
     compare_with_reference,
     cost_check,
     differential_check,
@@ -62,8 +68,10 @@ __all__ = [
     "check_opt_ordering",
     "check_theorem_bound",
     "MutationReport",
+    "StaleResidualFastEngine",
     "broken_fit",
     "mutation_smoke_test",
+    "compare_with_fastpath",
     "compare_with_reference",
     "cost_check",
     "differential_check",

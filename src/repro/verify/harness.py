@@ -3,8 +3,9 @@
 Drives the whole verification subsystem over a deterministic corpus
 (:mod:`repro.verify.generators`): every corpus instance is checked for
 the algorithm-free invariants, then replayed through all seven Section 7
-policies with the differential oracle, the invariant auditor, and the
-Eq. 1 cost recomputation; a stride of (instance, policy) pairs
+policies with the reference differential oracle, the classic-vs-fastpath
+twin-engine differential, the invariant auditor, and the Eq. 1 cost
+recomputation; a stride of (instance, policy) pairs
 additionally runs the plain-vs-instrumented engine differential, and one
 small batch exercises the serial-vs-worker sweep equality.  The run ends
 with the mutation smoke-test — if an injected mutant goes *uncaught*,
@@ -44,6 +45,7 @@ from .generators import corpus
 from .invariants import Violation, audit_instance, audit_run
 from .mutation import MutationReport, mutation_smoke_test
 from .oracles import (
+    compare_with_fastpath,
     compare_with_reference,
     cost_check,
     instrumented_equality_check,
@@ -120,7 +122,9 @@ class VerifyReport:
                 "  mutation smoke-test: broken-fit "
                 f"{'CAUGHT' if self.mutation.capacity_caught else 'MISSED'}, "
                 "eager-open "
-                f"{'CAUGHT' if self.mutation.any_fit_caught else 'MISSED'}"
+                f"{'CAUGHT' if self.mutation.any_fit_caught else 'MISSED'}, "
+                "stale-residual "
+                f"{'CAUGHT' if self.mutation.fastpath_caught else 'MISSED'}"
             )
         if self.violations:
             lines.append(f"  VIOLATIONS ({len(self.violations)}):")
@@ -211,11 +215,13 @@ def run_verify(
             cost_by_policy[policy] = packing.cost
             for v in compare_with_reference(packing, policy, seed=0):
                 report.violations.append((f"{where}/{policy}", v))
+            for v in compare_with_fastpath(packing, policy, seed=0):
+                report.violations.append((f"{where}/{policy}", v))
             for v in audit_run(packing, policy):
                 report.violations.append((f"{where}/{policy}", v))
             for v in cost_check(packing):
                 report.violations.append((f"{where}/{policy}", v))
-            report.checks += 3
+            report.checks += 4
             pair = entry.index * len(prof.policies) + p_idx
             if prof.instrumented_stride and pair % prof.instrumented_stride == 0:
                 for v in instrumented_equality_check(inst, policy, seed=0):
@@ -248,6 +254,15 @@ def run_verify(
         report.violations.append((
             "mutation",
             Violation("mutation", "eager-open mutant was NOT caught by the any-fit auditor"),
+        ))
+    if not report.mutation.fastpath_caught:
+        report.violations.append((
+            "mutation",
+            Violation(
+                "mutation",
+                "stale-residual fastpath mutant was NOT caught by the "
+                "twin-engine differential oracle",
+            ),
         ))
     report.checks += 1
 

@@ -13,15 +13,21 @@ invariant auditor catches it:
   the Any Fit property by opening a fresh bin whenever its (buggy)
   candidate filter hides the fitting bins.  The packing stays feasible,
   so only the ``any-fit`` invariant can catch it.
+* :class:`StaleResidualFastEngine` — the fast-path engine with the
+  archetypal flat-array bug: the residual-capacity row is left stale
+  after a departure (capacity is never reclaimed), so the fast replay
+  silently opens extra bins.  Classic and fastpath each stay
+  self-consistent, so only the classic-vs-fastpath differential oracle
+  (:func:`~repro.verify.oracles.compare_with_fastpath`) can catch it.
 
-:func:`mutation_smoke_test` runs both mutants and reports whether each
+:func:`mutation_smoke_test` runs all mutants and reports whether each
 was caught; the harness treats an *uncaught mutant* as a violation of
 the verification subsystem itself.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, List
 
 import numpy as np
@@ -31,12 +37,20 @@ from ..core.instance import Instance
 from ..core.items import Item
 from ..core.packing import Packing
 from ..core.vectors import EPS
+from ..simulation.fastpath import FastEngine
 from ..simulation.runner import run
 from ..workloads.uniform import UniformWorkload
 from .invariants import Violation, check_any_fit, check_capacity
+from .oracles import compare_with_fastpath
 from .reference import ReferenceSimulator
 
-__all__ = ["broken_fit", "EagerOpenFirstFit", "MutationReport", "mutation_smoke_test"]
+__all__ = [
+    "broken_fit",
+    "EagerOpenFirstFit",
+    "StaleResidualFastEngine",
+    "MutationReport",
+    "mutation_smoke_test",
+]
 
 
 def broken_fit(load: np.ndarray, size: np.ndarray, capacity: np.ndarray) -> bool:
@@ -89,23 +103,44 @@ class EagerOpenFirstFit:
             self._open = [b for b in self._open if b is not bin_]
 
 
+class StaleResidualFastEngine(FastEngine):
+    """Fast engine with a deliberately stale residual-capacity matrix.
+
+    Flips the :class:`~repro.simulation.fastpath.FastEngine` mutation
+    hook so a departure from a still-occupied bin skips the row re-sum:
+    freed capacity is never reclaimed, loads only ratchet up, and the
+    replay opens bins the classic engine would not.  Every individual
+    packing it produces is still *feasible* (loads are over-, never
+    under-estimated), which is exactly why only the twin-engine
+    differential can catch this class of bug.
+    """
+
+    _stale_residual_bug = True
+
+
 @dataclass(frozen=True)
 class MutationReport:
-    """Outcome of the smoke test: what each mutant triggered."""
+    """Outcome of the smoke test: what each mutant triggered.
+
+    The fastpath fields default to "caught with no violations" so
+    pre-fastpath callers constructing reports positionally keep working.
+    """
 
     capacity_caught: bool
     any_fit_caught: bool
     capacity_violations: List[Violation]
     any_fit_violations: List[Violation]
+    fastpath_caught: bool = True
+    fastpath_violations: List[Violation] = field(default_factory=list)
 
     @property
     def all_caught(self) -> bool:
         """True iff every injected mutant was flagged by the auditor."""
-        return self.capacity_caught and self.any_fit_caught
+        return self.capacity_caught and self.any_fit_caught and self.fastpath_caught
 
 
 def mutation_smoke_test(seed: int = 0) -> MutationReport:
-    """Run both mutants on small random instances and audit the results."""
+    """Run all mutants on small random instances and audit the results."""
     # mutant 1: broken fit predicate in the reference simulator, d >= 2
     # (sizes near capacity so dimension-1 overflows are guaranteed)
     inst = UniformWorkload(d=2, n=40, mu=5, T=30, B=4, name="mutation").sample_seeded(seed)
@@ -118,9 +153,21 @@ def mutation_smoke_test(seed: int = 0) -> MutationReport:
     eager_packing = run(EagerOpenFirstFit(), inst2)
     any_fit_violations = check_any_fit(eager_packing)
 
+    # mutant 3: stale residuals in the fast engine — feasible on both
+    # sides, divergent assignments; a churny workload (short durations,
+    # tight bins) guarantees reclaimed capacity actually gets reused
+    inst3 = UniformWorkload(d=2, n=60, mu=6, T=20, B=6, name="mutation").sample_seeded(seed + 2)
+    classic_packing = run("first_fit", inst3)
+    stale_packing = StaleResidualFastEngine(inst3, "first_fit").run()
+    fastpath_violations = compare_with_fastpath(
+        classic_packing, "first_fit", fast_packing=stale_packing
+    )
+
     return MutationReport(
         capacity_caught=bool(capacity_violations),
         any_fit_caught=bool(any_fit_violations),
         capacity_violations=capacity_violations,
         any_fit_violations=any_fit_violations,
+        fastpath_caught=bool(fastpath_violations),
+        fastpath_violations=fastpath_violations,
     )

@@ -6,6 +6,9 @@ counterpart and requires the two to agree exactly:
 * :func:`differential_check` — the optimised engine versus the
   brute-force :class:`~repro.verify.reference.ReferenceSimulator`
   (bit-identical bin assignments for all seven Section 7 policies);
+* :func:`compare_with_fastpath` — the classic engine versus its
+  flat-array twin (:class:`~repro.simulation.fastpath.FastEngine`),
+  which promises *bit-identical* assignments, not merely equal costs;
 * :func:`instrumented_equality_check` — the engine's plain event loop
   versus its instrumented twin (identical packing; run counters that
   agree with ground truth derived from the packing itself);
@@ -30,6 +33,7 @@ from ..core.instance import Instance
 from ..core.intervals import union_length
 from ..core.packing import Packing
 from ..observability.stats import StatsCollector
+from ..simulation.fastpath import FAST_POLICIES, FastEngine
 from ..simulation.parallel import parallel_sweep
 from ..simulation.runner import run
 from .invariants import Violation
@@ -38,6 +42,7 @@ from .reference import ReferenceSimulator
 __all__ = [
     "eq1_cost",
     "compare_with_reference",
+    "compare_with_fastpath",
     "differential_check",
     "instrumented_equality_check",
     "cost_check",
@@ -96,6 +101,57 @@ def compare_with_reference(
             "differential",
             f"{policy}: engine cost {packing.cost:.9g} != reference "
             f"first-principles cost {ref_cost:.9g}",
+        ))
+    return out
+
+
+def compare_with_fastpath(
+    packing: Packing,
+    policy: str,
+    seed: int = 0,
+    backend: Optional[str] = None,
+    fast_packing: Optional[Packing] = None,
+) -> List[Violation]:
+    """Compare a classic-engine ``packing`` against the fast-path replay.
+
+    The twin-engine contract is *bit identity*: same bin count, same
+    item → bin assignment, same Eq. 1 cost (to tolerance, since the two
+    costs are derived from identical assignments).  ``backend`` selects
+    the fast kernel backend (default: auto); ``fast_packing`` lets the
+    mutation smoke-test inject a deliberately broken fast run instead of
+    building a fresh :class:`~repro.simulation.fastpath.FastEngine`.
+    """
+    if policy not in FAST_POLICIES:
+        return []
+    if fast_packing is None:
+        fast_packing = FastEngine(
+            packing.instance, policy, seed=seed, backend=backend
+        ).run()
+    out: List[Violation] = []
+    if packing.num_bins != fast_packing.num_bins:
+        out.append(Violation(
+            "fastpath",
+            f"{policy}: classic engine opened {packing.num_bins} bins, "
+            f"fastpath {fast_packing.num_bins}",
+        ))
+    if dict(packing.assignment) != dict(fast_packing.assignment):
+        fast_assignment = dict(fast_packing.assignment)
+        diff = [
+            uid for uid in packing.assignment
+            if fast_assignment.get(uid) != packing.assignment[uid]
+        ]
+        out.append(Violation(
+            "fastpath",
+            f"{policy}: assignments differ on items {diff[:10]}"
+            f"{'...' if len(diff) > 10 else ''} "
+            f"(classic {[packing.assignment.get(u) for u in diff[:10]]}, "
+            f"fastpath {[fast_assignment.get(u) for u in diff[:10]]})",
+        ))
+    if not out and abs(fast_packing.cost - packing.cost) > _TOL * max(1.0, packing.cost):
+        out.append(Violation(
+            "fastpath",
+            f"{policy}: classic cost {packing.cost:.9g} != fastpath cost "
+            f"{fast_packing.cost:.9g}",
         ))
     return out
 

@@ -1,0 +1,339 @@
+"""Unit tests for the flat-array fast-path engine (repro.simulation.fastpath).
+
+The bit-identity contract itself is exercised exhaustively by
+``tests/test_fastpath_differential.py`` (corpus) and
+``tests/test_fastpath_properties.py`` (Hypothesis); this module covers
+the machinery around it: backend selection, eligibility resolution, the
+single-use contract, collector counters, slot growth/compaction, and the
+runner / parallel-sweep / bench / CLI integration points.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.algorithms.best_fit import BestFit, WorstFit
+from repro.algorithms.registry import PAPER_ALGORITHMS, make_algorithm
+from repro.cli import main
+from repro.core.errors import AlgorithmError, ConfigurationError
+from repro.core.instance import Instance
+from repro.core.items import Item
+from repro.observability.bench import (
+    FASTPATH_SMOKE_SCENARIOS,
+    merge_fastpath,
+    run_fastpath_scenario,
+)
+from repro.observability.stats import StatsCollector
+from repro.simulation.billing import QuantumAwareMoveToFront
+from repro.simulation.engine import Engine, simulate
+from repro.simulation.fastpath import (
+    BACKEND_ENV,
+    FAST_POLICIES,
+    FastEngine,
+    available_backends,
+    default_backend,
+    fast_policy_for,
+    fast_simulate,
+)
+from repro.simulation.parallel import parallel_sweep, simulate_chunk, simulate_unit
+from repro.simulation.runner import run, run_many
+from repro.workloads.uniform import UniformWorkload
+
+BACKENDS = available_backends()
+
+
+@pytest.fixture
+def churny_instance():
+    """Short durations + tight bins: lots of departures and bin reuse."""
+    return UniformWorkload(d=2, n=80, mu=4, T=30, B=6).sample_seeded(11)
+
+
+# ----------------------------------------------------------------------
+# backend selection
+# ----------------------------------------------------------------------
+class TestBackendSelection:
+    def test_numpy_preferred_when_available(self):
+        assert BACKENDS[0] == "numpy"
+        assert "python" in BACKENDS
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "python")
+        assert default_backend() == "python"
+        monkeypatch.setenv(BACKEND_ENV, "numpy")
+        assert default_backend() == "numpy"
+
+    def test_env_override_rejects_unknown(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "fortran")
+        with pytest.raises(ConfigurationError):
+            default_backend()
+
+    def test_explicit_backend_rejects_unknown(self, tiny_instance):
+        with pytest.raises(ConfigurationError):
+            FastEngine(tiny_instance, "first_fit", backend="fortran")
+
+    def test_unknown_policy_rejected(self, tiny_instance):
+        with pytest.raises(ConfigurationError):
+            FastEngine(tiny_instance, "harmonic")
+
+
+# ----------------------------------------------------------------------
+# eligibility resolution
+# ----------------------------------------------------------------------
+class TestFastPolicyFor:
+    def test_registry_names(self):
+        for policy in PAPER_ALGORITHMS:
+            assert fast_policy_for(policy) == (policy, 0)
+        assert fast_policy_for("not_a_policy") is None
+
+    def test_stock_objects_resolve(self):
+        for policy in PAPER_ALGORITHMS:
+            kwargs = {"seed": 0} if policy == "random_fit" else {}
+            assert fast_policy_for(make_algorithm(policy, **kwargs)) == (policy, 0)
+
+    def test_random_fit_carries_seed(self):
+        assert fast_policy_for(make_algorithm("random_fit", seed=7)) == ("random_fit", 7)
+
+    def test_nondefault_measure_is_ineligible(self):
+        # BestFit(l1) ranks candidates differently from the linf kernel
+        assert fast_policy_for(BestFit(measure="l1")) is None
+        assert fast_policy_for(WorstFit(measure="lp")) is None
+        assert fast_policy_for(BestFit()) == ("best_fit", 0)
+
+    def test_subclass_is_ineligible(self):
+        # subclasses inherit fast_kernel but are not registered by class
+        assert fast_policy_for(QuantumAwareMoveToFront(quantum=5.0)) is None
+
+    def test_foreign_object_is_ineligible(self):
+        class NotAnAlgorithm:
+            pass
+
+        assert fast_policy_for(NotAnAlgorithm()) is None
+
+
+# ----------------------------------------------------------------------
+# single-use contract (satellite d: both engines reject run() reuse)
+# ----------------------------------------------------------------------
+class TestSingleUse:
+    def test_fast_engine_is_single_use(self, tiny_instance):
+        eng = FastEngine(tiny_instance, "first_fit")
+        eng.run()
+        with pytest.raises(AlgorithmError):
+            eng.run()
+
+    def test_classic_engine_is_single_use(self, tiny_instance):
+        # regression pairing: the classic engine enforces the identical
+        # contract, so a caller can swap engines without a behaviour gap
+        eng = Engine(tiny_instance, make_algorithm("first_fit"))
+        eng.run()
+        with pytest.raises(AlgorithmError):
+            eng.run()
+
+
+# ----------------------------------------------------------------------
+# the replay itself: equality on targeted shapes
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestReplayEquality:
+    def test_matches_classic_on_fixture(self, backend, uniform_small, paper_algorithm_name):
+        kwargs = {"seed": 0} if paper_algorithm_name == "random_fit" else {}
+        classic = run(make_algorithm(paper_algorithm_name, **kwargs), uniform_small)
+        fast = FastEngine(uniform_small, paper_algorithm_name, backend=backend).run()
+        assert fast.assignment == classic.assignment
+        assert fast.cost == pytest.approx(classic.cost, rel=1e-12)
+        assert fast.algorithm == paper_algorithm_name
+
+    def test_slot_growth_beyond_initial_capacity(self, backend):
+        # 150 simultaneous unit items force 150 open bins: the slot
+        # arrays must double past their initial 64 rows mid-run
+        items = [Item(0.0, 5.0, np.array([1.0]), uid) for uid in range(150)]
+        inst = Instance(items)
+        fast = FastEngine(inst, "first_fit", backend=backend).run()
+        classic = run("first_fit", inst)
+        assert fast.num_bins == 150
+        assert fast.assignment == classic.assignment
+
+    def test_tombstone_compaction(self, backend):
+        # 200 strictly sequential items: every bin closes before the next
+        # opens, so the dead-slot compaction sweep must fire repeatedly
+        items = [
+            Item(float(2 * k), float(2 * k + 1), np.array([1.0]), k)
+            for k in range(200)
+        ]
+        inst = Instance(items)
+        for policy in sorted(FAST_POLICIES):
+            fast = FastEngine(inst, policy, backend=backend).run()
+            classic = run(
+                make_algorithm(policy, **({"seed": 0} if policy == "random_fit" else {})),
+                inst,
+            )
+            assert fast.assignment == classic.assignment, policy
+
+    def test_churny_instance_all_policies(self, backend, churny_instance):
+        for policy in sorted(FAST_POLICIES):
+            kwargs = {"seed": 0} if policy == "random_fit" else {}
+            classic = run(make_algorithm(policy, **kwargs), churny_instance)
+            fast = fast_simulate(policy, churny_instance, backend=backend)
+            assert fast.assignment == classic.assignment, policy
+
+
+# ----------------------------------------------------------------------
+# collector counters
+# ----------------------------------------------------------------------
+class TestCollectorCounters:
+    def test_deterministic_counters_match_classic(self, churny_instance):
+        for policy in ("move_to_front", "first_fit", "next_fit", "best_fit"):
+            col_c = StatsCollector()
+            run(make_algorithm(policy), churny_instance, collector=col_c)
+            for backend in BACKENDS:
+                col_f = StatsCollector()
+                FastEngine(
+                    churny_instance, policy, collector=col_f, backend=backend
+                ).run()
+                c, f = col_c.snapshot(), col_f.snapshot()
+                for field in (
+                    "runs", "events", "arrivals", "departures", "bins_opened",
+                    "bins_closed", "peak_open_bins", "candidate_scans", "fit_checks",
+                ):
+                    assert getattr(f, field) == getattr(c, field), (policy, backend, field)
+
+    def test_fastpath_runs_counter(self, tiny_instance):
+        col = StatsCollector()
+        FastEngine(tiny_instance, "first_fit", collector=col).run()
+        FastEngine(tiny_instance, "next_fit", collector=col).run()
+        snap = col.snapshot()
+        assert snap.fastpath_runs == 2
+        assert snap.runs == 2
+        # a classic run never bumps it
+        col2 = StatsCollector()
+        run("first_fit", tiny_instance, collector=col2)
+        assert col2.snapshot().fastpath_runs == 0
+
+
+# ----------------------------------------------------------------------
+# integration: simulate / runner / parallel sweep
+# ----------------------------------------------------------------------
+class TestIntegration:
+    def test_simulate_fast_flag_routes_and_matches(self, uniform_small):
+        classic = simulate(make_algorithm("move_to_front"), uniform_small)
+        col = StatsCollector()
+        fast = simulate(
+            make_algorithm("move_to_front"), uniform_small, collector=col, fast=True
+        )
+        assert fast.assignment == classic.assignment
+        assert col.snapshot().fastpath_runs == 1
+
+    def test_simulate_fast_falls_back_for_ineligible_algorithm(self, uniform_small):
+        algo = BestFit(measure="l1")  # no fast kernel for the l1 measure
+        col = StatsCollector()
+        fast = simulate(algo, uniform_small, collector=col, fast=True)
+        classic = simulate(BestFit(measure="l1"), uniform_small)
+        assert fast.assignment == classic.assignment
+        assert col.snapshot().fastpath_runs == 0
+
+    def test_simulate_fast_falls_back_with_observers(self, uniform_small):
+        from repro.simulation.instrumentation import LeaderTracker
+
+        col = StatsCollector()
+        packing = simulate(make_algorithm("move_to_front"), uniform_small,
+                           observers=[LeaderTracker()], collector=col, fast=True)
+        # observers force the classic engine; result still correct
+        assert col.snapshot().fastpath_runs == 0
+        assert packing.assignment == run("move_to_front", uniform_small).assignment
+
+    def test_run_engine_parameter(self, uniform_small):
+        classic = run("first_fit", uniform_small)
+        fast = run("first_fit", uniform_small, engine="fast")
+        assert fast.assignment == classic.assignment
+        with pytest.raises(ConfigurationError):
+            run("first_fit", uniform_small, engine="warp")
+
+    def test_run_many_engine_parameter(self, uniform_small, tiny_instance):
+        batch = [tiny_instance, uniform_small]
+        classic = run_many("move_to_front", batch)
+        fast = run_many("move_to_front", batch, engine="fast")
+        assert [p.assignment for p in fast] == [p.assignment for p in classic]
+
+    def test_parallel_sweep_fast_serial(self, uniform_small, tiny_instance):
+        insts = [tiny_instance, uniform_small]
+        classic = parallel_sweep(["first_fit", "best_fit"], insts, processes=0)
+        fast = parallel_sweep(["first_fit", "best_fit"], insts, processes=0,
+                              engine="fast")
+        for name in ("first_fit", "best_fit"):
+            assert [u.cost for u in fast[name]] == [u.cost for u in classic[name]]
+            assert [u.num_bins for u in fast[name]] == [u.num_bins for u in classic[name]]
+
+    def test_parallel_sweep_fast_workers_chunked(self, uniform_small, tiny_instance):
+        insts = [tiny_instance, uniform_small] * 3
+        classic = parallel_sweep(["first_fit"], insts, processes=0)
+        fast = parallel_sweep(["first_fit"], insts, processes=2, chunksize=2,
+                              collect_stats=True, engine="fast")
+        assert [u.cost for u in fast["first_fit"]] == [u.cost for u in classic["first_fit"]]
+        assert all(u.stats is not None and u.stats.fastpath_runs == 1
+                   for u in fast["first_fit"])
+
+    def test_simulate_unit_and_chunk_accept_engine_payloads(self, tiny_instance):
+        payload = ("first_fit", {}, 0, tiny_instance.to_dict(), 1.0, True, "fast")
+        unit = simulate_unit(payload)
+        assert unit.stats.fastpath_runs == 1
+        legacy = simulate_unit(("first_fit", {}, 0, tiny_instance.to_dict(), 1.0))
+        assert legacy.cost == unit.cost
+        chunk = simulate_chunk([payload, payload])
+        assert [u.cost for u in chunk] == [unit.cost, unit.cost]
+
+
+# ----------------------------------------------------------------------
+# bench + CLI surfaces
+# ----------------------------------------------------------------------
+class TestBenchAndCli:
+    def test_fastpath_scenario_record_shape(self):
+        scenario = FASTPATH_SMOKE_SCENARIOS[0]
+        record = run_fastpath_scenario(
+            scenario, algorithms=("first_fit", "next_fit"), repeats=1
+        )
+        assert record["name"] == scenario.name
+        assert set(record["results"]) == {"first_fit", "next_fit"}
+        for res in record["results"].values():
+            assert res["identical"] is True
+            assert res["classic_s"] > 0
+            for backend in record["backends"]:
+                assert res[f"fast_{backend}_s"] > 0
+                assert res[f"speedup_{backend}"] > 0
+        assert record["totals"]["identical"] is True
+
+    def test_merge_fastpath_nests_without_clobbering(self):
+        core = {"schema": "repro-bench/v1", "scenarios": [1, 2]}
+        merged = merge_fastpath(core, {"schema": "repro-bench-fastpath/v1"})
+        assert merged["schema"] == "repro-bench/v1"
+        assert merged["scenarios"] == [1, 2]
+        assert merged["fastpath"]["schema"] == "repro-bench-fastpath/v1"
+        assert "fastpath" not in core  # input not mutated
+
+    def test_cli_run_engine_flag(self, tmp_path, capsys):
+        path = str(tmp_path / "inst.json")
+        assert main(["generate", path, "--d", "2", "--n", "30"]) == 0
+        assert main(["run", path, "--engine", "fast", "--validate"]) == 0
+        out_fast = capsys.readouterr().out
+        assert "fast engine" in out_fast
+        assert main(["run", path, "--engine", "classic"]) == 0
+
+    def test_cli_bench_fastpath_smoke_merges(self, tmp_path, capsys):
+        out = str(tmp_path / "bench.json")
+        assert main(["bench", "--suite", "smoke", "--repeats", "1",
+                     "--output", out]) == 0
+        assert main(["bench", "--suite", "fastpath-smoke", "--repeats", "1",
+                     "--output", out]) == 0
+        payload = json.loads(open(out).read())
+        assert payload["schema"] == "repro-bench/v1"
+        fp = payload["fastpath"]
+        assert fp["schema"] == "repro-bench-fastpath/v1"
+        assert fp["suite"] == "fastpath-smoke"
+        assert fp["headline"]["identical"] is True
+        # a core re-run must keep the nested fastpath payload
+        assert main(["bench", "--suite", "smoke", "--repeats", "1",
+                     "--output", out]) == 0
+        payload = json.loads(open(out).read())
+        assert payload["fastpath"]["suite"] == "fastpath-smoke"
+        capsys.readouterr()

@@ -56,11 +56,38 @@ def test_run_verify_unknown_profile():
         run_verify("exhaustive")
 
 
-def test_mutation_smoke_test_catches_both_mutants():
+def test_mutation_smoke_test_catches_all_mutants():
     report = mutation_smoke_test(seed=0)
     assert report.capacity_caught
     assert report.any_fit_caught
+    assert report.fastpath_caught
     assert report.all_caught
+
+
+def test_stale_residual_mutant_actually_diverges():
+    """The broken fast engine packs differently from the classic one, is
+    caught by the twin-engine oracle, and the violations name it."""
+    report = mutation_smoke_test(seed=0)
+    assert report.fastpath_violations
+    assert all(v.check == "fastpath" for v in report.fastpath_violations)
+    # the healthy fast engine on the same workload is clean, so the
+    # divergence is the injected bug, not the workload
+    from repro.verify.mutation import StaleResidualFastEngine
+    from repro.verify.oracles import compare_with_fastpath
+    from repro.workloads.uniform import UniformWorkload
+
+    inst = UniformWorkload(d=2, n=60, mu=6, T=20, B=6, name="mutation").sample_seeded(2)
+    from repro.simulation.runner import run as _run
+
+    classic = _run("first_fit", inst)
+    assert compare_with_fastpath(classic, "first_fit") == []
+    stale = StaleResidualFastEngine(inst, "first_fit").run()
+    assert compare_with_fastpath(classic, "first_fit", fast_packing=stale) != []
+
+
+def test_render_reports_stale_residual_mutant():
+    report = run_verify("quick", instances=2)
+    assert "stale-residual CAUGHT" in report.render()
 
 
 def test_broken_fit_is_actually_broken():
