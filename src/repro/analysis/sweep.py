@@ -74,6 +74,11 @@ def sweep_cell(
     params: Optional[Mapping[str, object]] = None,
     algorithm_kwargs: Optional[Mapping[str, Mapping[str, object]]] = None,
     processes: int = 0,
+    engine: str = "classic",
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
+    retries: int = 0,
+    unit_timeout: Optional[float] = None,
 ) -> SweepCell:
     """Run ``algorithms`` over ``instances`` and aggregate ratios.
 
@@ -86,21 +91,45 @@ def sweep_cell(
     params:
         Arbitrary labels describing this cell (stored verbatim).
     algorithm_kwargs:
-        Optional per-algorithm constructor kwargs, keyed by name.
+        Optional per-algorithm constructor kwargs, keyed by name.  A
+        ``seed`` kwarg is a *base* seed: every (algorithm, instance)
+        unit runs with its own seed spawned from it (identically on the
+        serial and process-pool paths), so seeded policies draw from
+        independent streams per instance.
     processes:
         ``0`` (default) runs in-process; any other value fans the
         (algorithm, instance) units out across a process pool via
         :func:`repro.simulation.parallel.parallel_sweep` (``None``-like
         behaviour is available there; here a positive integer is the
         worker count).  Results are identical either way.
+    engine:
+        ``"classic"`` (default) or ``"fast"`` — forwarded to the run /
+        sweep layer; the twin engines are bit-identical.
+    checkpoint_dir / resume / retries / unit_timeout:
+        Fault-tolerance knobs, forwarded to
+        :func:`repro.simulation.parallel.parallel_sweep` (which routes
+        to :func:`repro.orchestration.resumable_sweep` when any is
+        set).  Setting any of them moves even a ``processes=0`` cell
+        onto the checkpointed path so interrupted cells can resume.
     """
     algorithm_kwargs = algorithm_kwargs or {}
-    if processes:
+    orchestrated = (
+        checkpoint_dir is not None or resume or retries or unit_timeout is not None
+    )
+    if processes or orchestrated:
         from ..simulation.parallel import parallel_sweep
 
         batch = list(instances)
         unit_results = parallel_sweep(
-            algorithms, batch, processes=processes, algorithm_kwargs=algorithm_kwargs
+            algorithms,
+            batch,
+            processes=processes,
+            algorithm_kwargs=algorithm_kwargs,
+            engine=engine,
+            checkpoint_dir=checkpoint_dir,
+            resume=resume,
+            retries=retries,
+            unit_timeout=unit_timeout,
         )
         ratios = {
             name: [r.ratio for r in unit_results[name]] for name in algorithms
@@ -108,16 +137,38 @@ def sweep_cell(
         stats = {name: summarize(vals) for name, vals in ratios.items() if vals}
         return SweepCell(params=dict(params or {}), ratios=ratios, stats=stats)
 
-    algos = {name: make_algorithm(name, **algorithm_kwargs.get(name, {})) for name in algorithms}
+    from ..simulation.parallel import algorithm_accepts_seed, derive_unit_seeds
+
+    batch = list(instances)
+    # Per-unit seeds for seeded policies, spawned exactly as the worker
+    # path does it (build_payloads) so serial and pooled cells agree.
+    unit_seeds = {
+        name: derive_unit_seeds(
+            int(algorithm_kwargs.get(name, {}).get("seed", 0)), len(batch)
+        )
+        for name in algorithms
+        if algorithm_accepts_seed(name)
+    }
+    algos = {
+        name: make_algorithm(name, **algorithm_kwargs.get(name, {}))
+        for name in algorithms
+        if name not in unit_seeds
+    }
     ratios: Dict[str, List[float]] = {name: [] for name in algorithms}
-    for instance in instances:
+    for i, instance in enumerate(batch):
         lb = height_lower_bound(instance)
         if lb <= 0:
             # degenerate (an instance can only reach lb == 0 if it has no
             # load at all, which Instance validation precludes); skip
             continue
-        for name, algo in algos.items():
-            packing = run(algo, instance)
+        for name in algorithms:
+            if name in unit_seeds:
+                kwargs = dict(algorithm_kwargs.get(name, {}))
+                kwargs["seed"] = unit_seeds[name][i]
+                algo = make_algorithm(name, **kwargs)
+            else:
+                algo = algos[name]
+            packing = run(algo, instance, engine=engine)
             ratios[name].append(packing.cost / lb)
     stats = {name: summarize(vals) for name, vals in ratios.items() if vals}
     return SweepCell(params=dict(params or {}), ratios=ratios, stats=stats)

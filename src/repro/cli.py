@@ -6,7 +6,12 @@ Subcommands regenerate each paper artefact:
   plus the paper's bound formulas;
 * ``table2``  — the experimental parameter table;
 * ``figure1`` / ``figure2`` / ``figure3`` — the analysis diagrams;
-* ``figure4`` — the average-case sweep (``--scale quick|full|smoke``);
+* ``figure4`` — the average-case sweep (``--scale quick|full|smoke``),
+  now crash-safe: ``--checkpoint-dir``/``--resume`` persist and reload
+  completed units, ``--retries``/``--unit-timeout`` bound worker faults
+  (see docs/architecture.md, "Checkpointing & fault tolerance");
+* ``experiments`` — regenerate any subset of the paper's artifacts
+  through the fault-tolerant driver (:mod:`repro.experiments.driver`);
 * ``compare`` — run all registered algorithms on one generated instance
   and print the metric table (a quick interactive probe);
 * ``bench``   — the pinned-seed perf-baseline suite (writes the
@@ -36,6 +41,22 @@ from .workloads.uniform import UniformWorkload
 __all__ = ["main"]
 
 _SCALES = {"full": FULL, "quick": QUICK, "smoke": SMOKE}
+
+
+def _add_fault_tolerance_flags(parser: argparse.ArgumentParser) -> None:
+    """The shared orchestration knobs (see docs/architecture.md)."""
+    parser.add_argument("--checkpoint-dir", default=None, dest="checkpoint_dir",
+                        help="persist completed units here (crash-safe JSONL "
+                             "shards); required for --resume")
+    parser.add_argument("--resume", action="store_true",
+                        help="skip units already in the checkpoint; results "
+                             "are bit-identical to an uninterrupted run")
+    parser.add_argument("--retries", type=int, default=0,
+                        help="per-unit retry budget with exponential backoff")
+    parser.add_argument("--unit-timeout", type=float, default=None,
+                        dest="unit_timeout",
+                        help="per-unit wall-clock budget in seconds (pooled "
+                             "runs recycle the worker pool on expiry)")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -69,6 +90,24 @@ def _build_parser() -> argparse.ArgumentParser:
                     help="fan (algorithm, instance) units across N worker processes")
     p4.add_argument("--csv", default=None,
                     help="also write the measurements as CSV to this path")
+    p4.add_argument("--engine", choices=["classic", "fast"], default="classic",
+                    help="simulation engine for every unit (bit-identical results)")
+    _add_fault_tolerance_flags(p4)
+
+    pe = sub.add_parser(
+        "experiments",
+        help="regenerate paper artifacts through the fault-tolerant driver",
+    )
+    pe.add_argument("--artifacts", nargs="+", default=None,
+                    metavar="NAME",
+                    help="artifact subset (default: all); see repro.experiments.driver")
+    pe.add_argument("--scale", choices=sorted(_SCALES), default="quick")
+    pe.add_argument("--processes", type=int, default=0)
+    pe.add_argument("--engine", choices=["classic", "fast"], default="classic")
+    pe.add_argument("--out-dir", default=None, dest="out_dir",
+                    help="write each artifact to <out-dir>/<name>.txt (atomic); "
+                         "with --resume, existing outputs are skipped")
+    _add_fault_tolerance_flags(pe)
 
     pc = sub.add_parser("compare", help="run all paper algorithms on one random instance")
     pc.add_argument("--d", type=int, default=2)
@@ -113,6 +152,12 @@ def _build_parser() -> argparse.ArgumentParser:
                     help="fast = the flat-array FastEngine (bit-identical "
                          "packings, several times faster; falls back to "
                          "classic for policies without a fast kernel)")
+    pr.add_argument("--retries", type=int, default=0,
+                    help="retry the run with exponential backoff on failure")
+    pr.add_argument("--unit-timeout", type=float, default=None,
+                    dest="unit_timeout",
+                    help="abort the run after this many seconds (each retry "
+                         "gets a fresh budget; SIGALRM-based, POSIX only)")
 
     pb = sub.add_parser(
         "bench", help="run the pinned-seed perf-baseline suite (writes JSON)"
@@ -155,6 +200,30 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _with_timeout(fn, timeout: Optional[float]):
+    """Run ``fn()`` under a SIGALRM wall-clock budget (POSIX only).
+
+    ``timeout=None`` — or a platform without ``SIGALRM`` — runs ``fn``
+    unguarded.  On expiry raises :class:`TimeoutError`, which the
+    caller's retry policy treats like any other failure.
+    """
+    import signal as _signal
+
+    if timeout is None or not hasattr(_signal, "SIGALRM"):
+        return fn()
+
+    def _expired(signum, frame):
+        raise TimeoutError(f"run exceeded --unit-timeout ({timeout:g}s)")
+
+    previous = _signal.signal(_signal.SIGALRM, _expired)
+    _signal.setitimer(_signal.ITIMER_REAL, timeout)
+    try:
+        return fn()
+    finally:
+        _signal.setitimer(_signal.ITIMER_REAL, 0.0)
+        _signal.signal(_signal.SIGALRM, previous)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point.  Returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -173,7 +242,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     elif args.command == "figure3":
         print(run_figure3(d=args.d, k=args.k, mu=args.mu, algorithm=args.algorithm))
     elif args.command == "figure4":
-        result = run_figure4(config=_SCALES[args.scale], processes=args.processes)
+        result = run_figure4(
+            config=_SCALES[args.scale], processes=args.processes,
+            engine=args.engine, checkpoint_dir=args.checkpoint_dir,
+            resume=args.resume, retries=args.retries,
+            unit_timeout=args.unit_timeout,
+        )
         print(render_figure4(result))
         if args.csv:
             from .experiments.figure4 import figure4_csv
@@ -181,6 +255,18 @@ def main(argv: Optional[List[str]] = None) -> int:
             with open(args.csv, "w", encoding="utf-8") as fh:
                 fh.write(figure4_csv(result))
             print(f"\n[csv written to {args.csv}]")
+    elif args.command == "experiments":
+        from .experiments.driver import run_experiments
+
+        rendered = run_experiments(
+            names=args.artifacts, config=_SCALES[args.scale],
+            processes=args.processes, engine=args.engine,
+            out_dir=args.out_dir, checkpoint_dir=args.checkpoint_dir,
+            resume=args.resume, retries=args.retries,
+            unit_timeout=args.unit_timeout, progress=print,
+        )
+        if not args.out_dir:
+            print("\n\n".join(rendered.values()))
     elif args.command == "compare":
         gen = UniformWorkload(d=args.d, n=args.n, mu=args.mu)
         instance = gen.sample_seeded(args.seed)
@@ -242,15 +328,30 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         with open(args.path, "r", encoding="utf-8") as fh:
             instance = Instance.from_json(fh.read())
+        from .orchestration.faults import RetryPolicy, call_with_retry
+        from .simulation.runner import effective_engine
         from .simulation.runner import run as run_one
 
-        packing = run_one(args.algorithm, instance, validate=args.validate,
-                          engine=args.engine)
+        effective = effective_engine(args.algorithm, engine=args.engine)
+        packing = call_with_retry(
+            lambda: _with_timeout(
+                lambda: run_one(args.algorithm, instance,
+                                validate=args.validate, engine=args.engine),
+                args.unit_timeout,
+            ),
+            RetryPolicy(retries=args.retries),
+            label=f"run {args.algorithm}",
+        )
         m = compute_metrics(packing)
         rows = [[k, v] for k, v in m.as_dict().items()]
+        engine_note = (
+            f"{effective} engine"
+            if effective == args.engine
+            else f"{effective} engine; {args.engine} requested"
+        )
         print(format_table(["metric", "value"], rows,
                            title=f"{args.algorithm} on {instance!r} "
-                                 f"({args.engine} engine)"))
+                                 f"({engine_note})"))
     elif args.command == "bench":
         import json as _json
         import os as _os

@@ -8,12 +8,14 @@ library.
 from .errors import (
     AlgorithmError,
     CapacityExceededError,
+    CheckpointError,
     ConfigurationError,
     DVBPError,
     InvalidInstanceError,
     InvalidItemError,
     PackingAuditError,
     SolverLimitError,
+    UnitFailedError,
 )
 from .events import Event, EventKind, event_stream, iter_arrivals
 from .instance import Instance
@@ -35,6 +37,7 @@ __all__ = [
     "Bin",
     "BinRecord",
     "CapacityExceededError",
+    "CheckpointError",
     "ConfigurationError",
     "DVBPError",
     "EPS",
@@ -48,6 +51,7 @@ __all__ = [
     "Packing",
     "PackingAuditError",
     "SolverLimitError",
+    "UnitFailedError",
     "as_size_vector",
     "breakpoints",
     "check_proposition1",

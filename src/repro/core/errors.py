@@ -16,6 +16,8 @@ __all__ = [
     "AlgorithmError",
     "SolverLimitError",
     "ConfigurationError",
+    "CheckpointError",
+    "UnitFailedError",
 ]
 
 
@@ -74,3 +76,24 @@ class SolverLimitError(DVBPError, RuntimeError):
 
 class ConfigurationError(DVBPError, ValueError):
     """An experiment or generator was configured with invalid parameters."""
+
+
+class CheckpointError(DVBPError, RuntimeError):
+    """A checkpoint directory cannot be used as requested.
+
+    Raised when a resume targets a checkpoint written by a *different*
+    sweep (fingerprint mismatch) or when the store is asked to record a
+    unit outside the sweep it was opened for.  Corrupted shards do *not*
+    raise — they are dropped with a warning and their units re-run (see
+    :mod:`repro.orchestration.checkpoint`).
+    """
+
+
+class UnitFailedError(DVBPError, RuntimeError):
+    """A sweep work unit exhausted its retry budget.
+
+    Carries the failing ``(algorithm, instance_index)`` unit key; all
+    units completed before the failure have already been flushed to the
+    checkpoint (when one is configured), so a rerun with ``resume=True``
+    loses nothing.
+    """

@@ -1,21 +1,25 @@
 """Experiments: one module per paper table/figure (see DESIGN.md §3)."""
 
 from .config import FULL, QUICK, SMOKE, ExperimentConfig
+from .driver import ARTIFACTS, Artifact, run_experiments
 from .figure4 import Figure4Result, figure4_csv, render_figure4, run_figure4
-from .figures123 import run_figure1, run_figure2, run_figure3
+from .figures123 import figures123_artifact, run_figure1, run_figure2, run_figure3
 from .table1 import (
     Table1Row,
     render_table1,
     render_table1_bounds,
     run_table1,
 )
-from .table2 import render_table2
+from .table2 import render_table2, table2_artifact
 
 __all__ = [
+    "ARTIFACTS",
+    "Artifact",
     "ExperimentConfig",
     "FULL",
     "Figure4Result",
     "figure4_csv",
+    "figures123_artifact",
     "QUICK",
     "SMOKE",
     "Table1Row",
@@ -23,9 +27,11 @@ __all__ = [
     "render_table1",
     "render_table1_bounds",
     "render_table2",
+    "run_experiments",
     "run_figure1",
     "run_figure2",
     "run_figure3",
     "run_figure4",
     "run_table1",
+    "table2_artifact",
 ]

@@ -14,8 +14,9 @@ and Worst Fit have the highest variance.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -68,6 +69,11 @@ def run_figure4(
     config: ExperimentConfig = QUICK,
     algorithms: Sequence[str] = tuple(PAPER_ALGORITHMS),
     processes: int = 0,
+    engine: str = "classic",
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
+    retries: int = 0,
+    unit_timeout: Optional[float] = None,
 ) -> Figure4Result:
     """Run the full Figure 4 sweep under ``config``.
 
@@ -78,6 +84,15 @@ def run_figure4(
     ``processes > 0`` fans each cell's (algorithm, instance) units across
     a process pool — the intended mode for ``--scale full`` (the paper's
     m = 1000); results are identical to the serial path.
+
+    ``checkpoint_dir`` makes the sweep crash-safe: each ``(d, μ)`` cell
+    persists into its own ``d{d}-mu{mu}`` subdirectory, so an
+    interrupted full-scale run restarted with ``resume=True`` skips
+    every completed unit — finished cells load instantly, the
+    interrupted cell loses at most one flush interval, and the final
+    numbers are bit-identical to an uninterrupted run.  ``retries`` and
+    ``unit_timeout`` are the per-unit fault-tolerance knobs of
+    :func:`repro.orchestration.resumable_sweep`.
     """
     cells: Dict[Tuple[int, int], SweepCell] = {}
     master = np.random.SeedSequence(config.seed)
@@ -89,9 +104,16 @@ def run_figure4(
             gen = UniformWorkload(d=d, n=config.n, mu=mu, T=config.T, B=config.B)
             instances = generate_batch(gen, config.m, seed=children[idx])
             idx += 1
+            cell_dir = (
+                os.path.join(checkpoint_dir, f"d{d}-mu{mu}")
+                if checkpoint_dir is not None
+                else None
+            )
             cells[(d, mu)] = sweep_cell(
                 algorithms, instances, params={"d": d, "mu": mu},
-                processes=processes,
+                processes=processes, engine=engine,
+                checkpoint_dir=cell_dir, resume=resume,
+                retries=retries, unit_timeout=unit_timeout,
             )
     return Figure4Result(config=config, algorithms=tuple(algorithms), cells=cells)
 

@@ -29,7 +29,17 @@ from ..simulation.instrumentation import LeaderTracker, LoadSnapshotter, UsagePe
 from ..workloads.adversarial import theorem5_instance
 from ..workloads.uniform import UniformWorkload
 
-__all__ = ["run_figure1", "run_figure2", "run_figure3"]
+__all__ = ["run_figure1", "run_figure2", "run_figure3", "figures123_artifact"]
+
+
+def figures123_artifact(config: object = None, **_: object) -> str:
+    """Adapter for the :mod:`repro.experiments.driver` registry.
+
+    Regenerates all three diagrams in one text block.  Accepts (and
+    ignores) the driver's config and sweep knobs — these figures are
+    deterministic single runs with nothing to scale or checkpoint.
+    """
+    return "\n\n".join([run_figure1(), run_figure2(), run_figure3()])
 
 
 def _default_instance(seed: int = 7) -> Instance:

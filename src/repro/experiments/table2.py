@@ -5,7 +5,7 @@ from __future__ import annotations
 from ..analysis.report import format_table
 from .config import TABLE2_ROWS, ExperimentConfig, FULL
 
-__all__ = ["render_table2"]
+__all__ = ["render_table2", "table2_artifact"]
 
 
 def render_table2(config: ExperimentConfig = FULL) -> str:
@@ -31,3 +31,12 @@ def render_table2(config: ExperimentConfig = FULL) -> str:
         rows,
         title="Table 2: experimental parameters",
     )
+
+
+def table2_artifact(config: ExperimentConfig = FULL, **_: object) -> str:
+    """Adapter for the :mod:`repro.experiments.driver` registry.
+
+    Accepts (and ignores) the driver's sweep knobs — this artifact is a
+    pure rendering with nothing to checkpoint.
+    """
+    return render_table2(config)

@@ -26,6 +26,23 @@ Counter semantics
     classic engine (0 for purely classic collectors).  The fast engine
     reports the same scan/check semantics, so this is the only counter
     telling the twin engines apart.
+``fastpath_fallbacks``
+    How many runs *requested* the fast engine but were executed by the
+    classic engine instead — either because the policy has no fast
+    kernel (ineligible) or because the kernel failed and the run
+    degraded gracefully.  Deterministic for a fixed (algorithm,
+    instance, engine-request) triple.
+``retries`` / ``unit_timeouts`` / ``units_resumed`` / ``pool_restarts``
+    Orchestration-side fault-recovery counters (see
+    :mod:`repro.orchestration`): work units re-executed after a worker
+    fault, units abandoned for exceeding the per-unit timeout, units
+    skipped on resume because a checkpoint already held their results,
+    and process-pool respawns after a ``BrokenProcessPool`` (or a
+    timeout-forced recycle).  These record what happened *to* the sweep,
+    not what the sweep computed — they are excluded from
+    :meth:`RunStats.deterministic_part` because an interrupted-and-
+    resumed run must still aggregate bit-identically to an uninterrupted
+    one.
 ``dispatch_time_s`` / ``wall_time_s``
     Wall-clock spent inside arrival dispatch (policy decision + pack)
     vs. the whole run (event replay + observer fan-out included).
@@ -82,6 +99,11 @@ class RunStats:
     candidate_scans: int = 0
     fit_checks: int = 0
     fastpath_runs: int = 0
+    fastpath_fallbacks: int = 0
+    retries: int = 0
+    unit_timeouts: int = 0
+    units_resumed: int = 0
+    pool_restarts: int = 0
     dispatch_time_s: float = 0.0
     wall_time_s: float = 0.0
     peak_rss_bytes: Optional[int] = None
@@ -146,19 +168,37 @@ class RunStats:
             candidate_scans=sum(p.candidate_scans for p in parts),
             fit_checks=sum(p.fit_checks for p in parts),
             fastpath_runs=sum(p.fastpath_runs for p in parts),
+            fastpath_fallbacks=sum(p.fastpath_fallbacks for p in parts),
+            retries=sum(p.retries for p in parts),
+            unit_timeouts=sum(p.unit_timeouts for p in parts),
+            units_resumed=sum(p.units_resumed for p in parts),
+            pool_restarts=sum(p.pool_restarts for p in parts),
             dispatch_time_s=sum(p.dispatch_time_s for p in parts),
             wall_time_s=sum(p.wall_time_s for p in parts),
             peak_rss_bytes=max(rss) if rss else None,
         )
 
     def deterministic_part(self) -> "RunStats":
-        """Copy with the timing/RSS fields zeroed.
+        """Copy with the timing/RSS and fault-recovery fields zeroed.
 
-        Two runs of the same (algorithm, instance) pair — serial or
-        across processes — must agree exactly on this part; tests and
-        the parallel aggregation check compare it.
+        Two runs of the same (algorithm, instance) pair — serial, across
+        processes, or interrupted-and-resumed — must agree exactly on
+        this part; tests, the parallel aggregation check, and the
+        resume-determinism oracle compare it.  The fault-recovery
+        counters (``retries``/``unit_timeouts``/``units_resumed``/
+        ``pool_restarts``) describe the *execution history*, not the
+        computation, so they are zeroed alongside the timings.
         """
-        return replace(self, dispatch_time_s=0.0, wall_time_s=0.0, peak_rss_bytes=None)
+        return replace(
+            self,
+            retries=0,
+            unit_timeouts=0,
+            units_resumed=0,
+            pool_restarts=0,
+            dispatch_time_s=0.0,
+            wall_time_s=0.0,
+            peak_rss_bytes=None,
+        )
 
 
 class StatsCollector:
@@ -194,6 +234,11 @@ class StatsCollector:
         "candidate_scans",
         "fit_checks",
         "fastpath_runs",
+        "fastpath_fallbacks",
+        "retries",
+        "unit_timeouts",
+        "units_resumed",
+        "pool_restarts",
         "dispatch_time_s",
         "wall_time_s",
         "peak_rss_bytes",
@@ -213,9 +258,38 @@ class StatsCollector:
         self.candidate_scans = 0
         self.fit_checks = 0
         self.fastpath_runs = 0
+        self.fastpath_fallbacks = 0
+        self.retries = 0
+        self.unit_timeouts = 0
+        self.units_resumed = 0
+        self.pool_restarts = 0
         self.dispatch_time_s = 0.0
         self.wall_time_s = 0.0
         self.peak_rss_bytes: Optional[int] = None
+
+    # -- orchestration hooks (sweep-level fault recovery) ---------------
+    def record_fault_event(self, kind: str, count: int = 1) -> None:
+        """Count one orchestration fault-recovery event.
+
+        ``kind`` is one of ``"retry"``, ``"unit_timeout"``,
+        ``"unit_resumed"``, ``"pool_restart"``, ``"fastpath_fallback"``
+        — the counter of the same family is bumped by ``count`` and,
+        when a sink is attached, a trace event of that kind is emitted.
+        Unknown kinds raise :class:`ValueError` (a typo here would
+        silently lose fault telemetry otherwise).
+        """
+        if kind == "retry":
+            self.retries += count
+        elif kind == "unit_timeout":
+            self.unit_timeouts += count
+        elif kind == "unit_resumed":
+            self.units_resumed += count
+        elif kind == "pool_restart":
+            self.pool_restarts += count
+        elif kind == "fastpath_fallback":
+            self.fastpath_fallbacks += count
+        else:
+            raise ValueError(f"unknown fault event kind {kind!r}")
 
     # -- engine hooks (called once per event; keep them lean) -----------
     def run_started(self, instance, algorithm) -> None:
@@ -294,6 +368,11 @@ class StatsCollector:
             candidate_scans=self.candidate_scans,
             fit_checks=self.fit_checks,
             fastpath_runs=self.fastpath_runs,
+            fastpath_fallbacks=self.fastpath_fallbacks,
+            retries=self.retries,
+            unit_timeouts=self.unit_timeouts,
+            units_resumed=self.units_resumed,
+            pool_restarts=self.pool_restarts,
             dispatch_time_s=self.dispatch_time_s,
             wall_time_s=self.wall_time_s,
             peak_rss_bytes=self.peak_rss_bytes,
@@ -312,6 +391,11 @@ class StatsCollector:
         self.candidate_scans = 0
         self.fit_checks = 0
         self.fastpath_runs = 0
+        self.fastpath_fallbacks = 0
+        self.retries = 0
+        self.unit_timeouts = 0
+        self.units_resumed = 0
+        self.pool_restarts = 0
         self.dispatch_time_s = 0.0
         self.wall_time_s = 0.0
         self.peak_rss_bytes = None

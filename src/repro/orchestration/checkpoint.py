@@ -1,0 +1,311 @@
+"""Crash-safe sharded persistence of sweep results.
+
+A checkpointed sweep writes every completed
+:class:`~repro.simulation.parallel.UnitResult` to an append-only store
+under one directory:
+
+* ``shard-NNNN.jsonl`` — one JSON record per completed unit.  Shards are
+  *immutable once written*: results buffer in memory and each
+  :meth:`CheckpointStore.flush` writes one new shard via the
+  write-to-temp + ``os.replace`` (atomic rename) protocol, then fsyncs
+  the directory, so a SIGKILL at any instant leaves either a complete
+  shard or an ignorable ``*.tmp``.
+* ``manifest.json`` — the store's index: the sweep fingerprint plus, per
+  shard, its unit count and SHA-256 content hash.  The manifest is also
+  replaced atomically, *after* the shard it references, so every shard
+  the manifest lists is guaranteed complete.
+
+Loading is deliberately forgiving (recomputing a unit is always safe,
+trusting a bad record never is):
+
+* a shard whose content hash disagrees with the manifest is dropped with
+  a :class:`RuntimeWarning` — its units simply re-run;
+* a shard present on disk but missing from the manifest (crash between
+  the two renames) is *adopted* if every line parses — completed work is
+  never thrown away;
+* a trailing partial line (torn write on a non-atomic filesystem) drops
+  that shard's remaining lines only.
+
+The **fingerprint** binds a store to one logical sweep: algorithms,
+per-algorithm kwargs, engine, and a content digest of every instance.
+Resuming against a directory whose fingerprint disagrees raises
+:class:`~repro.core.errors.CheckpointError` — silently mixing results
+from two different sweeps is the one failure mode this layer must never
+allow.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import warnings
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.errors import CheckpointError
+from ..core.instance import Instance
+from ..observability.stats import RunStats
+from ..simulation.parallel import UnitResult
+
+__all__ = [
+    "CheckpointStore",
+    "sweep_fingerprint",
+    "result_to_record",
+    "record_to_result",
+]
+
+SCHEMA = "repro.orchestration.checkpoint/v1"
+MANIFEST = "manifest.json"
+SHARD_PREFIX = "shard-"
+SHARD_SUFFIX = ".jsonl"
+
+
+def sweep_fingerprint(
+    algorithms: Sequence[str],
+    instances: Sequence[Instance],
+    algorithm_kwargs: Optional[Mapping[str, Mapping[str, object]]] = None,
+    engine: str = "classic",
+) -> str:
+    """Content digest identifying one logical sweep.
+
+    Hashes the algorithm list (order included — it determines unit
+    order), the per-algorithm kwargs, the engine, and the full content
+    of every instance (via its ``to_dict`` JSON).  Hashing an instance
+    costs far less than simulating it, so the full digest is cheap
+    relative to the sweep it protects.
+    """
+    h = hashlib.sha256()
+    meta = {
+        "schema": SCHEMA,
+        "algorithms": list(algorithms),
+        "algorithm_kwargs": {
+            name: dict(kw) for name, kw in sorted((algorithm_kwargs or {}).items())
+        },
+        "engine": engine,
+        "num_instances": len(instances),
+    }
+    h.update(json.dumps(meta, sort_keys=True, default=str).encode("utf-8"))
+    for inst in instances:
+        h.update(json.dumps(inst.to_dict(), sort_keys=True).encode("utf-8"))
+    return h.hexdigest()
+
+
+def result_to_record(result: UnitResult) -> Dict[str, object]:
+    """JSON-ready form of one :class:`UnitResult` (stats included)."""
+    return {
+        "algorithm": result.algorithm,
+        "instance_index": result.instance_index,
+        "cost": result.cost,
+        "num_bins": result.num_bins,
+        "lower_bound": result.lower_bound,
+        "stats": result.stats.to_dict() if result.stats is not None else None,
+    }
+
+
+def record_to_result(record: Mapping[str, object]) -> UnitResult:
+    """Inverse of :func:`result_to_record`."""
+    stats = record.get("stats")
+    return UnitResult(
+        algorithm=str(record["algorithm"]),
+        instance_index=int(record["instance_index"]),
+        cost=float(record["cost"]),
+        num_bins=int(record["num_bins"]),
+        lower_bound=float(record["lower_bound"]),
+        stats=RunStats.from_dict(stats) if stats is not None else None,
+    )
+
+
+def _sha256_file(path: str) -> str:
+    h = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 16), b""):
+            h.update(chunk)
+    return h.hexdigest()
+
+
+def _atomic_write(path: str, data: str) -> None:
+    """Write ``data`` to ``path`` via temp file + atomic rename + fsync."""
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.write(data)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+    # fsync the directory so the rename itself survives a crash
+    dir_fd = os.open(os.path.dirname(path) or ".", os.O_RDONLY)
+    try:
+        os.fsync(dir_fd)
+    finally:
+        os.close(dir_fd)
+
+
+class CheckpointStore:
+    """Sharded, crash-safe store of completed sweep units.
+
+    Parameters
+    ----------
+    directory:
+        Store location; created if missing.
+    fingerprint:
+        The sweep fingerprint (:func:`sweep_fingerprint`).  On open, an
+        existing manifest's fingerprint must match or
+        :class:`~repro.core.errors.CheckpointError` is raised; pass
+        ``None`` to skip the guard (inspection tools only).
+
+    Usage: :meth:`append` buffers completed units, :meth:`flush` writes
+    one new immutable shard and re-indexes the manifest; ``completed``
+    maps ``(algorithm, instance_index)`` to the stored results loaded at
+    open time plus everything appended since.
+    """
+
+    def __init__(self, directory: str, fingerprint: Optional[str] = None) -> None:
+        self.directory = str(directory)
+        self.fingerprint = fingerprint
+        os.makedirs(self.directory, exist_ok=True)
+        self._buffer: List[UnitResult] = []
+        self._shards: List[Dict[str, object]] = []  # manifest shard entries
+        self.completed: Dict[Tuple[str, int], UnitResult] = {}
+        self.flushes = 0
+        self._load()
+
+    # -- loading -------------------------------------------------------
+    def _manifest_path(self) -> str:
+        return os.path.join(self.directory, MANIFEST)
+
+    def _load(self) -> None:
+        manifest: Dict[str, object] = {}
+        path = self._manifest_path()
+        if os.path.exists(path):
+            try:
+                with open(path, "r", encoding="utf-8") as fh:
+                    manifest = json.load(fh)
+            except (OSError, ValueError):
+                warnings.warn(
+                    f"checkpoint manifest {path} is unreadable; "
+                    "re-indexing from shards",
+                    RuntimeWarning,
+                )
+                manifest = {}
+        stored_fp = manifest.get("fingerprint")
+        if (
+            self.fingerprint is not None
+            and stored_fp is not None
+            and stored_fp != self.fingerprint
+        ):
+            raise CheckpointError(
+                f"checkpoint at {self.directory} belongs to a different sweep "
+                f"(stored fingerprint {str(stored_fp)[:12]}…, expected "
+                f"{self.fingerprint[:12]}…); use a fresh --checkpoint-dir"
+            )
+        listed = {
+            str(entry["name"]): str(entry["sha256"])
+            for entry in manifest.get("shards", [])
+        }
+        on_disk = sorted(
+            name
+            for name in os.listdir(self.directory)
+            if name.startswith(SHARD_PREFIX) and name.endswith(SHARD_SUFFIX)
+        )
+        for name in on_disk:
+            shard_path = os.path.join(self.directory, name)
+            digest = _sha256_file(shard_path)
+            if name in listed and listed[name] != digest:
+                warnings.warn(
+                    f"checkpoint shard {name} content hash mismatch; dropping "
+                    "it (its units will re-run)",
+                    RuntimeWarning,
+                )
+                continue
+            results = self._read_shard(shard_path, name)
+            if results is None:
+                continue
+            for res in results:
+                self.completed[(res.algorithm, res.instance_index)] = res
+            self._shards.append(
+                {"name": name, "sha256": digest, "units": len(results)}
+            )
+
+    def _read_shard(self, path: str, name: str) -> Optional[List[UnitResult]]:
+        """Parse one shard; tolerate a torn trailing line, drop junk shards."""
+        out: List[UnitResult] = []
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                lines = fh.read().splitlines()
+        except OSError:
+            warnings.warn(
+                f"checkpoint shard {name} unreadable; dropping it", RuntimeWarning
+            )
+            return None
+        for lineno, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                out.append(record_to_result(json.loads(line)))
+            except (ValueError, KeyError, TypeError):
+                warnings.warn(
+                    f"checkpoint shard {name}: undecodable record at line "
+                    f"{lineno + 1}; keeping the {len(out)} records before it",
+                    RuntimeWarning,
+                )
+                break
+        return out
+
+    # -- writing -------------------------------------------------------
+    def append(self, result: UnitResult) -> None:
+        """Buffer one completed unit (persisted at the next flush)."""
+        key = (result.algorithm, result.instance_index)
+        if key not in self.completed:
+            self._buffer.append(result)
+            self.completed[key] = result
+
+    def flush(self) -> Optional[str]:
+        """Persist buffered units as one new shard; update the manifest.
+
+        Returns the new shard's filename, or ``None`` when the buffer is
+        empty (flushing nothing is a no-op, not an error).  The shard is
+        renamed into place *before* the manifest referencing it, so a
+        crash between the two leaves an adoptable orphan, never a
+        manifest entry for a missing shard.
+        """
+        if not self._buffer:
+            return None
+        index = 0
+        existing = {str(entry["name"]) for entry in self._shards}
+        while f"{SHARD_PREFIX}{index:04d}{SHARD_SUFFIX}" in existing:
+            index += 1
+        name = f"{SHARD_PREFIX}{index:04d}{SHARD_SUFFIX}"
+        path = os.path.join(self.directory, name)
+        data = "".join(
+            json.dumps(result_to_record(res), sort_keys=True) + "\n"
+            for res in self._buffer
+        )
+        _atomic_write(path, data)
+        self._shards.append(
+            {
+                "name": name,
+                "sha256": hashlib.sha256(data.encode("utf-8")).hexdigest(),
+                "units": len(self._buffer),
+            }
+        )
+        self._buffer = []
+        self._write_manifest()
+        self.flushes += 1
+        return name
+
+    def _write_manifest(self) -> None:
+        manifest = {
+            "schema": SCHEMA,
+            "fingerprint": self.fingerprint,
+            "shards": self._shards,
+            "total_units": sum(int(s["units"]) for s in self._shards),
+        }
+        _atomic_write(
+            self._manifest_path(), json.dumps(manifest, indent=2, sort_keys=True)
+        )
+
+    # -- reading -------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.completed)
+
+    def __contains__(self, key: Tuple[str, int]) -> bool:
+        return key in self.completed

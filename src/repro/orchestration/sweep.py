@@ -1,0 +1,395 @@
+"""Checkpointed, fault-tolerant execution of (algorithm × instance) sweeps.
+
+:func:`resumable_sweep` is the robust twin of
+:func:`repro.simulation.parallel.parallel_sweep`: same unit payloads
+(built by the shared :func:`~repro.simulation.parallel.build_payloads`),
+same return shape, bit-identical results — plus:
+
+* **Checkpointing** — completed units stream into a
+  :class:`~repro.orchestration.checkpoint.CheckpointStore` (append-only
+  JSONL shards, atomic flushes), so a crash or ctrl-C loses at most the
+  units completed since the last flush, and nothing that was flushed.
+* **Resume** — with ``resume=True``, units already in the checkpoint are
+  skipped (counted as ``units_resumed``); the merged output is
+  bit-identical to an uninterrupted run, which the
+  :func:`repro.verify.resume_equality_check` oracle enforces.
+* **Per-unit retry** — a unit that raises is re-queued up to ``retries``
+  times with deterministic exponential backoff
+  (:class:`~repro.orchestration.faults.RetryPolicy`); the attempt
+  number lives outside the payload, so a retried unit computes exactly
+  what the first attempt would have.
+* **BrokenProcessPool recovery** — a worker death kills every in-flight
+  future of a ``ProcessPoolExecutor``; the orchestrator respawns the
+  pool and re-queues all in-flight units with their attempt count
+  bumped, so one crashing unit cannot take completed work (or innocent
+  neighbours) down with it.
+* **Per-unit timeout** — a unit running past ``unit_timeout`` seconds
+  cannot be cancelled in-place (the worker is busy), so the pool is
+  recycled: workers are terminated, the expired unit re-queues with its
+  attempt bumped, other in-flight units re-queue unchanged.
+* **Graceful engine degradation** — ``engine="fast"`` units that hit a
+  kernel failure fall back to the classic engine *inside the worker*
+  (see :func:`repro.simulation.engine.simulate`), surfacing as
+  ``fastpath_fallbacks`` in the unit's stats rather than as a fault.
+
+Deterministic fault injection for tests and the CI kill-resume job is
+driven entirely by ``REPRO_FAULT_*`` environment variables — see
+:mod:`repro.orchestration.faults`.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import Deque, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.errors import UnitFailedError
+from ..core.instance import Instance
+from ..observability.sinks import TraceSink
+from ..observability.stats import StatsCollector
+from ..simulation.parallel import UnitResult, build_payloads, unit_key
+from .checkpoint import CheckpointStore, sweep_fingerprint
+from .faults import FaultPlan, RetryPolicy, fault_aware_unit
+
+__all__ = ["resumable_sweep"]
+
+#: How many completed units accumulate before a checkpoint flush.
+DEFAULT_FLUSH_EVERY = 16
+
+
+def _emit(sink: Optional[TraceSink], kind: str, payload: dict) -> None:
+    if sink is not None:
+        sink.emit(kind, payload)
+
+
+class _SweepState:
+    """Mutable bookkeeping shared by the serial and pooled executors."""
+
+    def __init__(
+        self,
+        store: Optional[CheckpointStore],
+        collector: StatsCollector,
+        sink: Optional[TraceSink],
+        flush_every: int,
+        plan: FaultPlan,
+    ) -> None:
+        self.store = store
+        self.collector = collector
+        self.sink = sink
+        self.flush_every = max(int(flush_every), 1)
+        self.plan = plan
+        self.results: List[UnitResult] = []
+        self.since_flush = 0
+
+    def complete(self, result: UnitResult) -> None:
+        self.results.append(result)
+        if self.store is not None:
+            self.store.append(result)
+            self.since_flush += 1
+            if self.since_flush >= self.flush_every:
+                self.flush()
+
+    def flush(self) -> None:
+        if self.store is not None and self.since_flush:
+            self.store.flush()
+            self.since_flush = 0
+            _emit(
+                self.sink,
+                "checkpoint_flush",
+                {"flushes": self.store.flushes, "units": len(self.store)},
+            )
+            # kill-resume smoke hook: die *after* a durable flush
+            self.plan.maybe_kill_self(self.store.flushes)
+
+
+def resumable_sweep(
+    algorithms: Sequence[str],
+    instances: Sequence[Instance],
+    processes: Optional[int] = None,
+    algorithm_kwargs: Optional[Mapping[str, Mapping[str, object]]] = None,
+    collect_stats: bool = False,
+    engine: str = "classic",
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
+    retries: int = 0,
+    unit_timeout: Optional[float] = None,
+    retry_policy: Optional[RetryPolicy] = None,
+    flush_every: int = DEFAULT_FLUSH_EVERY,
+    max_units: Optional[int] = None,
+    collector: Optional[StatsCollector] = None,
+    sink: Optional[TraceSink] = None,
+) -> Dict[str, List[UnitResult]]:
+    """Run a sweep with checkpointing, retries, and pool recovery.
+
+    Parameters mirror :func:`~repro.simulation.parallel.parallel_sweep`
+    (``processes=None`` = cpu count, ``0`` = in-process serial), plus:
+
+    checkpoint_dir:
+        Directory for the crash-safe result store (created if needed).
+        ``None`` disables persistence but keeps retry/timeout handling.
+    resume:
+        Skip units the checkpoint already holds.  Requires
+        ``checkpoint_dir``; the store's fingerprint must match this
+        sweep or :class:`~repro.core.errors.CheckpointError` is raised.
+    retries:
+        Per-unit retry budget (``retry_policy`` overrides the whole
+        policy when given).  A unit that exhausts it raises
+        :class:`~repro.core.errors.UnitFailedError` — after a final
+        checkpoint flush, so completed work survives the failure.
+    unit_timeout:
+        Per-unit wall-clock budget in seconds, measured from dispatch
+        (pooled mode only; the serial path cannot preempt a running
+        simulation and ignores it).
+    flush_every:
+        Checkpoint flush cadence in completed units.
+    max_units:
+        Stop dispatching after this many *newly completed* units (the
+        resume-determinism oracle uses it to fabricate interrupted runs
+        without real kills).  In pooled mode, already-dispatched units
+        still drain and are checkpointed.
+    collector:
+        Orchestrator-side :class:`~repro.observability.stats.StatsCollector`
+        receiving the fault-recovery counters (``retries``,
+        ``unit_timeouts``, ``units_resumed``, ``pool_restarts``).
+    sink:
+        Optional :class:`~repro.observability.sinks.TraceSink` receiving
+        ``unit_resumed`` / ``retry`` / ``unit_timeout`` /
+        ``pool_restart`` / ``checkpoint_flush`` trace events.
+
+    Returns ``{algorithm: [UnitResult, ...]}`` ordered by instance
+    index — bit-identical to ``parallel_sweep`` on the same arguments,
+    interrupted or not.
+    """
+    algorithms = list(algorithms)
+    instances = list(instances)
+    col = collector if collector is not None else StatsCollector()
+    policy = retry_policy if retry_policy is not None else RetryPolicy(retries=int(retries))
+    plan = FaultPlan.from_env()
+
+    payloads = build_payloads(
+        algorithms, instances, algorithm_kwargs, collect_stats, engine
+    )
+
+    store: Optional[CheckpointStore] = None
+    resumed: Dict[Tuple[str, int], UnitResult] = {}
+    if checkpoint_dir is not None:
+        fingerprint = sweep_fingerprint(
+            algorithms, instances, algorithm_kwargs, engine
+        )
+        store = CheckpointStore(checkpoint_dir, fingerprint=fingerprint)
+        if resume:
+            wanted = {unit_key(p) for p in payloads}
+            resumed = {k: v for k, v in store.completed.items() if k in wanted}
+            if resumed:
+                col.record_fault_event("unit_resumed", count=len(resumed))
+                _emit(sink, "unit_resumed", {"count": len(resumed)})
+
+    pending: Deque[Tuple[int, tuple]] = deque(
+        (0, p) for p in payloads if unit_key(p) not in resumed
+    )
+    state = _SweepState(store, col, sink, flush_every, plan)
+
+    try:
+        if processes == 0:
+            _run_serial(pending, state, policy, max_units)
+        else:
+            workers = processes or os.cpu_count() or 1
+            _run_pooled(pending, state, policy, workers, unit_timeout, max_units)
+    finally:
+        state.flush()
+
+    merged = list(resumed.values()) + state.results
+    out: Dict[str, List[UnitResult]] = {name: [] for name in algorithms}
+    for res in merged:
+        out[res.algorithm].append(res)
+    for name in algorithms:
+        out[name].sort(key=lambda r: r.instance_index)
+    return out
+
+
+def _fail(state: _SweepState, key: Tuple[str, int], cause: BaseException) -> None:
+    """Flush completed work, then give up on one unit."""
+    state.flush()
+    raise UnitFailedError(
+        f"unit {key} exhausted its retry budget; completed units are "
+        f"checkpointed — rerun with resume=True to keep them "
+        f"(cause: {type(cause).__name__}: {cause})"
+    ) from cause
+
+
+def _run_serial(
+    pending: "Deque[Tuple[int, tuple]]",
+    state: _SweepState,
+    policy: RetryPolicy,
+    max_units: Optional[int],
+) -> None:
+    """In-process executor: retry loop per unit, no preemption."""
+    completed = 0
+    while pending:
+        if max_units is not None and completed >= max_units:
+            return
+        attempt, payload = pending.popleft()
+        while True:
+            try:
+                result = fault_aware_unit((attempt, payload))
+                break
+            except Exception as exc:
+                if attempt >= policy.retries:
+                    _fail(state, unit_key(payload), exc)
+                attempt += 1
+                state.collector.record_fault_event("retry")
+                _emit(
+                    state.sink,
+                    "retry",
+                    {"unit": list(unit_key(payload)), "attempt": attempt},
+                )
+                time.sleep(policy.delay(attempt))
+        state.complete(result)
+        completed += 1
+
+
+def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down *now*, stuck workers included.
+
+    ``shutdown(wait=False)`` alone leaves a hung worker running its
+    current task forever; terminating the worker processes is the only
+    way to reclaim the slot.  ``_processes`` is executor-internal, so
+    guard the access — on interpreters without it the zombies survive
+    until process exit, which degrades but does not corrupt.
+    """
+    procs = list(getattr(pool, "_processes", {}).values())
+    pool.shutdown(wait=False, cancel_futures=True)
+    for proc in procs:
+        try:
+            proc.terminate()
+        except (OSError, AttributeError):  # already dead, or exotic platform
+            pass
+
+
+def _run_pooled(
+    pending: "Deque[Tuple[int, tuple]]",
+    state: _SweepState,
+    policy: RetryPolicy,
+    workers: int,
+    unit_timeout: Optional[float],
+    max_units: Optional[int],
+) -> None:
+    """Process-pool executor with retry, timeout, and pool recovery."""
+    col = state.collector
+    pool = ProcessPoolExecutor(max_workers=workers)
+    inflight: Dict[object, Tuple[int, tuple, float]] = {}
+    completed = 0
+
+    def requeue(attempt: int, payload: tuple, bump: bool, cause: BaseException) -> None:
+        if bump and attempt >= policy.retries:
+            _fail(state, unit_key(payload), cause)
+        pending.appendleft((attempt + 1 if bump else attempt, payload))
+
+    def recycle(kind: str, faulted, cause: BaseException) -> None:
+        """Respawn the pool; re-queue every in-flight unit.
+
+        Units in ``faulted`` get their attempt bumped (counting against
+        the retry budget); the rest re-queue unchanged.
+        """
+        nonlocal pool
+        faulted_keys = {unit_key(p) for _, p in faulted}
+        for attempt, payload, _ in list(inflight.values()):
+            bump = unit_key(payload) in faulted_keys
+            requeue(attempt, payload, bump, cause)
+        inflight.clear()
+        col.record_fault_event("pool_restart")
+        if faulted_keys and kind == "broken_pool":
+            col.record_fault_event("retry", count=len(faulted_keys))
+        _emit(
+            state.sink,
+            "pool_restart",
+            {"cause": kind, "faulted": sorted(map(list, faulted_keys))},
+        )
+        _terminate_pool(pool)
+        pool = ProcessPoolExecutor(max_workers=workers)
+
+    try:
+        while pending or inflight:
+            # keep the pool saturated without materialising every future
+            while pending and len(inflight) < workers * 2:
+                if max_units is not None and completed + len(inflight) >= max_units:
+                    break
+                attempt, payload = pending.popleft()
+                future = pool.submit(fault_aware_unit, (attempt, payload))
+                inflight[future] = (attempt, payload, time.monotonic())
+            if not inflight:
+                return  # max_units reached with nothing left in flight
+
+            poll: Optional[float] = None
+            if unit_timeout is not None:
+                now = time.monotonic()
+                deadlines = [t0 + unit_timeout for _, _, t0 in inflight.values()]
+                poll = max(0.0, min(deadlines) - now) + 0.01
+            done, _ = wait(set(inflight), timeout=poll, return_when=FIRST_COMPLETED)
+
+            if unit_timeout is not None:
+                now = time.monotonic()
+                expired = [
+                    (attempt, payload)
+                    for future, (attempt, payload, t0) in inflight.items()
+                    if future not in done and now - t0 > unit_timeout
+                ]
+                if expired:
+                    col.record_fault_event("unit_timeout", count=len(expired))
+                    for attempt, payload in expired:
+                        _emit(
+                            state.sink,
+                            "unit_timeout",
+                            {"unit": list(unit_key(payload)), "attempt": attempt},
+                        )
+                    # harvest whatever did finish before tearing down
+                    for future in done:
+                        attempt, payload, _ = inflight.pop(future)
+                        try:
+                            state.complete(future.result())
+                            completed += 1
+                        except Exception as exc:
+                            requeue(attempt, payload, True, exc)
+                            col.record_fault_event("retry")
+                    recycle("timeout", expired, TimeoutError("unit timeout"))
+                    continue
+
+            broken: Optional[BrokenProcessPool] = None
+            for future in done:
+                try:
+                    result = future.result()
+                except BrokenProcessPool as exc:
+                    # A worker death breaks *every* in-flight future at
+                    # once, and nothing identifies which unit killed it —
+                    # the future surfacing the error first is arbitrary.
+                    # Leave inflight intact for recycle() below.
+                    broken = exc
+                    break
+                except Exception as exc:
+                    attempt, payload, _ = inflight.pop(future)
+                    requeue(attempt, payload, True, exc)
+                    col.record_fault_event("retry")
+                    _emit(
+                        state.sink,
+                        "retry",
+                        {"unit": list(unit_key(payload)), "attempt": attempt + 1},
+                    )
+                    time.sleep(policy.delay(attempt + 1))
+                else:
+                    attempt, payload, _ = inflight.pop(future)
+                    state.complete(result)
+                    completed += 1
+            if broken is not None:
+                # every in-flight unit is a suspect: bump them all, so
+                # the actual culprit cannot re-run at an attempt whose
+                # fault it would hit again
+                recycle(
+                    "broken_pool",
+                    [(a, p) for a, p, _ in inflight.values()],
+                    broken,
+                )
+    finally:
+        _terminate_pool(pool)

@@ -17,12 +17,16 @@ and on platforms where fork semantics are awkward).
 
 from __future__ import annotations
 
+import inspect
+import math
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
-from ..algorithms.registry import make_algorithm
+import numpy as np
+
+from ..algorithms.registry import ALGORITHM_FACTORIES, make_algorithm
 from ..core.instance import Instance
 from ..observability.stats import RunStats, StatsCollector
 from ..optimum.lower_bounds import height_lower_bound
@@ -30,6 +34,10 @@ from .runner import run
 
 __all__ = [
     "UnitResult",
+    "algorithm_accepts_seed",
+    "derive_unit_seeds",
+    "build_payloads",
+    "unit_key",
     "simulate_unit",
     "simulate_chunk",
     "parallel_sweep",
@@ -56,8 +64,100 @@ class UnitResult:
 
     @property
     def ratio(self) -> float:
-        """Performance ratio vs the Lemma 1(i) bound."""
+        """Performance ratio vs the Lemma 1(i) bound.
+
+        A degenerate instance (no load at all) has ``lower_bound == 0``;
+        the documented sentinel for that case is ``float("inf")`` — any
+        positive cost is infinitely worse than a zero bound — except for
+        the doubly-degenerate zero-cost case, which reports the neutral
+        ratio ``1.0`` instead of raising ``ZeroDivisionError``.
+        """
+        if self.lower_bound <= 0:
+            return math.inf if self.cost > 0 else 1.0
         return self.cost / self.lower_bound
+
+
+def algorithm_accepts_seed(name: str) -> bool:
+    """Whether the registry factory for ``name`` takes a ``seed`` kwarg.
+
+    Seeded policies (``random_fit``) get *per-unit* seeds in sweeps —
+    see :func:`derive_unit_seeds`; unseeded policies are passed their
+    kwargs unchanged.
+    """
+    try:
+        sig = inspect.signature(ALGORITHM_FACTORIES[name])
+    except (KeyError, TypeError, ValueError):
+        return False
+    return "seed" in sig.parameters
+
+
+def derive_unit_seeds(base_seed: int, count: int) -> List[int]:
+    """Spawn ``count`` independent per-instance seeds from one base seed.
+
+    Uses ``numpy.random.SeedSequence(base_seed).spawn(count)`` — the
+    recommended NumPy practice for parallel statistics — so the streams
+    are collision-free and independent.  Sweeps use these to seed one
+    stream *per (algorithm, instance) unit*: passing the same base seed
+    to every instance would make the m "independent" trials of a cell
+    share a single random stream (the pre-fix behaviour), which
+    understates the variance the experiment is supposed to measure.
+
+    The derivation is a pure function of ``(base_seed, count)``, so it
+    is identical across the serial, process-pool, and resumed sweep
+    paths — a prerequisite for the bit-identity oracles.
+    """
+    ss = np.random.SeedSequence(int(base_seed))
+    return [
+        int(child.generate_state(1, dtype=np.uint64)[0]) for child in ss.spawn(count)
+    ]
+
+
+def build_payloads(
+    algorithms: Sequence[str],
+    instances: Sequence[Instance],
+    algorithm_kwargs: Optional[Mapping[str, Mapping[str, object]]] = None,
+    collect_stats: bool = False,
+    engine: str = "classic",
+) -> List[tuple]:
+    """Build the full (algorithm × instance) work-unit payload list.
+
+    One payload per unit, in ``for name … for i …`` order — the shared
+    construction used by :func:`parallel_sweep` and the checkpointed
+    :func:`repro.orchestration.resumable_sweep`, so both paths simulate
+    exactly the same units.  Lower bounds are computed once per instance
+    and shared across algorithms; seeded algorithms get per-unit seeds
+    derived from their base ``seed`` kwarg (default 0) via
+    :func:`derive_unit_seeds`.
+    """
+    algorithm_kwargs = algorithm_kwargs or {}
+    lbs = [height_lower_bound(inst) for inst in instances]
+    inst_dicts = [inst.to_dict() for inst in instances]
+    unit_seeds = {
+        name: derive_unit_seeds(
+            int(algorithm_kwargs.get(name, {}).get("seed", 0)), len(instances)
+        )
+        for name in algorithms
+        if algorithm_accepts_seed(name)
+    }
+    payloads: List[tuple] = []
+    for name in algorithms:
+        base_kwargs = dict(algorithm_kwargs.get(name, {}))
+        for i in range(len(instances)):
+            kwargs = dict(base_kwargs)
+            if name in unit_seeds:
+                kwargs["seed"] = unit_seeds[name][i]
+            payloads.append(
+                (name, kwargs, i, inst_dicts[i], lbs[i], collect_stats, engine)
+            )
+    return payloads
+
+
+def unit_key(payload: tuple) -> Tuple[str, int]:
+    """The ``(algorithm, instance_index)`` identity of one payload.
+
+    This is the key the checkpoint store indexes completed work by.
+    """
+    return payload[0], payload[2]
 
 
 def simulate_unit(
@@ -109,6 +209,10 @@ def parallel_sweep(
     chunksize: int = 4,
     collect_stats: bool = False,
     engine: str = "classic",
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
+    retries: int = 0,
+    unit_timeout: Optional[float] = None,
 ) -> Dict[str, List[UnitResult]]:
     """Run every algorithm on every instance, possibly across processes.
 
@@ -122,7 +226,10 @@ def parallel_sweep(
         Worker count; ``None`` = ``os.cpu_count()``, ``0`` = run serially
         in-process.
     algorithm_kwargs:
-        Optional per-algorithm constructor kwargs.
+        Optional per-algorithm constructor kwargs.  A ``seed`` kwarg is
+        treated as the *base* seed: each (algorithm, instance) unit gets
+        its own seed derived via :func:`derive_unit_seeds`, so the m
+        trials of a cell are genuinely independent.
     chunksize:
         Futures map chunk size (coarser = less IPC overhead).
     collect_stats:
@@ -139,6 +246,16 @@ def parallel_sweep(
         units still amortise the per-task IPC cost.  Results are
         bit-identical to the classic sweep for every ``engine`` and
         ``processes`` combination.
+    checkpoint_dir / resume / retries / unit_timeout:
+        Fault-tolerance knobs.  Leaving them at their defaults keeps the
+        original in-memory executor below; setting any of them routes
+        the sweep through :func:`repro.orchestration.resumable_sweep`,
+        which persists completed units to crash-safe JSONL shards under
+        ``checkpoint_dir``, skips already-completed units on
+        ``resume=True``, retries faulted units up to ``retries`` times
+        with exponential backoff, and recycles the pool when a unit
+        exceeds ``unit_timeout`` seconds.  Results are bit-identical to
+        the in-memory path.
 
     Returns
     -------
@@ -146,22 +263,25 @@ def parallel_sweep(
         ``{algorithm: [UnitResult, ...]}`` with results ordered by
         instance index — identical output for any ``processes`` value.
     """
-    algorithm_kwargs = algorithm_kwargs or {}
-    lbs = [height_lower_bound(inst) for inst in instances]
-    inst_dicts = [inst.to_dict() for inst in instances]
-    payloads = [
-        (
-            name,
-            dict(algorithm_kwargs.get(name, {})),
-            i,
-            inst_dicts[i],
-            lbs[i],
-            collect_stats,
-            engine,
+    if checkpoint_dir is not None or resume or retries or unit_timeout is not None:
+        from ..orchestration import resumable_sweep
+
+        return resumable_sweep(
+            algorithms,
+            instances,
+            processes=processes,
+            algorithm_kwargs=algorithm_kwargs,
+            collect_stats=collect_stats,
+            engine=engine,
+            checkpoint_dir=checkpoint_dir,
+            resume=resume,
+            retries=retries,
+            unit_timeout=unit_timeout,
         )
-        for name in algorithms
-        for i in range(len(instances))
-    ]
+
+    payloads = build_payloads(
+        algorithms, instances, algorithm_kwargs, collect_stats, engine
+    )
 
     if processes == 0:
         results = [simulate_unit(p) for p in payloads]

@@ -17,13 +17,33 @@ from ..core.packing import Packing
 from ..observability.stats import StatsCollector
 from .engine import SimulationObserver, simulate
 
-__all__ = ["run", "run_many", "compare_algorithms"]
+__all__ = ["run", "run_many", "compare_algorithms", "effective_engine"]
 
 AlgorithmSpec = Union[str, OnlineAlgorithm]
 
 
 def _resolve(spec: AlgorithmSpec) -> OnlineAlgorithm:
     return make_algorithm(spec) if isinstance(spec, str) else spec
+
+
+def effective_engine(
+    algorithm: AlgorithmSpec,
+    engine: str = "classic",
+    observers: Sequence[SimulationObserver] = (),
+) -> str:
+    """The engine :func:`run` would actually use for this request.
+
+    ``engine="fast"`` is a *request*: runs the fast engine cannot take
+    (observers present, or a policy without a registered kernel) execute
+    on the classic engine instead.  CLIs and drivers call this to report
+    the effective engine up front rather than leaving the fallback
+    implicit; it performs no simulation and never warns.
+    """
+    if engine != "fast" or observers:
+        return "classic"
+    from .fastpath import fast_policy_for
+
+    return "fast" if fast_policy_for(algorithm) is not None else "classic"
 
 
 def run(

@@ -44,6 +44,7 @@ from .oracles import (
     differential_check,
     eq1_cost,
     instrumented_equality_check,
+    resume_equality_check,
     sweep_equality_check,
 )
 from .reference import REFERENCE_POLICIES, ReferenceResult, ReferenceSimulator
@@ -77,6 +78,7 @@ __all__ = [
     "differential_check",
     "eq1_cost",
     "instrumented_equality_check",
+    "resume_equality_check",
     "sweep_equality_check",
     "REFERENCE_POLICIES",
     "ReferenceResult",

@@ -49,6 +49,7 @@ from .oracles import (
     compare_with_reference,
     cost_check,
     instrumented_equality_check,
+    resume_equality_check,
     sweep_equality_check,
 )
 
@@ -242,6 +243,16 @@ def run_verify(
 
     for v in sweep_equality_check(sweep_prefix, list(prof.policies[:3])):
         report.violations.append(("sweep-prefix", v))
+    report.checks += 1
+
+    # resume determinism: interrupted + resumed == uninterrupted, both
+    # engines; include random_fit (when present) so per-unit seed
+    # derivation is exercised through the checkpoint round-trip
+    resume_policies = list(prof.policies[:2])
+    if "random_fit" in prof.policies and "random_fit" not in resume_policies:
+        resume_policies.append("random_fit")
+    for v in resume_equality_check(sweep_prefix[:4], resume_policies):
+        report.violations.append(("resume-oracle", v))
     report.checks += 1
 
     report.mutation = mutation_smoke_test(seed=corpus_seed)

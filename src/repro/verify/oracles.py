@@ -17,7 +17,12 @@ counterpart and requires the two to agree exactly:
   instance and the assignment;
 * :func:`sweep_equality_check` — the in-process sweep aggregation versus
   the process-pool worker path (instance serialisation round-trip and
-  all), which must produce identical ratio vectors.
+  all), which must produce identical ratio vectors;
+* :func:`resume_equality_check` — an *interrupted-and-resumed*
+  checkpointed sweep (:func:`repro.orchestration.resumable_sweep`)
+  versus the plain uninterrupted sweep, which must produce bit-identical
+  unit results on both engines — the core promise of the
+  fault-tolerance layer is that recovery never changes results.
 
 Violations are reported with the same :class:`~repro.verify.invariants.Violation`
 records as the invariant auditor, so the harness can pool them.
@@ -47,6 +52,7 @@ __all__ = [
     "instrumented_equality_check",
     "cost_check",
     "sweep_equality_check",
+    "resume_equality_check",
 ]
 
 _TOL = 1e-9
@@ -251,4 +257,63 @@ def sweep_equality_check(
                 f"{name}: serial ratios {serial.ratios[name]} != worker-path "
                 f"ratios {worker_ratios}",
             ))
+    return out
+
+
+def resume_equality_check(
+    instances: Sequence[Instance],
+    policies: Sequence[str],
+    engines: Sequence[str] = ("classic", "fast"),
+) -> List[Violation]:
+    """Interrupted-and-resumed sweep vs the uninterrupted sweep.
+
+    For each engine: run the batch once uninterrupted, then fabricate an
+    interruption — a checkpointed :func:`repro.orchestration.resumable_sweep`
+    stopped after roughly half its units (``max_units``), followed by a
+    ``resume=True`` completion against the same checkpoint directory.
+    Every unit of the merged resumed run must be *bit-identical*
+    (``cost``, ``num_bins``, ``lower_bound``) to the uninterrupted one:
+    recovery must never change results.  Also checks that the resumed
+    phase actually reloaded units from the checkpoint rather than
+    silently recomputing everything.
+    """
+    import tempfile
+
+    from ..observability.stats import StatsCollector as _Collector
+    from ..orchestration import resumable_sweep
+
+    batch = list(instances)
+    out: List[Violation] = []
+    for engine in engines:
+        plain = resumable_sweep(policies, batch, processes=0, engine=engine)
+        total_units = sum(len(v) for v in plain.values())
+        cut = max(1, total_units // 2)
+        with tempfile.TemporaryDirectory(prefix="repro-resume-oracle-") as ckpt:
+            resumable_sweep(
+                policies, batch, processes=0, engine=engine,
+                checkpoint_dir=ckpt, flush_every=1, max_units=cut,
+            )
+            col = _Collector()
+            resumed = resumable_sweep(
+                policies, batch, processes=0, engine=engine,
+                checkpoint_dir=ckpt, resume=True, collector=col,
+            )
+        if col.units_resumed != cut:
+            out.append(Violation(
+                "resume",
+                f"engine={engine}: resumed phase reloaded "
+                f"{col.units_resumed} units from the checkpoint, expected "
+                f"{cut} — the resume path is not actually resuming",
+            ))
+        for name in policies:
+            a = [(r.instance_index, r.cost, r.num_bins, r.lower_bound)
+                 for r in plain[name]]
+            b = [(r.instance_index, r.cost, r.num_bins, r.lower_bound)
+                 for r in resumed[name]]
+            if a != b:
+                out.append(Violation(
+                    "resume",
+                    f"{name} (engine={engine}): resumed sweep differs from "
+                    f"uninterrupted sweep — recovery changed results",
+                ))
     return out

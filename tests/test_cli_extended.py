@@ -77,3 +77,70 @@ def test_verify_theorem4(capsys):
     assert main(["verify", "--theorem", "4", "--n", "80", "--mu", "8"]) == 0
     out = capsys.readouterr().out
     assert "theorem4" in out and "all inequalities hold: True" in out
+
+
+class TestOrchestrationFlags:
+    """The fault-tolerance knobs added to run/figure4/experiments."""
+
+    @pytest.fixture()
+    def instance_path(self, tmp_path):
+        path = str(tmp_path / "inst.json")
+        assert main(["generate", path, "--n", "20", "--seed", "4"]) == 0
+        return path
+
+    def test_run_reports_effective_engine_on_fallback(self, capsys, tmp_path,
+                                                      instance_path,
+                                                      monkeypatch):
+        import repro.simulation.fastpath as fastpath
+        from repro.simulation.engine import reset_fallback_warnings
+
+        reset_fallback_warnings()
+        # a policy with its kernel nulled out: requested fast, runs classic
+        monkeypatch.setattr(fastpath, "fast_policy_for", lambda *_a: None)
+        with pytest.warns(RuntimeWarning):
+            assert main(["run", instance_path, "--algorithm", "first_fit",
+                         "--engine", "fast"]) == 0
+        out = capsys.readouterr().out
+        assert "classic engine; fast requested" in out
+
+    def test_run_effective_engine_matches_when_eligible(self, capsys,
+                                                        instance_path):
+        assert main(["run", instance_path, "--algorithm", "first_fit",
+                     "--engine", "fast"]) == 0
+        out = capsys.readouterr().out
+        assert "(fast engine)" in out
+
+    def test_run_retries_flag_accepted(self, capsys, instance_path):
+        assert main(["run", instance_path, "--algorithm", "move_to_front",
+                     "--retries", "2", "--unit-timeout", "60"]) == 0
+        assert "cost" in capsys.readouterr().out
+
+    def test_figure4_checkpoint_and_resume(self, capsys, tmp_path):
+        ckpt = str(tmp_path / "ckpt")
+        assert main(["figure4", "--scale", "smoke",
+                     "--checkpoint-dir", ckpt]) == 0
+        first = capsys.readouterr().out
+        assert main(["figure4", "--scale", "smoke",
+                     "--checkpoint-dir", ckpt, "--resume"]) == 0
+        second = capsys.readouterr().out
+        assert first == second  # resume is bit-identical
+        import os
+
+        assert any("manifest.json" in files
+                   for _root, _dirs, files in os.walk(ckpt))
+
+    def test_experiments_subcommand_writes_artifacts(self, capsys, tmp_path):
+        out_dir = str(tmp_path / "artifacts")
+        assert main(["experiments", "--artifacts", "table2",
+                     "--out-dir", out_dir]) == 0
+        import os
+
+        assert os.path.exists(os.path.join(out_dir, "table2.txt"))
+        # resumed invocation skips the finished artifact
+        assert main(["experiments", "--artifacts", "table2",
+                     "--out-dir", out_dir, "--resume"]) == 0
+        assert "skipping" in capsys.readouterr().out
+
+    def test_experiments_prints_when_no_out_dir(self, capsys):
+        assert main(["experiments", "--artifacts", "table2"]) == 0
+        assert "Table 2" in capsys.readouterr().out

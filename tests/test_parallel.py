@@ -2,9 +2,19 @@
 
 from __future__ import annotations
 
+import math
+
 import pytest
 
-from repro.simulation.parallel import parallel_sweep, simulate_unit
+from repro.simulation.parallel import (
+    UnitResult,
+    algorithm_accepts_seed,
+    build_payloads,
+    derive_unit_seeds,
+    parallel_sweep,
+    simulate_unit,
+    unit_key,
+)
 from repro.simulation.runner import run
 from repro.workloads.base import generate_batch
 from repro.workloads.uniform import UniformWorkload
@@ -69,3 +79,68 @@ class TestProcessPath:
             assert [r.cost for r in parallel[name]] == pytest.approx(
                 [r.cost for r in serial[name]]
             )
+
+
+class TestRatioDegenerate:
+    """Regression: ratio on a zero lower bound raised ZeroDivisionError."""
+
+    def _unit(self, cost, lb):
+        return UnitResult(algorithm="first_fit", instance_index=0,
+                          cost=cost, num_bins=1, lower_bound=lb)
+
+    def test_zero_lower_bound_positive_cost_is_inf(self):
+        assert self._unit(5.0, 0.0).ratio == math.inf
+
+    def test_zero_lower_bound_zero_cost_is_neutral(self):
+        assert self._unit(0.0, 0.0).ratio == 1.0
+
+    def test_normal_ratio_unchanged(self):
+        assert self._unit(6.0, 3.0).ratio == pytest.approx(2.0)
+
+
+class TestPerUnitSeeds:
+    """Regression: every random_fit unit used to share one base seed,
+    collapsing the m "independent" trials of a cell onto one stream."""
+
+    def test_derive_unit_seeds_is_pure_and_pinned(self):
+        # golden pins: numpy SeedSequence spawning is stable across
+        # platforms, and sweeps' bit-identity depends on this derivation
+        assert derive_unit_seeds(0, 4) == [
+            8668861027912758289,
+            4881901421217228719,
+            16452687389592421897,
+            13238389300853459902,
+        ]
+        assert derive_unit_seeds(0, 4) == derive_unit_seeds(0, 4)
+        assert len(set(derive_unit_seeds(0, 64))) == 64
+
+    def test_seed_detection(self):
+        assert algorithm_accepts_seed("random_fit")
+        assert not algorithm_accepts_seed("first_fit")
+        assert not algorithm_accepts_seed("not_a_policy")
+
+    def test_payloads_carry_per_unit_seeds(self, batch):
+        payloads = build_payloads(["random_fit"], batch,
+                                  {"random_fit": {"seed": 1}})
+        seeds = [p[1]["seed"] for p in payloads]
+        assert seeds == derive_unit_seeds(1, len(batch))
+        assert len(set(seeds)) == len(batch)
+        assert [unit_key(p) for p in payloads] == [
+            ("random_fit", i) for i in range(len(batch))
+        ]
+
+    def test_identical_instances_draw_independent_streams(self, batch):
+        # the same instance twice must not produce forced-identical runs
+        dup = [batch[0], batch[0]]
+        res = parallel_sweep(["random_fit"], dup, processes=0,
+                             algorithm_kwargs={"random_fit": {"seed": 0}})
+        costs = [r.cost for r in res["random_fit"]]
+        assert costs == [111.0, 112.0]  # golden: distinct streams
+
+    def test_golden_sweep_costs(self, batch):
+        # pins the post-fix per-unit-seed behaviour end to end
+        res = parallel_sweep(["random_fit"], batch, processes=0,
+                             algorithm_kwargs={"random_fit": {"seed": 1}})
+        assert [r.cost for r in res["random_fit"]] == [
+            111.0, 104.0, 121.0, 113.0, 95.0, 113.0,
+        ]

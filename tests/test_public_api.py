@@ -21,6 +21,7 @@ PACKAGES = [
     "repro.analysis",
     "repro.experiments",
     "repro.heterogeneous",
+    "repro.orchestration",
 ]
 
 MODULES = [
@@ -56,6 +57,10 @@ MODULES = [
     "repro.analysis.augmentation",
     "repro.experiments.figure4",
     "repro.experiments.table1",
+    "repro.experiments.driver",
+    "repro.orchestration.checkpoint",
+    "repro.orchestration.faults",
+    "repro.orchestration.sweep",
     "repro.heterogeneous.types",
     "repro.heterogeneous.engine",
     "repro.cli",
