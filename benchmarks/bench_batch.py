@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Batched-sweep benchmark: per-unit dispatch vs BatchRunner, merged into BENCH_core.json.
+
+Runs the pinned-seed batched-sweep grid (Table-2-sized cells, n = 1000,
+d ∈ {1, 2} × μ ∈ {10, 100}, m instances each) through all seven Any Fit
+policies twice: once as per-unit fastpath dispatch
+(``parallel_sweep(engine="fast")`` — one worker unit per (algorithm,
+instance), each rebuilding the event index and lower bound) and once
+through ``parallel_sweep(engine="batch")`` fed compact
+:class:`~repro.simulation.batch.InstanceSpec` sources — one
+:class:`~repro.simulation.batch.BatchRunner` pass per instance sharing
+the replay context, the fast engine's scratch buffers, and the Lemma 1
+bound across the whole policy fan-out.  Each cell re-asserts the
+bit-identity contract (the ``identical`` flag) and a ``trials``
+sub-benchmark times batched seeded ``random_fit`` replays.
+
+The payload nests under the ``"batch"`` key of ``BENCH_core.json`` when
+that file already holds a core-suite payload, so one file carries the
+whole perf trajectory.  The headline (grid totals) is the acceptance
+number: the batched path must stay >= 3x over per-unit fastpath
+dispatch.  The payload also records the per-object memory the
+``__slots__`` satellite buys on hot per-event objects (``item_memory``).
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python benchmarks/bench_batch.py            # full grid
+    PYTHONPATH=src python benchmarks/bench_batch.py --smoke    # seconds-fast
+
+Equivalent CLI form: ``python -m repro bench --suite batch``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+# Allow running as a plain script from a checkout without installing.
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SRC = os.path.join(_REPO_ROOT, "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.observability.bench import (  # noqa: E402
+    BATCH_SCENARIOS,
+    BATCH_SMOKE_SCENARIOS,
+    merge_suite,
+    run_batch_suite,
+    write_bench,
+)
+from repro.observability.bench import SCHEMA as _CORE_SCHEMA  # noqa: E402
+
+_DEFAULT_OUTPUT = os.path.join(_REPO_ROOT, "BENCH_core.json")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="run the seconds-fast smoke grid instead of the full one")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="sweep runs per (scenario, side); wall-time is the min")
+    parser.add_argument("--output", default=_DEFAULT_OUTPUT,
+                        help="output JSON path (default: BENCH_core.json at the repo root)")
+    args = parser.parse_args(argv)
+
+    scenarios = BATCH_SMOKE_SCENARIOS if args.smoke else BATCH_SCENARIOS
+    suite = "batch-smoke" if args.smoke else "batch"
+    print(f"running {suite} suite ({len(scenarios)} scenarios, "
+          f"repeats={args.repeats}) ...")
+    payload = run_batch_suite(
+        scenarios=scenarios,
+        repeats=args.repeats,
+        suite=suite,
+        progress=print,
+    )
+
+    # Nest under the core payload when the output file already holds one
+    # (an existing "fastpath" record rides along untouched).
+    existing = None
+    if os.path.exists(args.output):
+        try:
+            with open(args.output, "r", encoding="utf-8") as fh:
+                existing = json.load(fh)
+        except (OSError, ValueError):
+            existing = None
+    if isinstance(existing, dict) and existing.get("schema") == _CORE_SCHEMA:
+        write_bench(merge_suite(existing, "batch", payload), args.output)
+    else:
+        write_bench(payload, args.output)
+
+    head = payload["headline"]
+    mem = payload["item_memory"]
+    print(f"suite finished in {payload['total_wall_time_s']:.1f} s; "
+          f"headline: per-unit {head['per_unit_s']:.2f} s vs batch "
+          f"{head['batch_s']:.2f} s ({head['speedup']:.1f}x), "
+          f"identical={head['identical']}; slots save "
+          f"{mem['savings_bytes_per_item']:.0f} B/item; wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,9 +22,11 @@ docs/observability.md for how to read the output file.
 
 The classic-vs-FastEngine comparison lives in the companion script
 ``benchmarks/bench_fastpath.py`` (CLI form:
-``python -m repro bench --suite fastpath``); its payload nests under
-the ``"fastpath"`` key of the same ``BENCH_core.json``, and a core
-re-run here preserves that key.
+``python -m repro bench --suite fastpath``) and the per-unit-vs-batched
+sweep comparison in ``benchmarks/bench_batch.py`` (CLI form:
+``python -m repro bench --suite batch``); their payloads nest under the
+``"fastpath"`` and ``"batch"`` keys of the same ``BENCH_core.json``,
+and a core re-run here preserves both keys.
 """
 
 from __future__ import annotations
@@ -44,7 +46,7 @@ from repro.observability.bench import (  # noqa: E402
     CORE_SCENARIOS,
     SMOKE_SCENARIOS,
     measure_overhead,
-    merge_fastpath,
+    merge_suite,
     run_suite,
     write_bench,
 )
@@ -91,14 +93,16 @@ def main(argv=None) -> int:
               f"instrumented {report['instrumented_s'] * 1e3:.2f} ms)")
 
     if os.path.exists(args.output):
-        # A core re-run must not discard an existing fastpath record.
+        # A core re-run must not discard existing companion records.
         try:
             with open(args.output, "r", encoding="utf-8") as fh:
                 existing = json.load(fh)
         except (OSError, ValueError):
             existing = None
-        if isinstance(existing, dict) and "fastpath" in existing:
-            payload = merge_fastpath(payload, existing["fastpath"])
+        if isinstance(existing, dict):
+            for key in ("fastpath", "batch"):
+                if key in existing:
+                    payload = merge_suite(payload, key, existing[key])
 
     write_bench(payload, args.output)
     print(f"suite finished in {payload['total_wall_time_s']:.1f} s; "

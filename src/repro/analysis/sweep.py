@@ -103,8 +103,14 @@ def sweep_cell(
         behaviour is available there; here a positive integer is the
         worker count).  Results are identical either way.
     engine:
-        ``"classic"`` (default) or ``"fast"`` — forwarded to the run /
-        sweep layer; the twin engines are bit-identical.
+        ``"classic"`` (default), ``"fast"``, or ``"batch"`` — forwarded
+        to the run / sweep layer; all engines are bit-identical.
+        ``"batch"`` always routes through
+        :func:`~repro.simulation.parallel.parallel_sweep` (even with
+        ``processes=0``) so the whole policy fan-out of each instance
+        shares one :class:`~repro.simulation.batch.BatchRunner`, and
+        ``instances`` may then be compact
+        :class:`~repro.simulation.batch.InstanceSpec` sources.
     checkpoint_dir / resume / retries / unit_timeout:
         Fault-tolerance knobs, forwarded to
         :func:`repro.simulation.parallel.parallel_sweep` (which routes
@@ -116,7 +122,7 @@ def sweep_cell(
     orchestrated = (
         checkpoint_dir is not None or resume or retries or unit_timeout is not None
     )
-    if processes or orchestrated:
+    if processes or orchestrated or engine == "batch":
         from ..simulation.parallel import parallel_sweep
 
         batch = list(instances)

@@ -90,8 +90,12 @@ def _build_parser() -> argparse.ArgumentParser:
                     help="fan (algorithm, instance) units across N worker processes")
     p4.add_argument("--csv", default=None,
                     help="also write the measurements as CSV to this path")
-    p4.add_argument("--engine", choices=["classic", "fast"], default="classic",
-                    help="simulation engine for every unit (bit-identical results)")
+    p4.add_argument("--engine", choices=["classic", "fast", "batch"],
+                    default="classic",
+                    help="simulation engine for every unit (bit-identical "
+                         "results); batch = group each instance's whole "
+                         "policy fan-out into one BatchRunner pass and ship "
+                         "compact instance specs to workers")
     _add_fault_tolerance_flags(p4)
 
     pe = sub.add_parser(
@@ -103,7 +107,8 @@ def _build_parser() -> argparse.ArgumentParser:
                     help="artifact subset (default: all); see repro.experiments.driver")
     pe.add_argument("--scale", choices=sorted(_SCALES), default="quick")
     pe.add_argument("--processes", type=int, default=0)
-    pe.add_argument("--engine", choices=["classic", "fast"], default="classic")
+    pe.add_argument("--engine", choices=["classic", "fast", "batch"],
+                    default="classic")
     pe.add_argument("--out-dir", default=None, dest="out_dir",
                     help="write each artifact to <out-dir>/<name>.txt (atomic); "
                          "with --resume, existing outputs are skipped")
@@ -148,10 +153,13 @@ def _build_parser() -> argparse.ArgumentParser:
                     choices=available_algorithms())
     pr.add_argument("--validate", action="store_true",
                     help="audit the packing before reporting")
-    pr.add_argument("--engine", choices=["classic", "fast"], default="classic",
+    pr.add_argument("--engine", choices=["classic", "fast", "batch"],
+                    default="classic",
                     help="fast = the flat-array FastEngine (bit-identical "
                          "packings, several times faster; falls back to "
-                         "classic for policies without a fast kernel)")
+                         "classic for policies without a fast kernel); "
+                         "batch = one BatchRunner pass (same results; pays "
+                         "off over many replays)")
     pr.add_argument("--retries", type=int, default=0,
                     help="retry the run with exponential backoff on failure")
     pr.add_argument("--unit-timeout", type=float, default=None,
@@ -163,12 +171,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "bench", help="run the pinned-seed perf-baseline suite (writes JSON)"
     )
     pb.add_argument("--suite",
-                    choices=["core", "smoke", "fastpath", "fastpath-smoke"],
+                    choices=["core", "smoke", "fastpath", "fastpath-smoke",
+                             "batch", "batch-smoke"],
                     default="core",
                     help="core = the BENCH_core.json grid; smoke = seconds-fast "
                          "subset; fastpath = the classic-vs-FastEngine "
                          "comparison grid (merged under the 'fastpath' key of "
-                         "the output); fastpath-smoke = its seconds-fast subset")
+                         "the output); batch = the per-unit-vs-batched sweep "
+                         "comparison grid (merged under the 'batch' key); "
+                         "*-smoke = their seconds-fast subsets")
     pb.add_argument("--repeats", type=int, default=3,
                     help="runs per (scenario, algorithm); wall-time is the min")
     pb.add_argument("--output", default="BENCH_core.json",
@@ -357,19 +368,58 @@ def main(argv: Optional[List[str]] = None) -> int:
         import os as _os
 
         from .observability.bench import (
+            BATCH_SCENARIOS,
+            BATCH_SMOKE_SCENARIOS,
             CORE_SCENARIOS,
             FASTPATH_SCENARIOS,
             FASTPATH_SMOKE_SCENARIOS,
             SCHEMA,
             SMOKE_SCENARIOS,
             measure_overhead,
-            merge_fastpath,
+            merge_suite,
+            run_batch_suite,
             run_fastpath_suite,
             run_suite,
             write_bench,
         )
         from .observability.sinks import JsonLinesSink, NullSink
 
+        def _load_existing():
+            if not _os.path.exists(args.output):
+                return None
+            try:
+                with open(args.output, "r", encoding="utf-8") as fh:
+                    return _json.load(fh)
+            except (OSError, ValueError):
+                return None
+
+        if args.suite in ("batch", "batch-smoke"):
+            scenarios = (
+                BATCH_SCENARIOS if args.suite == "batch"
+                else BATCH_SMOKE_SCENARIOS
+            )
+            print(f"running {args.suite} suite ({len(scenarios)} scenarios, "
+                  f"repeats={args.repeats}) ...")
+            payload = run_batch_suite(
+                scenarios=scenarios, repeats=args.repeats,
+                suite=args.suite, progress=print
+            )
+            # Keep one trajectory file: nest under an existing core
+            # payload (preserving its fastpath record) when present.
+            out = payload
+            existing = _load_existing()
+            if isinstance(existing, dict) and existing.get("schema") == SCHEMA:
+                out = merge_suite(existing, "batch", payload)
+            write_bench(out, args.output)
+            head = payload["headline"]
+            mem = payload["item_memory"]
+            print(f"suite finished in {payload['total_wall_time_s']:.1f} s; "
+                  f"headline: per-unit {head['per_unit_s']:.2f} s vs batch "
+                  f"{head['batch_s']:.2f} s ({head['speedup']:.1f}x), "
+                  f"identical={head['identical']}; slots save "
+                  f"{mem['savings_bytes_per_item']:.0f} B/item; "
+                  f"wrote {args.output}")
+            return 0
         if args.suite in ("fastpath", "fastpath-smoke"):
             scenarios = (
                 FASTPATH_SCENARIOS if args.suite == "fastpath"
@@ -382,16 +432,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                 suite=args.suite, progress=print
             )
             # Keep one trajectory file: nest under an existing core
-            # payload when the output already holds one.
+            # payload (preserving its batch record) when present.
             out = payload
-            if _os.path.exists(args.output):
-                try:
-                    with open(args.output, "r", encoding="utf-8") as fh:
-                        existing = _json.load(fh)
-                except (OSError, ValueError):
-                    existing = None
-                if isinstance(existing, dict) and existing.get("schema") == SCHEMA:
-                    out = merge_fastpath(existing, payload)
+            existing = _load_existing()
+            if isinstance(existing, dict) and existing.get("schema") == SCHEMA:
+                out = merge_suite(existing, "fastpath", payload)
             write_bench(out, args.output)
             head = payload["headline"]
             speedups = ", ".join(
@@ -415,15 +460,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             payload["overhead"] = report
             print(f"instrumentation overhead on {report['scenario']} "
                   f"({report['algorithm']}): {report['overhead_frac'] * 100:+.2f}%")
-        if _os.path.exists(args.output):
-            # A core re-run must not discard an existing fastpath record.
-            try:
-                with open(args.output, "r", encoding="utf-8") as fh:
-                    existing = _json.load(fh)
-            except (OSError, ValueError):
-                existing = None
-            if isinstance(existing, dict) and "fastpath" in existing:
-                payload = merge_fastpath(payload, existing["fastpath"])
+        # A core re-run must not discard existing companion records.
+        existing = _load_existing()
+        if isinstance(existing, dict):
+            for key in ("fastpath", "batch"):
+                if key in existing:
+                    payload = merge_suite(payload, key, existing[key])
         write_bench(payload, args.output)
         print(f"suite finished in {payload['total_wall_time_s']:.1f} s; "
               f"wrote {args.output}")

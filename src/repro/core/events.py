@@ -21,7 +21,7 @@ from dataclasses import dataclass
 from typing import Iterator, List
 
 from .instance import Instance
-from .items import Item
+from .items import DATACLASS_SLOTS, Item
 
 __all__ = ["EventKind", "Event", "event_stream"]
 
@@ -33,7 +33,7 @@ class EventKind(enum.IntEnum):
     ARRIVAL = 1
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, **DATACLASS_SLOTS)
 class Event:
     """A single timestamped event.
 

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -147,34 +148,60 @@ class Instance:
 
     # ------------------------------------------------------------------
     # paper quantities (Section 2.1)
+    #
+    # These are pure functions of the (immutable) item tuple, so they are
+    # cached on first access: sweeps touch ``mu``/``span``/``horizon`` for
+    # every policy replayed on the same instance, and each would otherwise
+    # cost an O(n) pass (or an interval union for ``span``).  Caching is
+    # invalidation-free because the dataclass is frozen — the item tuple
+    # and capacity can never change after construction, and every
+    # transformation (``normalized``/``restricted_to``/...) returns a new
+    # Instance with its own empty cache.
     # ------------------------------------------------------------------
-    @property
+    @cached_property
     def min_duration(self) -> float:
         """Shortest item duration (the paper normalises this to 1)."""
         return min(it.duration for it in self.items)
 
-    @property
+    @cached_property
     def max_duration(self) -> float:
         """Longest item duration."""
         return max(it.duration for it in self.items)
 
-    @property
+    @cached_property
     def mu(self) -> float:
         """Duration ratio ``mu = max duration / min duration``."""
         return self.max_duration / self.min_duration
 
-    @property
+    @cached_property
     def span(self) -> float:
         """``span(R)``: total time at least one item is active."""
         return union_length(it.interval for it in self.items)
 
-    @property
+    @cached_property
     def horizon(self) -> Interval:
         """Smallest interval containing all activity."""
         return Interval(
             min(it.arrival for it in self.items),
             max(it.departure for it in self.items),
         )
+
+    @cached_property
+    def total_duration(self) -> float:
+        """Sum of item durations ``sum_r ell(I(r))``.
+
+        ``total_duration / (horizon length)`` estimates the mean number of
+        concurrently active items — the quantity the fastpath backend
+        heuristic keys on.
+        """
+        return sum(it.duration for it in self.items)
+
+    @cached_property
+    def dimension_maxima(self) -> np.ndarray:
+        """Per-dimension maximum item demand (read-only length-``d`` vector)."""
+        out = np.max(np.stack([it.size for it in self.items]), axis=0)
+        out.setflags(write=False)
+        return out
 
     def total_utilization(self) -> float:
         """Sum of time-space utilisations ``sum_r ||s(r)||_inf * ell(I(r))``."""

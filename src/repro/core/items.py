@@ -10,6 +10,7 @@ distinct jobs.
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field
 from typing import Optional, Sequence, Union
 
@@ -21,8 +22,14 @@ from .vectors import as_size_vector, linf
 
 __all__ = ["Item"]
 
+#: ``slots=True`` drops the per-instance ``__dict__`` of the hot
+#: per-event objects (items are allocated n-at-a-time in every sweep and
+#: held for the whole replay).  The keyword only exists on Python 3.10+;
+#: on 3.9 the classes keep their dict and everything else is identical.
+DATACLASS_SLOTS = {"slots": True} if sys.version_info >= (3, 10) else {}
 
-@dataclass(frozen=True)
+
+@dataclass(frozen=True, **DATACLASS_SLOTS)
 class Item:
     """A single online job with multi-dimensional resource demand.
 

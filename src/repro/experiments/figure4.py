@@ -102,7 +102,14 @@ def run_figure4(
     for d in config.d_values:
         for mu in config.mu_values:
             gen = UniformWorkload(d=d, n=config.n, mu=mu, T=config.T, B=config.B)
-            instances = generate_batch(gen, config.m, seed=children[idx])
+            if engine == "batch":
+                # ship compact specs: workers regenerate the instances
+                # locally (LRU-cached), bit-identical to generate_batch
+                from ..simulation.batch import spec_batch
+
+                instances = spec_batch(gen, config.m, seed=children[idx])
+            else:
+                instances = generate_batch(gen, config.m, seed=children[idx])
             idx += 1
             cell_dir = (
                 os.path.join(checkpoint_dir, f"d{d}-mu{mu}")

@@ -12,6 +12,9 @@ Entry points
 * ``benchmarks/harness.py`` — the repo-root script that writes
   ``BENCH_core.json`` (the perf trajectory file);
 * :func:`run_suite` / :func:`run_scenario` — the library API;
+* :func:`run_batch_suite` — the batched-sweep comparison (per-unit
+  fastpath dispatch vs ``engine="batch"``), nested under the
+  ``"batch"`` key of ``BENCH_core.json``;
 * :func:`measure_overhead` — the instrumentation-overhead protocol
   (plain engine loop vs. instrumented loop with the default no-op
   sink), used to enforce the documented <= 2% budget.
@@ -52,13 +55,21 @@ __all__ = [
     "SMOKE_SCENARIOS",
     "FASTPATH_SCENARIOS",
     "FASTPATH_SMOKE_SCENARIOS",
+    "BATCH_SCHEMA",
+    "SweepBenchScenario",
+    "BATCH_SCENARIOS",
+    "BATCH_SMOKE_SCENARIOS",
     "run_scenario",
     "run_suite",
     "run_fastpath_scenario",
     "run_fastpath_suite",
+    "run_batch_scenario",
+    "run_batch_suite",
     "write_bench",
     "merge_fastpath",
+    "merge_suite",
     "measure_overhead",
+    "measure_item_memory",
 ]
 
 #: Schema tag stamped on every payload; bump on incompatible changes.
@@ -67,6 +78,10 @@ SCHEMA = "repro-bench/v1"
 #: Schema tag of the twin-engine comparison payload nested under the
 #: ``"fastpath"`` key of ``BENCH_core.json``.
 FASTPATH_SCHEMA = "repro-bench-fastpath/v1"
+
+#: Schema tag of the batched-sweep comparison payload nested under the
+#: ``"batch"`` key of ``BENCH_core.json``.
+BATCH_SCHEMA = "repro-bench-batch/v1"
 
 #: Suite base seed (the paper's arXiv date, matching ExperimentConfig).
 BASE_SEED = 20230419
@@ -155,6 +170,83 @@ FASTPATH_SCENARIOS: List[BenchScenario] = [
 #: A seconds-fast fastpath subset for tests and the CI smoke leg.
 FASTPATH_SMOKE_SCENARIOS: List[BenchScenario] = _grid(
     {"small": 40}, d_values=(1, 2)
+)
+
+
+@dataclass(frozen=True)
+class SweepBenchScenario:
+    """One batched-sweep benchmark cell: a pinned *multi-instance* sweep.
+
+    Unlike :class:`BenchScenario` (one instance, one algorithm at a
+    time) this pins a whole sweep cell — ``m`` instances of one uniform
+    workload, fanned out over all seven policies — because the batched
+    engine's whole point is amortising per-instance work across that
+    fan-out.  Instances derive from ``seed`` exactly as
+    :func:`repro.workloads.base.generate_batch` spawns them, so the
+    per-unit baseline and the spec-shipped batch path replay identical
+    inputs.
+    """
+
+    name: str
+    d: int
+    n: int
+    mu: int
+    m: int  # instances per cell
+    T: int = 1000
+    B: int = 100
+    seed: int = BASE_SEED
+    trials: int = 8  # seeded random_fit trials in the trials sub-bench
+
+    def generator(self) -> UniformWorkload:
+        return UniformWorkload(d=self.d, n=self.n, mu=self.mu, T=self.T, B=self.B)
+
+    def build_instances(self):
+        """The pinned instance batch (per-unit baseline inputs)."""
+        from ..workloads.base import generate_batch
+
+        return generate_batch(self.generator(), self.m, seed=self.seed)
+
+    def build_specs(self):
+        """Spec twins of :meth:`build_instances` (batched-path inputs)."""
+        from ..simulation.batch import spec_batch
+
+        return spec_batch(self.generator(), self.m, seed=self.seed)
+
+    def params(self) -> Dict[str, Any]:
+        """JSON-ready parameter record."""
+        return {"d": self.d, "n": self.n, "mu": self.mu, "m": self.m,
+                "T": self.T, "B": self.B, "seed": self.seed,
+                "trials": self.trials}
+
+
+def _sweep_grid(
+    d_values: Sequence[int], mu_values: Sequence[int], n: int, m: int
+) -> List[SweepBenchScenario]:
+    return [
+        SweepBenchScenario(
+            name=f"table2-d{d}-mu{mu}",
+            d=d,
+            n=n,
+            mu=mu,
+            m=m,
+            seed=BASE_SEED + 1_000_000 * d + mu,
+        )
+        for d in d_values
+        for mu in mu_values
+    ]
+
+
+#: The batched-sweep comparison grid: Table-2-sized cells (n = 1000, the
+#: paper's sequence length) across two dimensions and two mean
+#: durations.  The ``engine="batch"`` acceptance speedup (>= 3x over
+#: per-unit fastpath dispatch) is judged on this grid's totals.
+BATCH_SCENARIOS: List[SweepBenchScenario] = _sweep_grid(
+    d_values=(1, 2), mu_values=(10, 100), n=1000, m=3
+)
+
+#: A seconds-fast batch subset for tests and the CI smoke leg.
+BATCH_SMOKE_SCENARIOS: List[SweepBenchScenario] = _sweep_grid(
+    d_values=(1, 2), mu_values=(10,), n=120, m=2
 )
 
 
@@ -355,16 +447,238 @@ def run_fastpath_suite(
     return payload
 
 
+def _unit_key_tuples(sweep: Dict[str, Any]) -> Dict[str, List[tuple]]:
+    """Comparable aggregate tuples of one sweep result mapping."""
+    return {
+        name: [(r.instance_index, r.cost, r.num_bins, r.lower_bound) for r in units]
+        for name, units in sweep.items()
+    }
+
+
+def run_batch_scenario(
+    scenario: SweepBenchScenario,
+    algorithms: Sequence[str] = tuple(PAPER_ALGORITHMS),
+    repeats: int = 3,
+) -> Dict[str, Any]:
+    """Time per-unit fastpath dispatch vs batched dispatch on one cell.
+
+    Both sides drive the real sweep entry points end to end,
+    serialisation included: the baseline is
+    ``parallel_sweep(processes=0, engine="fast")`` — one worker unit per
+    (algorithm, instance), each re-reading the instance dict, rebuilding
+    the event index, and recomputing the lower bound — and the batched
+    side is ``parallel_sweep(processes=0, engine="batch")`` fed compact
+    :class:`~repro.simulation.batch.InstanceSpec` sources (the in-worker
+    instance cache is cleared before every repeat, so regeneration cost
+    is *included*).  Wall-time is the minimum over ``repeats``; the
+    ``identical`` flag records that the two paths produced bit-identical
+    aggregates, pinning the contract into the trajectory file.
+
+    A ``trials`` sub-benchmark times ``m`` seeded ``random_fit`` trials
+    dispatched as fresh per-unit engines versus one
+    :meth:`~repro.simulation.batch.BatchRunner.run_trials` invocation on
+    the scenario's first instance.
+    """
+    from ..simulation.batch import BatchRunner, clear_instance_cache
+    from ..simulation.fastpath import FastEngine
+    from ..simulation.parallel import parallel_sweep
+
+    instances = scenario.build_instances()
+    specs = scenario.build_specs()
+
+    per_unit_s = float("inf")
+    per_unit = None
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        per_unit = parallel_sweep(
+            list(algorithms), instances, processes=0, engine="fast"
+        )
+        per_unit_s = min(per_unit_s, time.perf_counter() - t0)
+
+    batch_s = float("inf")
+    batched = None
+    for _ in range(max(1, repeats)):
+        clear_instance_cache()
+        t0 = time.perf_counter()
+        batched = parallel_sweep(
+            list(algorithms), specs, processes=0, engine="batch"
+        )
+        batch_s = min(batch_s, time.perf_counter() - t0)
+
+    identical = _unit_key_tuples(per_unit) == _unit_key_tuples(batched)
+
+    # trials sub-bench: M seeded random_fit replays of the first instance
+    first = instances[0]
+    seeds = list(range(scenario.trials))
+    trials_unit_s = float("inf")
+    unit_trials = None
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        unit_trials = [FastEngine(first, "random_fit", seed=s).run() for s in seeds]
+        trials_unit_s = min(trials_unit_s, time.perf_counter() - t0)
+    trials_batch_s = float("inf")
+    batch_trials = None
+    for _ in range(max(1, repeats)):
+        runner = BatchRunner(first)
+        t0 = time.perf_counter()
+        batch_trials = runner.run_trials(seeds)
+        trials_batch_s = min(trials_batch_s, time.perf_counter() - t0)
+    trials_identical = len(batch_trials) == len(unit_trials) and all(
+        u.cost == p.cost and u.num_bins == p.num_bins
+        for u, p in zip(batch_trials, unit_trials)
+    )
+
+    return {
+        "name": scenario.name,
+        "params": scenario.params(),
+        "units": len(algorithms) * scenario.m,
+        "per_unit_s": per_unit_s,
+        "batch_s": batch_s,
+        "speedup": per_unit_s / batch_s if batch_s > 0 else 0.0,
+        "identical": identical,
+        "trials": {
+            "seeds": len(seeds),
+            "per_unit_s": trials_unit_s,
+            "batch_s": trials_batch_s,
+            "speedup": trials_unit_s / trials_batch_s if trials_batch_s > 0 else 0.0,
+            "identical": trials_identical,
+        },
+    }
+
+
+def run_batch_suite(
+    scenarios: Sequence[SweepBenchScenario] = tuple(BATCH_SCENARIOS),
+    algorithms: Sequence[str] = tuple(PAPER_ALGORITHMS),
+    repeats: int = 3,
+    suite: str = "batch",
+    progress=None,
+) -> Dict[str, Any]:
+    """Run the batched-sweep comparison suite; return its JSON payload.
+
+    The ``headline`` block aggregates the grid's totals — summed
+    per-unit and batched wall-times and the resulting overall speedup
+    (the >= 3x acceptance number) — and ``item_memory`` records the
+    per-object footprint the ``__slots__`` satellite buys on hot
+    per-event objects (:func:`measure_item_memory`).
+    """
+    t0 = time.perf_counter()
+    records = []
+    for scenario in scenarios:
+        record = run_batch_scenario(scenario, algorithms, repeats=repeats)
+        records.append(record)
+        if progress is not None:
+            progress(
+                f"  {record['name']}: per-unit {record['per_unit_s'] * 1e3:.1f} ms, "
+                f"batch {record['batch_s'] * 1e3:.1f} ms, "
+                f"speedup {record['speedup']:.1f}x, "
+                f"identical={record['identical']}"
+            )
+    per_unit_total = sum(r["per_unit_s"] for r in records)
+    batch_total = sum(r["batch_s"] for r in records)
+    payload = {
+        "schema": BATCH_SCHEMA,
+        "suite": suite,
+        "generated_unix": time.time(),
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "repeats": repeats,
+        "algorithms": list(algorithms),
+        "total_wall_time_s": time.perf_counter() - t0,
+        "headline": {
+            "per_unit_s": per_unit_total,
+            "batch_s": batch_total,
+            "speedup": per_unit_total / batch_total if batch_total > 0 else 0.0,
+            "identical": all(r["identical"] for r in records),
+        },
+        "item_memory": measure_item_memory(),
+        "scenarios": records,
+    }
+    return payload
+
+
+def measure_item_memory(count: int = 10_000) -> Dict[str, Any]:
+    """Per-object memory of the slotted :class:`~repro.core.items.Item`.
+
+    Allocates ``count`` items and an equally sized batch of a
+    structurally identical *dict-backed* twin dataclass under
+    ``tracemalloc`` and reports bytes per object for both, plus the
+    saving.  On interpreters without dataclass ``slots=True`` support
+    (< 3.10, where ``DATACLASS_SLOTS`` degrades to a no-op) the two
+    numbers simply come out equal — recorded as a zero saving, never an
+    error.
+    """
+    import tracemalloc
+    from dataclasses import dataclass as _dataclass, field as _field
+
+    import numpy as _np
+
+    from ..core.items import Item
+    from ..core.vectors import as_size_vector
+
+    @_dataclass(frozen=True)
+    class _DictItem:
+        # Item minus __slots__: same fields, same per-instance array
+        # copy in __post_init__, so the measured delta is purely the
+        # object-layout (__dict__) cost.
+        arrival: float
+        departure: float
+        size: Any = _field(repr=False)
+        uid: int = 0
+
+        def __post_init__(self) -> None:
+            object.__setattr__(self, "size", as_size_vector(self.size))
+
+    size = _np.ones(2)
+
+    def _measure(factory) -> int:
+        tracemalloc.start()
+        before, _ = tracemalloc.get_traced_memory()
+        objs = [factory(i) for i in range(count)]
+        after, _ = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        del objs
+        return max(0, after - before)
+
+    slotted = _measure(lambda i: Item(uid=i, size=size, arrival=0.0, departure=1.0))
+    dict_backed = _measure(
+        lambda i: _DictItem(uid=i, size=size, arrival=0.0, departure=1.0)
+    )
+    return {
+        "count": count,
+        "slots_bytes_per_item": slotted / count,
+        "dict_bytes_per_item": dict_backed / count,
+        "savings_bytes_per_item": max(0.0, (dict_backed - slotted) / count),
+        "slots_enabled": not hasattr(
+            Item(uid=0, size=size, arrival=0.0, departure=1.0), "__dict__"
+        ),
+    }
+
+
 def merge_fastpath(core_payload: Dict[str, Any], fastpath_payload: Dict[str, Any]) -> Dict[str, Any]:
     """Attach a fastpath suite payload to a core suite payload.
 
     ``BENCH_core.json`` stays one file: the core grid at the top level
     (unchanged schema) with the twin-engine comparison nested under
     ``"fastpath"``, so the perf trajectory records both engines side by
-    side.
+    side.  Kept as the historical alias of
+    ``merge_suite(core, "fastpath", payload)``.
+    """
+    return merge_suite(core_payload, "fastpath", fastpath_payload)
+
+
+def merge_suite(
+    core_payload: Dict[str, Any], key: str, payload: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Attach a companion suite payload under ``key`` of the core payload.
+
+    Generalisation of :func:`merge_fastpath` for the growing family of
+    nested suites (``"fastpath"``, ``"batch"``): the core grid stays at
+    the top level with its unchanged schema, and each companion nests
+    under its own key, so re-running one suite never clobbers another's
+    trajectory.
     """
     merged = dict(core_payload)
-    merged["fastpath"] = fastpath_payload
+    merged[key] = payload
     return merged
 
 

@@ -70,9 +70,15 @@ def sweep_fingerprint(
 
     Hashes the algorithm list (order included — it determines unit
     order), the per-algorithm kwargs, the engine, and the full content
-    of every instance (via its ``to_dict`` JSON).  Hashing an instance
-    costs far less than simulating it, so the full digest is cheap
-    relative to the sweep it protects.
+    of every instance source (via its ``to_dict`` JSON).  Hashing an
+    instance costs far less than simulating it, so the full digest is
+    cheap relative to the sweep it protects.
+
+    Sources may also be compact
+    :class:`~repro.simulation.batch.InstanceSpec` recipes (the
+    ``engine="batch"`` dispatch form); a spec hashes as its own
+    (generator, params, entropy) dict, so a spec-driven sweep must be
+    resumed with the same specs, not with pre-materialised instances.
     """
     h = hashlib.sha256()
     meta = {

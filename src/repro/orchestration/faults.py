@@ -47,7 +47,7 @@ import time
 from dataclasses import dataclass
 from typing import FrozenSet, List, Mapping, Optional, Tuple
 
-from ..simulation.parallel import UnitResult, simulate_unit, unit_key
+from ..simulation.parallel import UnitResult, simulate_payload, unit_key
 
 __all__ = [
     "InjectedWorkerFault",
@@ -191,18 +191,24 @@ def call_with_retry(
             sleep(policy.delay(attempt))
 
 
-def fault_aware_unit(task: Tuple[int, tuple]) -> UnitResult:
+def fault_aware_unit(task: Tuple[int, tuple]):
     """Worker entry point: fault injection check, then the real unit.
 
-    ``task`` is ``(attempt, payload)`` where ``payload`` is a
-    :func:`~repro.simulation.parallel.simulate_unit` payload.  The
-    attempt number stays *outside* the payload so the simulated work is
+    ``task`` is ``(attempt, payload)`` where ``payload`` is any
+    :func:`~repro.simulation.parallel.simulate_payload` payload — one
+    per-unit simulation (returning a single :class:`UnitResult`) or one
+    batched instance payload (returning a list of them).  The attempt
+    number stays *outside* the payload so the simulated work is
     byte-identical across attempts — retries cannot change results.
     Module-level (picklable) for spawn-method pools.
+
+    Fault selectors match on the payload's :func:`unit_key`; for a
+    batched payload that is ``("__batch__", index)``, so ``"*:idx"`` and
+    bare-index selectors keep working across engines.
     """
     attempt, payload = task
     plan = FaultPlan.from_env()
     if plan.active:
         name, index = unit_key(payload)
         plan.trigger(name, index, attempt)
-    return simulate_unit(payload)
+    return simulate_payload(payload)

@@ -50,7 +50,15 @@ from ..core.errors import UnitFailedError
 from ..core.instance import Instance
 from ..observability.sinks import TraceSink
 from ..observability.stats import StatsCollector
-from ..simulation.parallel import UnitResult, build_payloads, unit_key
+from ..simulation.parallel import (
+    BATCH_UNIT,
+    UnitResult,
+    _materialize_sources,
+    build_batch_payloads,
+    build_payloads,
+    payload_unit_keys,
+    unit_key,
+)
 from .checkpoint import CheckpointStore, sweep_fingerprint
 from .faults import FaultPlan, RetryPolicy, fault_aware_unit
 
@@ -169,9 +177,15 @@ def resumable_sweep(
     policy = retry_policy if retry_policy is not None else RetryPolicy(retries=int(retries))
     plan = FaultPlan.from_env()
 
-    payloads = build_payloads(
-        algorithms, instances, algorithm_kwargs, collect_stats, engine
-    )
+    if engine == "batch":
+        payloads = build_batch_payloads(
+            algorithms, instances, algorithm_kwargs, collect_stats
+        )
+    else:
+        payloads = build_payloads(
+            algorithms, _materialize_sources(instances), algorithm_kwargs,
+            collect_stats, engine
+        )
 
     store: Optional[CheckpointStore] = None
     resumed: Dict[Tuple[str, int], UnitResult] = {}
@@ -181,14 +195,14 @@ def resumable_sweep(
         )
         store = CheckpointStore(checkpoint_dir, fingerprint=fingerprint)
         if resume:
-            wanted = {unit_key(p) for p in payloads}
+            wanted = {k for p in payloads for k in payload_unit_keys(p)}
             resumed = {k: v for k, v in store.completed.items() if k in wanted}
             if resumed:
                 col.record_fault_event("unit_resumed", count=len(resumed))
                 _emit(sink, "unit_resumed", {"count": len(resumed)})
 
     pending: Deque[Tuple[int, tuple]] = deque(
-        (0, p) for p in payloads if unit_key(p) not in resumed
+        (0, p) for p in (_strip_resumed(p, resumed) for p in payloads) if p is not None
     )
     state = _SweepState(store, col, sink, flush_every, plan)
 
@@ -208,6 +222,44 @@ def resumable_sweep(
     for name in algorithms:
         out[name].sort(key=lambda r: r.instance_index)
     return out
+
+
+def _strip_resumed(
+    payload: tuple, resumed: Dict[Tuple[str, int], UnitResult]
+) -> Optional[tuple]:
+    """Drop already-completed work from a payload (``None`` = all done).
+
+    Per-unit payloads are kept or dropped whole.  A *batched* payload is
+    trimmed entry-by-entry, so resuming mid-batch re-runs only the
+    algorithms the checkpoint is missing for that instance — the basis of
+    the resume-mid-batch bit-identity guarantee.
+    """
+    if not resumed:
+        return payload
+    if payload[0] != BATCH_UNIT:
+        return None if unit_key(payload) in resumed else payload
+    index = payload[2]
+    entries = tuple(e for e in payload[1] if (e[0], index) not in resumed)
+    if not entries:
+        return None
+    if len(entries) == len(payload[1]):
+        return payload
+    return (payload[0], entries) + payload[2:]
+
+
+def _complete_result(state: _SweepState, result) -> int:
+    """Record a worker result; returns how many units it completed.
+
+    Per-unit payloads resolve to one :class:`UnitResult`, batched
+    payloads to a list of them (each checkpointed individually, so flush
+    cadence and resume keys are engine-independent).
+    """
+    if isinstance(result, list):
+        for unit in result:
+            state.complete(unit)
+        return len(result)
+    state.complete(result)
+    return 1
 
 
 def _fail(state: _SweepState, key: Tuple[str, int], cause: BaseException) -> None:
@@ -247,8 +299,7 @@ def _run_serial(
                     {"unit": list(unit_key(payload)), "attempt": attempt},
                 )
                 time.sleep(policy.delay(attempt))
-        state.complete(result)
-        completed += 1
+        completed += _complete_result(state, result)
 
 
 def _terminate_pool(pool: ProcessPoolExecutor) -> None:
@@ -349,8 +400,7 @@ def _run_pooled(
                     for future in done:
                         attempt, payload, _ = inflight.pop(future)
                         try:
-                            state.complete(future.result())
-                            completed += 1
+                            completed += _complete_result(state, future.result())
                         except Exception as exc:
                             requeue(attempt, payload, True, exc)
                             col.record_fault_event("retry")
@@ -380,8 +430,7 @@ def _run_pooled(
                     time.sleep(policy.delay(attempt + 1))
                 else:
                     attempt, payload, _ = inflight.pop(future)
-                    state.complete(result)
-                    completed += 1
+                    completed += _complete_result(state, result)
             if broken is not None:
                 # every in-flight unit is a suspect: bump them all, so
                 # the actual culprit cannot re-run at an attempt whose

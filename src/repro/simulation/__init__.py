@@ -7,11 +7,23 @@ from .billing import (
     billing_overhead,
     summarize_billing,
 )
+from .batch import (
+    BatchRunner,
+    InstanceSpec,
+    batch_run_many,
+    clear_instance_cache,
+    instance_cache_info,
+    materialize,
+    register_spec_generator,
+    spec_batch,
+)
 from .engine import Engine, SimulationObserver, simulate
 from .fastpath import (
     FAST_POLICIES,
     FastEngine,
+    ReplayContext,
     available_backends,
+    choose_backend,
     default_backend,
     fast_policy_for,
     fast_simulate,
@@ -29,15 +41,25 @@ from .runner import compare_algorithms, run, run_many
 from .trace import TraceRecord, TraceRecorder, render_trace, traces_equal
 
 __all__ = [
+    "BatchRunner",
     "BilledSummary",
     "Engine",
+    "InstanceSpec",
     "QuantumAwareMoveToFront",
+    "batch_run_many",
     "billed_cost",
     "billing_overhead",
+    "clear_instance_cache",
+    "instance_cache_info",
+    "materialize",
+    "register_spec_generator",
+    "spec_batch",
     "summarize_billing",
     "FAST_POLICIES",
     "FastEngine",
+    "ReplayContext",
     "available_backends",
+    "choose_backend",
     "default_backend",
     "fast_policy_for",
     "fast_simulate",

@@ -96,8 +96,10 @@ __all__ = [
     "FAST_POLICIES",
     "available_backends",
     "default_backend",
+    "choose_backend",
     "register_kernel_class",
     "fast_policy_for",
+    "ReplayContext",
     "FastEngine",
     "fast_simulate",
 ]
@@ -158,6 +160,41 @@ def default_backend() -> str:
     return NUMPY_BACKEND if _np is not None else PYTHON_BACKEND
 
 
+#: Mean-concurrency threshold of :func:`choose_backend`.  Below it the
+#: pure-python backend's short-circuit scans beat numpy's per-arrival
+#: mask/argmax kernel overhead (few open bins, tiny masks); above it the
+#: vectorised kernels win.  Calibrated on the bench grid: the Table 2 /
+#: Figure 4 shapes (n=1000, mu<=100, ~5-50 concurrent items) sit well
+#: below, the xlarge fastpath scenario (n=5000, mu=100, ~250 concurrent)
+#: well above.
+_PYTHON_MAX_MEAN_CONCURRENCY = 128.0
+
+
+def choose_backend(instance: Instance) -> str:
+    """Pick the likely-fastest backend for replaying ``instance``.
+
+    An explicit :data:`BACKEND_ENV` override always wins (resolved via
+    :func:`default_backend`, so bad values still raise).  Otherwise the
+    decision keys on the estimated mean number of concurrently active
+    items, ``total_duration / horizon length``: per-arrival work is
+    proportional to the number of open bins, which this ratio bounds.
+    Both backends produce bit-identical assignments, so this is purely a
+    performance choice — :class:`BatchRunner
+    <repro.simulation.batch.BatchRunner>` uses it per instance.
+    """
+    if os.environ.get(BACKEND_ENV, "").strip():
+        return default_backend()
+    if _np is None:
+        return PYTHON_BACKEND
+    length = instance.horizon.length
+    if length <= 0.0:
+        return NUMPY_BACKEND
+    mean_concurrency = instance.total_duration / length
+    if mean_concurrency <= _PYTHON_MAX_MEAN_CONCURRENCY:
+        return PYTHON_BACKEND
+    return NUMPY_BACKEND
+
+
 # ----------------------------------------------------------------------
 # eligibility: which algorithm objects may be routed to the fast path
 # ----------------------------------------------------------------------
@@ -207,6 +244,78 @@ def fast_policy_for(algorithm: Union[str, object]) -> Optional[Tuple[str, int]]:
 
 
 # ----------------------------------------------------------------------
+# shared replay inputs
+# ----------------------------------------------------------------------
+class ReplayContext:
+    """Policy-independent replay inputs for one ``(instance, backend)``.
+
+    Everything a kernel reads but never writes: the stacked size matrix,
+    the tolerance-adjusted capacity slack, the lexsorted flat event-index
+    array (the ``(time, kind, seq)`` order of :mod:`repro.core.events`,
+    encoded as ``pos`` for arrivals and ``n + pos`` for departures), and
+    the uid list used to emit the final assignment.  Building these is
+    roughly half the cost of a single replay at Table 2 scale, so
+    :class:`~repro.simulation.batch.BatchRunner` builds one context per
+    instance and shares it across all N policies x M trials; a lone
+    :class:`FastEngine` builds its own lazily on first run.
+    """
+
+    __slots__ = ("instance", "backend", "n", "d", "sizes", "slack", "order", "uids")
+
+    def __init__(self, instance: Instance, backend: Optional[str] = None) -> None:
+        resolved = default_backend() if backend is None else backend
+        if resolved not in (NUMPY_BACKEND, PYTHON_BACKEND):
+            raise ConfigurationError(
+                f"unknown fastpath backend {resolved!r}; expected "
+                f"{NUMPY_BACKEND!r} or {PYTHON_BACKEND!r}"
+            )
+        if resolved == NUMPY_BACKEND and _np is None:
+            raise ConfigurationError("numpy backend requested but numpy is unavailable")
+        items = instance.items
+        n = len(items)
+        self.instance = instance
+        self.backend = resolved
+        self.n = n
+        self.d = instance.d
+        self.uids = [it.uid for it in items]
+        if resolved == NUMPY_BACKEND:
+            np = _np
+            capacity = np.asarray(instance.capacity, dtype=np.float64)
+            self.slack = capacity + EPS * np.maximum(capacity, 1.0)
+            self.sizes = np.stack([it.size for it in items])
+            # Pre-sorted event indices: value < n is the arrival of item
+            # position `value`; value >= n is the departure of `value - n`.
+            # lexsort's last key is primary, matching the classic engine's
+            # (time, kind, seq) sort with DEPARTURE(0) < ARRIVAL(1),
+            # arrival seq = instance position, departure seq = uid.
+            times = np.empty(2 * n, dtype=np.float64)
+            kinds = np.empty(2 * n, dtype=np.int64)
+            seqs = np.empty(2 * n, dtype=np.int64)
+            for pos, it in enumerate(items):
+                times[pos] = it.arrival
+                times[n + pos] = it.departure
+                seqs[pos] = pos
+                seqs[n + pos] = it.uid
+            kinds[:n] = 1
+            kinds[n:] = 0
+            self.order = np.lexsort((seqs, kinds, times)).tolist()
+        else:
+            self.slack = [float(c) + EPS * max(float(c), 1.0) for c in instance.capacity]
+            self.sizes = [it.size.tolist() for it in items]
+            keys = []
+            for pos, it in enumerate(items):
+                keys.append((it.arrival, 1, pos, pos))
+                keys.append((it.departure, 0, it.uid, n + pos))
+            keys.sort(key=lambda k: (k[0], k[1], k[2]))
+            self.order = [k[3] for k in keys]
+
+
+#: Sentinel distinguishing "leave the collector alone" from "clear it"
+#: in :meth:`FastEngine.reset`.
+_UNSET = object()
+
+
+# ----------------------------------------------------------------------
 # the engine
 # ----------------------------------------------------------------------
 class FastEngine:
@@ -235,7 +344,25 @@ class FastEngine:
         ``fastpath_runs`` tally.
     backend:
         ``"numpy"`` or ``"python"``; default :func:`default_backend`.
+    context:
+        Optional pre-built :class:`ReplayContext` for this instance and
+        backend — the batched sweep path builds one per instance and
+        shares it across policies/trials.  Built lazily when omitted.
     """
+
+    __slots__ = (
+        "instance",
+        "policy",
+        "name",
+        "seed",
+        "collector",
+        "backend",
+        "_ran",
+        "_ctx",
+        "_scratch_loads",
+        "_scratch_slot_bin",
+        "_scratch_alive",
+    )
 
     #: Mutation hook for :mod:`repro.verify.mutation`: the stale-residual
     #: mutant subclass flips this to skip the departure re-sum, which the
@@ -249,6 +376,7 @@ class FastEngine:
         seed: int = 0,
         collector: Optional[StatsCollector] = None,
         backend: Optional[str] = None,
+        context: Optional[ReplayContext] = None,
     ) -> None:
         if policy not in FAST_POLICIES:
             raise ConfigurationError(
@@ -268,6 +396,16 @@ class FastEngine:
                 "random_fit needs numpy's Generator to reproduce the classic "
                 "engine's random stream"
             )
+        if context is not None:
+            if context.instance is not instance:
+                raise ConfigurationError(
+                    "replay context was built for a different instance"
+                )
+            if context.backend != resolved:
+                raise ConfigurationError(
+                    f"replay context targets backend {context.backend!r}, "
+                    f"engine uses {resolved!r}"
+                )
         self.instance = instance
         self.policy = policy
         #: Policy name, mirroring ``OnlineAlgorithm.name`` so collectors
@@ -277,16 +415,117 @@ class FastEngine:
         self.collector = collector
         self.backend = resolved
         self._ran = False
+        self._ctx = context
+        # numpy scratch buffers (residual matrix + bookkeeping), kept
+        # across reset() so re-armed replays skip the reallocation.
+        self._scratch_loads = None
+        self._scratch_slot_bin = None
+        self._scratch_alive = None
+
+    # ------------------------------------------------------------------
+    def reset(
+        self,
+        policy: Optional[str] = None,
+        seed: Optional[int] = None,
+        context: Optional[ReplayContext] = None,
+        instance: Optional[Instance] = None,
+        collector=_UNSET,
+    ) -> "FastEngine":
+        """Re-arm the engine for another replay, reusing scratch buffers.
+
+        The single-use contract of :meth:`run` still holds between
+        resets — ``reset()`` is the *explicit* opt-in that makes reuse
+        safe: it clears the ran flag and (optionally) swaps the policy,
+        seed, collector, instance, or shared :class:`ReplayContext`,
+        while the residual-matrix scratch buffers stay allocated.  This
+        is what lets :class:`~repro.simulation.batch.BatchRunner` replay
+        one instance under N policies x M trials without N*M
+        reallocations.  Returns ``self`` for chaining.
+        """
+        if context is not None:
+            if instance is not None and context.instance is not instance:
+                raise ConfigurationError(
+                    "reset(): context and instance arguments disagree"
+                )
+            if context.backend != self.backend:
+                raise ConfigurationError(
+                    f"replay context targets backend {context.backend!r}, "
+                    f"engine uses {self.backend!r}"
+                )
+            instance = context.instance
+        if instance is not None and instance is not self.instance:
+            self.instance = instance
+            self._ctx = None  # stale context: rebuilt lazily (or adopted below)
+        if context is not None:
+            self._ctx = context
+        if policy is not None:
+            if policy not in FAST_POLICIES:
+                raise ConfigurationError(
+                    f"fastpath does not implement policy {policy!r}; supported: "
+                    f"{', '.join(sorted(FAST_POLICIES))}"
+                )
+            self.policy = policy
+            self.name = policy
+        if self.policy == "random_fit" and _np is None:
+            raise ConfigurationError(
+                "random_fit needs numpy's Generator to reproduce the classic "
+                "engine's random stream"
+            )
+        if seed is not None:
+            self.seed = int(seed)
+        if collector is not _UNSET:
+            self.collector = collector
+        self._ran = False
+        return self
 
     # ------------------------------------------------------------------
     def run(self) -> Packing:
         """Execute the full event stream and return the final packing.
 
         Like the classic engine, a :class:`FastEngine` is single-use: a
-        second call raises :class:`~repro.core.errors.AlgorithmError`.
+        second call raises :class:`~repro.core.errors.AlgorithmError`
+        unless the engine is explicitly re-armed with :meth:`reset`.
         """
+        return Packing.from_assignment(
+            self.instance, self._execute(), algorithm=self.policy
+        )
+
+    def run_assignment(self) -> Dict[int, int]:
+        """Execute the replay and return the raw uid → bin-id assignment.
+
+        Skips :class:`~repro.core.packing.Packing` construction — the
+        batched sweep path derives Eq. 1 cost and the bin count directly
+        from the assignment (bit-identically) instead of materialising
+        per-bin objects.  Same single-use/:meth:`reset` contract as
+        :meth:`run`.
+        """
+        return self._execute()
+
+    def run_trials(self, seeds) -> List[Dict[int, int]]:
+        """Replay one instance under many ``random_fit`` seeds in one call.
+
+        The batched-trials kernel invocation: one shared
+        :class:`ReplayContext` (event index, sizes, slack) and one set of
+        scratch buffers serve every seed; only the draw stream differs
+        per trial.  Returns one assignment per seed, each bit-identical
+        to a fresh single run with that seed.
+        """
+        if self.policy != "random_fit":
+            raise ConfigurationError(
+                "run_trials() batches seeded trials; only random_fit consumes "
+                f"the seed (engine policy is {self.policy!r})"
+            )
+        out: List[Dict[int, int]] = []
+        for s in seeds:
+            self.reset(seed=int(s))
+            out.append(self._execute())
+        return out
+
+    def _execute(self) -> Dict[int, int]:
         if self._ran:
-            raise AlgorithmError("FastEngine instances are single-use; build a new one")
+            raise AlgorithmError(
+                "FastEngine instances are single-use; build a new one or call reset()"
+            )
         self._ran = True
         col = self.collector
         t_run = perf_counter() if col is not None else 0.0
@@ -296,7 +535,6 @@ class FastEngine:
             assignment = self._replay_numpy(col)
         else:
             assignment = self._replay_python(col)
-        packing = Packing.from_assignment(self.instance, assignment, algorithm=self.policy)
         if col is not None:
             col.fastpath_runs += 1
             col.run_finished(
@@ -304,7 +542,13 @@ class FastEngine:
                 context={"instance": self.instance.name, "n": self.instance.n,
                          "engine": "fast", "backend": self.backend},
             )
-        return packing
+        return assignment
+
+    def _context(self) -> ReplayContext:
+        ctx = self._ctx
+        if ctx is None or ctx.instance is not self.instance:
+            ctx = self._ctx = ReplayContext(self.instance, self.backend)
+        return ctx
 
     # ------------------------------------------------------------------
     # numpy backend
@@ -320,36 +564,31 @@ class FastEngine:
                 col.record_run_totals(0, 0, 0, 0, 0, 0.0)
             return {}
         d = inst.d
-        capacity = np.asarray(inst.capacity, dtype=np.float64)
-        slack = capacity + EPS * np.maximum(capacity, 1.0)
-        sizes = np.stack([it.size for it in items])
-
-        # Pre-sorted event indices: value < n is the arrival of item
-        # position `value`; value >= n is the departure of `value - n`.
-        # lexsort's last key is primary, matching the classic engine's
-        # (time, kind, seq) sort with DEPARTURE(0) < ARRIVAL(1), arrival
-        # seq = instance position, departure seq = uid.
-        times = np.empty(2 * n, dtype=np.float64)
-        kinds = np.empty(2 * n, dtype=np.int64)
-        seqs = np.empty(2 * n, dtype=np.int64)
-        for pos, it in enumerate(items):
-            times[pos] = it.arrival
-            times[n + pos] = it.departure
-            seqs[pos] = pos
-            seqs[n + pos] = it.uid
-        kinds[:n] = 1
-        kinds[n:] = 0
-        order = np.lexsort((seqs, kinds, times)).tolist()
+        ctx = self._context()
+        slack = ctx.slack
+        sizes = ctx.sizes
+        order = ctx.order
 
         policy = self.policy
         mtf = policy == "move_to_front"
         nf = policy == "next_fit"
         rng = np.random.default_rng(self.seed) if policy == "random_fit" else None
 
-        cap_slots = _INITIAL_SLOTS
-        loads = np.zeros((cap_slots, d), dtype=np.float64)
-        slot_bin = np.zeros(cap_slots, dtype=np.int64)
-        alive = np.zeros(cap_slots, dtype=bool)
+        # Reuse the scratch buffers from a previous (reset) run when the
+        # dimensionality matches.  No zeroing needed: a slot row only
+        # becomes visible to the kernels (all reads are over [:n_slots])
+        # after an open writes loads/slot_bin/alive for that slot, and
+        # compaction clears alive[k:n_slots] explicitly.
+        loads = self._scratch_loads
+        if loads is not None and loads.shape[1] == d:
+            cap_slots = loads.shape[0]
+            slot_bin = self._scratch_slot_bin
+            alive = self._scratch_alive
+        else:
+            cap_slots = _INITIAL_SLOTS
+            loads = np.zeros((cap_slots, d), dtype=np.float64)
+            slot_bin = np.zeros(cap_slots, dtype=np.int64)
+            alive = np.zeros(cap_slots, dtype=bool)
         residents: List[List[int]] = []  # item positions per slot, pack order
         slot_of: Dict[int, int] = {}  # bin id -> slot
         bin_of = [0] * n  # item position -> bin id
@@ -505,7 +744,11 @@ class FastEngine:
             )
             col.candidate_scans += scans
             col.fit_checks += checks
-        return {items[pos].uid: bin_of[pos] for pos in range(n)}
+        self._scratch_loads = loads
+        self._scratch_slot_bin = slot_bin
+        self._scratch_alive = alive
+        uids = ctx.uids
+        return {uids[pos]: bin_of[pos] for pos in range(n)}
 
     # ------------------------------------------------------------------
     # pure-python backend
@@ -520,15 +763,10 @@ class FastEngine:
                 col.record_run_totals(0, 0, 0, 0, 0, 0.0)
             return {}
         d = inst.d
-        slack = [float(c) + EPS * max(float(c), 1.0) for c in inst.capacity]
-        sizes = [it.size.tolist() for it in items]
-
-        keys = []
-        for pos, it in enumerate(items):
-            keys.append((it.arrival, 1, pos, pos))
-            keys.append((it.departure, 0, it.uid, n + pos))
-        keys.sort(key=lambda k: (k[0], k[1], k[2]))
-        order = [k[3] for k in keys]
+        ctx = self._context()
+        slack = ctx.slack
+        sizes = ctx.sizes
+        order = ctx.order
 
         policy = self.policy
         mtf = policy == "move_to_front"
@@ -695,7 +933,8 @@ class FastEngine:
             )
             col.candidate_scans += scans
             col.fit_checks += checks
-        return {items[pos].uid: bin_of[pos] for pos in range(n)}
+        uids = ctx.uids
+        return {uids[pos]: bin_of[pos] for pos in range(n)}
 
 
 def fast_simulate(

@@ -34,15 +34,26 @@ from .runner import run
 
 __all__ = [
     "UnitResult",
+    "BATCH_UNIT",
     "algorithm_accepts_seed",
     "derive_unit_seeds",
     "build_payloads",
+    "build_batch_payloads",
     "unit_key",
+    "payload_unit_keys",
     "simulate_unit",
     "simulate_chunk",
+    "simulate_batch_unit",
+    "simulate_batch_chunk",
+    "simulate_payload",
     "parallel_sweep",
     "aggregate_sweep_stats",
 ]
+
+#: Marker in the algorithm slot of a *batched* payload: one such payload
+#: carries every (algorithm, kwargs) entry for one instance, so the whole
+#: 7-policy fan-out of an instance lands on a single worker.
+BATCH_UNIT = "__batch__"
 
 
 @dataclass(frozen=True)
@@ -152,12 +163,104 @@ def build_payloads(
     return payloads
 
 
+def _materialize_sources(sources: Sequence) -> List[Instance]:
+    """Resolve a mixed Instance/InstanceSpec sequence to instances.
+
+    Lets every sweep engine accept the compact
+    :class:`~repro.simulation.batch.InstanceSpec` sources the batch
+    engine dispatches on; specs resolve through the in-worker LRU cache.
+    """
+    from .batch import InstanceSpec, materialize
+
+    return [
+        materialize(src) if isinstance(src, InstanceSpec) else src for src in sources
+    ]
+
+
+def _source_payload(source) -> dict:
+    """Picklable payload form of a batch-unit source (spec or instance)."""
+    from .batch import InstanceSpec
+
+    if isinstance(source, InstanceSpec):
+        return source.to_dict()
+    return {"kind": "instance", "data": source.to_dict()}
+
+
+def _resolve_source(payload_source: dict):
+    """Inverse of :func:`_source_payload`; specs stay lazy (LRU-cached)."""
+    from .batch import InstanceSpec
+
+    if payload_source.get("kind") == "instance-spec":
+        return InstanceSpec.from_dict(payload_source)
+    return Instance.from_dict(payload_source["data"])
+
+
+def build_batch_payloads(
+    algorithms: Sequence[str],
+    sources: Sequence,
+    algorithm_kwargs: Optional[Mapping[str, Mapping[str, object]]] = None,
+    collect_stats: bool = False,
+) -> List[tuple]:
+    """Build one *batched* payload per instance (all algorithms grouped).
+
+    The ``engine="batch"`` twin of :func:`build_payloads`: instead of one
+    payload per (algorithm, instance) unit, each payload carries every
+    algorithm entry for one instance, so a worker amortises instance
+    materialisation, the event index, the Lemma 1 lower bound, and the
+    fast engine's scratch buffers across the whole policy fan-out.
+    Sources may be :class:`~repro.core.instance.Instance` objects or
+    compact :class:`~repro.simulation.batch.InstanceSpec` recipes — specs
+    ship as a few hundred bytes and regenerate in-worker.
+
+    Per-unit seeds for seeded algorithms are derived exactly as in
+    :func:`build_payloads` (same :func:`derive_unit_seeds` streams), so
+    batched sweeps are bit-identical to per-unit dispatch.
+    """
+    algorithm_kwargs = algorithm_kwargs or {}
+    count = len(sources)
+    unit_seeds = {
+        name: derive_unit_seeds(
+            int(algorithm_kwargs.get(name, {}).get("seed", 0)), count
+        )
+        for name in algorithms
+        if algorithm_accepts_seed(name)
+    }
+    payloads: List[tuple] = []
+    for i, source in enumerate(sources):
+        entries = []
+        for name in algorithms:
+            kwargs = dict(algorithm_kwargs.get(name, {}))
+            if name in unit_seeds:
+                kwargs["seed"] = unit_seeds[name][i]
+            entries.append((name, kwargs))
+        payloads.append(
+            (BATCH_UNIT, tuple(entries), i, _source_payload(source), None,
+             collect_stats, "batch")
+        )
+    return payloads
+
+
 def unit_key(payload: tuple) -> Tuple[str, int]:
     """The ``(algorithm, instance_index)`` identity of one payload.
 
-    This is the key the checkpoint store indexes completed work by.
+    This is the key the checkpoint store indexes completed work by.  For
+    a batched payload this is ``(BATCH_UNIT, index)`` — use
+    :func:`payload_unit_keys` for the per-unit keys it expands to.
     """
     return payload[0], payload[2]
+
+
+def payload_unit_keys(payload: tuple) -> List[Tuple[str, int]]:
+    """All ``(algorithm, instance_index)`` unit keys a payload completes.
+
+    A per-unit payload maps to exactly its :func:`unit_key`; a batched
+    payload expands to one key per carried algorithm entry.  Checkpoint
+    stores always index *units*, so resuming a batch-engine sweep from a
+    classic checkpoint (or vice versa) skips the same completed work.
+    """
+    if payload[0] == BATCH_UNIT:
+        return [(name, payload[2]) for name, _ in payload[1]]
+    return [unit_key(payload)]
 
 
 def simulate_unit(
@@ -201,6 +304,41 @@ def simulate_chunk(payloads: Sequence[tuple]) -> List[UnitResult]:
     return [simulate_unit(p) for p in payloads]
 
 
+def simulate_batch_unit(payload: tuple) -> List[UnitResult]:
+    """Worker entry point: one instance under all its algorithm entries.
+
+    ``payload`` is ``(BATCH_UNIT, entries, index, source, None,
+    collect_stats, "batch")`` from :func:`build_batch_payloads`.  Runs a
+    :class:`~repro.simulation.batch.BatchRunner` over the entries —
+    shared replay context, scratch buffers, and lower bound — and
+    returns one :class:`UnitResult` per entry, bit-identical to per-unit
+    dispatch of the same units.
+    """
+    from .batch import BatchRunner
+
+    _marker, entries, index, source, _lb, *rest = payload
+    collect_stats = bool(rest[0]) if rest else False
+    runner = BatchRunner(_resolve_source(source))
+    return runner.run_units(entries, instance_index=index, collect_stats=collect_stats)
+
+
+def simulate_batch_chunk(payloads: Sequence[tuple]) -> List[UnitResult]:
+    """Chunked-dispatch twin of :func:`simulate_batch_unit` (flattened)."""
+    return [unit for p in payloads for unit in simulate_batch_unit(p)]
+
+
+def simulate_payload(payload: tuple):
+    """Dispatch a payload to its engine-appropriate worker function.
+
+    Returns a single :class:`UnitResult` for per-unit payloads and a
+    list of them for batched payloads — callers that must count
+    completed units should normalise with ``isinstance(result, list)``.
+    """
+    if payload[0] == BATCH_UNIT:
+        return simulate_batch_unit(payload)
+    return simulate_unit(payload)
+
+
 def parallel_sweep(
     algorithms: Sequence[str],
     instances: Sequence[Instance],
@@ -239,13 +377,21 @@ def parallel_sweep(
         :func:`aggregate_sweep_stats`.  The deterministic counters of
         the aggregate are identical for any ``processes`` value.
     engine:
-        ``"classic"`` (default) or ``"fast"``.  Fast mode routes every
-        unit through :class:`~repro.simulation.fastpath.FastEngine` and
-        switches to chunked dispatch (:func:`simulate_chunk`): payloads
-        are pre-grouped into explicit chunks so the much shorter fast
-        units still amortise the per-task IPC cost.  Results are
-        bit-identical to the classic sweep for every ``engine`` and
-        ``processes`` combination.
+        ``"classic"`` (default), ``"fast"``, or ``"batch"``.  Fast mode
+        routes every unit through
+        :class:`~repro.simulation.fastpath.FastEngine` and switches to
+        chunked dispatch (:func:`simulate_chunk`): payloads are
+        pre-grouped into explicit chunks so the much shorter fast units
+        still amortise the per-task IPC cost.  Batch mode goes further:
+        one payload per *instance* carries the whole algorithm fan-out
+        (:func:`build_batch_payloads`), executed by a
+        :class:`~repro.simulation.batch.BatchRunner` that shares the
+        event index, scratch buffers, and Lemma 1 bound across all
+        policies — and ``instances`` may then be compact
+        :class:`~repro.simulation.batch.InstanceSpec` sources that
+        regenerate in-worker through an LRU cache instead of pickling
+        full instances.  Results are bit-identical to the classic sweep
+        for every ``engine`` and ``processes`` combination.
     checkpoint_dir / resume / retries / unit_timeout:
         Fault-tolerance knobs.  Leaving them at their defaults keeps the
         original in-memory executor below; setting any of them routes
@@ -279,8 +425,32 @@ def parallel_sweep(
             unit_timeout=unit_timeout,
         )
 
+    if engine == "batch":
+        payloads = build_batch_payloads(
+            algorithms, list(instances), algorithm_kwargs, collect_stats
+        )
+        if processes == 0:
+            results = [unit for p in payloads for unit in simulate_batch_unit(p)]
+        else:
+            workers = processes or os.cpu_count() or 1
+            # A batched payload is already |algorithms| units of work, so
+            # chunks are proportionally shorter than the fast engine's.
+            step = max(int(chunksize) // max(len(algorithms), 1), 1)
+            chunks = [payloads[i : i + step] for i in range(0, len(payloads), step)]
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                results = [
+                    unit for batch in pool.map(simulate_batch_chunk, chunks) for unit in batch
+                ]
+        out_batch: Dict[str, List[UnitResult]] = {name: [] for name in algorithms}
+        for res in results:
+            out_batch[res.algorithm].append(res)
+        for name in algorithms:
+            out_batch[name].sort(key=lambda r: r.instance_index)
+        return out_batch
+
     payloads = build_payloads(
-        algorithms, instances, algorithm_kwargs, collect_stats, engine
+        algorithms, _materialize_sources(instances), algorithm_kwargs,
+        collect_stats, engine
     )
 
     if processes == 0:

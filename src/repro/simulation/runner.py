@@ -33,17 +33,18 @@ def effective_engine(
 ) -> str:
     """The engine :func:`run` would actually use for this request.
 
-    ``engine="fast"`` is a *request*: runs the fast engine cannot take
-    (observers present, or a policy without a registered kernel) execute
-    on the classic engine instead.  CLIs and drivers call this to report
-    the effective engine up front rather than leaving the fallback
-    implicit; it performs no simulation and never warns.
+    ``engine="fast"`` (or ``"batch"``) is a *request*: runs the fast
+    path cannot take (observers present, or a policy without a
+    registered kernel) execute on the classic engine instead.  CLIs and
+    drivers call this to report the effective engine up front rather
+    than leaving the fallback implicit; it performs no simulation and
+    never warns.
     """
-    if engine != "fast" or observers:
+    if engine not in ("fast", "batch") or observers:
         return "classic"
     from .fastpath import fast_policy_for
 
-    return "fast" if fast_policy_for(algorithm) is not None else "classic"
+    return engine if fast_policy_for(algorithm) is not None else "classic"
 
 
 def run(
@@ -74,16 +75,28 @@ def run(
         when given, the engine records per-run counters and timings into
         it (``None`` keeps the uninstrumented fast path).
     engine:
-        ``"classic"`` (default) or ``"fast"``.  ``"fast"`` requests the
-        flat-array :class:`~repro.simulation.fastpath.FastEngine`; runs
-        it cannot take (observers present, or a policy without a fast
-        kernel) fall back to the classic engine with the same result —
-        the twin engines are bit-identical.
+        ``"classic"`` (default), ``"fast"``, or ``"batch"``.  ``"fast"``
+        requests the flat-array
+        :class:`~repro.simulation.fastpath.FastEngine`; ``"batch"``
+        routes through a :class:`~repro.simulation.batch.BatchRunner`
+        (useful mainly for parity with sweep flags — the batched
+        amortisation pays off over many replays, which
+        :func:`run_many` and ``parallel_sweep(engine="batch")``
+        exploit).  Runs the fast path cannot take (observers present, or
+        a policy without a fast kernel) fall back to the classic engine
+        with the same result — all engines are bit-identical.
     """
-    if engine not in ("classic", "fast"):
+    if engine not in ("classic", "fast", "batch"):
         raise ConfigurationError(
-            f"unknown engine {engine!r}; expected 'classic' or 'fast'"
+            f"unknown engine {engine!r}; expected 'classic', 'fast', or 'batch'"
         )
+    if engine == "batch" and not observers:
+        from .batch import BatchRunner
+
+        packing = BatchRunner(instance).run_packing(_resolve(algorithm), collector=collector)
+        if validate:
+            packing.validate()
+        return packing
     packing = simulate(
         _resolve(algorithm), instance, observers, collector, fast=engine == "fast"
     )
@@ -98,13 +111,27 @@ def run_many(
     validate: bool = False,
     collector: Optional[StatsCollector] = None,
     engine: str = "classic",
+    batch: bool = False,
 ) -> List[Packing]:
     """Run one algorithm over a sequence of instances.
 
     The same algorithm object is reused (its ``start`` resets state), so
     string specs are resolved once.  A shared ``collector`` accumulates
     stats across all runs (``RunStats.runs`` counts them).
+
+    With ``batch=True`` (or ``engine="batch"``) the battery executes
+    through :func:`repro.simulation.batch.batch_run_many`: one re-armed
+    :class:`~repro.simulation.fastpath.FastEngine` and its scratch
+    buffers serve every instance, and ``instances`` may include compact
+    :class:`~repro.simulation.batch.InstanceSpec` sources.  Results are
+    bit-identical to the per-instance path.
     """
+    if batch or engine == "batch":
+        from .batch import batch_run_many
+
+        return batch_run_many(
+            algorithm, instances, validate=validate, collector=collector
+        )
     algo = _resolve(algorithm)
     return [
         run(algo, inst, validate=validate, collector=collector, engine=engine)

@@ -5,9 +5,12 @@ Drives the whole verification subsystem over a deterministic corpus
 the algorithm-free invariants, then replayed through all seven Section 7
 policies with the reference differential oracle, the classic-vs-fastpath
 twin-engine differential, the invariant auditor, and the Eq. 1 cost
-recomputation; a stride of (instance, policy) pairs
-additionally runs the plain-vs-instrumented engine differential, and one
-small batch exercises the serial-vs-worker sweep equality.  The run ends
+recomputation, then the whole policy set is re-run through one batched
+:class:`~repro.simulation.batch.BatchRunner` pass which must reproduce
+every assignment, bin count, and cost exactly; a stride of (instance,
+policy) pairs additionally runs the plain-vs-instrumented engine
+differential, and one small batch exercises the serial-vs-worker-vs-batched
+sweep equality.  The run ends
 with the mutation smoke-test — if an injected mutant goes *uncaught*,
 the harness itself is broken, and that is reported as a violation like
 any other.
@@ -45,6 +48,7 @@ from .generators import corpus
 from .invariants import Violation, audit_instance, audit_run
 from .mutation import MutationReport, mutation_smoke_test
 from .oracles import (
+    compare_with_batch,
     compare_with_fastpath,
     compare_with_reference,
     cost_check,
@@ -209,11 +213,13 @@ def run_verify(
             sweep_prefix.append(inst)
 
         cost_by_policy = {}
+        packing_by_policy = {}
         for p_idx, policy in enumerate(prof.policies):
             kwargs = {"seed": 0} if policy == "random_fit" else {}
             packing = run(make_algorithm(policy, **kwargs), inst, collector=col)
             report.runs += 1
             cost_by_policy[policy] = packing.cost
+            packing_by_policy[policy] = packing
             for v in compare_with_reference(packing, policy, seed=0):
                 report.violations.append((f"{where}/{policy}", v))
             for v in compare_with_fastpath(packing, policy, seed=0):
@@ -228,6 +234,12 @@ def run_verify(
                 for v in instrumented_equality_check(inst, policy, seed=0):
                     report.violations.append((f"{where}/{policy}", v))
                 report.checks += 1
+
+        # one batched pass over the whole policy set: shared context,
+        # shared scratch buffers, shared lower bound — must agree exactly
+        for v in compare_with_batch(inst, packing_by_policy, seed=0):
+            report.violations.append((f"{where}/batch", v))
+        report.checks += 1
 
         if prof.exact_opt_max_items and inst.n <= prof.exact_opt_max_items:
             for v in _exact_opt_check(inst, cost_by_policy):
@@ -245,13 +257,15 @@ def run_verify(
         report.violations.append(("sweep-prefix", v))
     report.checks += 1
 
-    # resume determinism: interrupted + resumed == uninterrupted, both
-    # engines; include random_fit (when present) so per-unit seed
-    # derivation is exercised through the checkpoint round-trip
+    # resume determinism: interrupted + resumed == uninterrupted, on
+    # all three engines; include random_fit (when present) so per-unit
+    # seed derivation is exercised through the checkpoint round-trip
     resume_policies = list(prof.policies[:2])
     if "random_fit" in prof.policies and "random_fit" not in resume_policies:
         resume_policies.append("random_fit")
-    for v in resume_equality_check(sweep_prefix[:4], resume_policies):
+    for v in resume_equality_check(
+        sweep_prefix[:4], resume_policies, engines=("classic", "fast", "batch")
+    ):
         report.violations.append(("resume-oracle", v))
     report.checks += 1
 

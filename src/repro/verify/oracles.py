@@ -9,6 +9,10 @@ counterpart and requires the two to agree exactly:
 * :func:`compare_with_fastpath` — the classic engine versus its
   flat-array twin (:class:`~repro.simulation.fastpath.FastEngine`),
   which promises *bit-identical* assignments, not merely equal costs;
+* :func:`compare_with_batch` — per-unit packings versus one
+  :class:`~repro.simulation.batch.BatchRunner` pass over all policies
+  (shared context, shared scratch buffers, shared lower bound), which
+  must reproduce every assignment, bin count, and Eq. 1 cost exactly;
 * :func:`instrumented_equality_check` — the engine's plain event loop
   versus its instrumented twin (identical packing; run counters that
   agree with ground truth derived from the packing itself);
@@ -48,6 +52,7 @@ __all__ = [
     "eq1_cost",
     "compare_with_reference",
     "compare_with_fastpath",
+    "compare_with_batch",
     "differential_check",
     "instrumented_equality_check",
     "cost_check",
@@ -162,6 +167,77 @@ def compare_with_fastpath(
     return out
 
 
+def compare_with_batch(
+    instance: Instance,
+    packings_by_policy: Mapping[str, Packing],
+    seed: int = 0,
+    backend: Optional[str] = None,
+) -> List[Violation]:
+    """Per-unit packings versus one batched pass over all policies.
+
+    Runs every policy through a single
+    :class:`~repro.simulation.batch.BatchRunner` — one shared
+    :class:`~repro.simulation.fastpath.ReplayContext`, one re-armed
+    engine whose scratch buffers persist across
+    :meth:`~repro.simulation.fastpath.FastEngine.reset` calls, one
+    Lemma 1 lower bound — and demands *exact* agreement with each
+    independently produced packing: same assignment, same bin count,
+    same Eq. 1 cost bit for bit (the batched cost replicates
+    :meth:`Packing.from_assignment
+    <repro.core.packing.Packing.from_assignment>`'s arithmetic, so no
+    tolerance is granted), plus the shared lower bound against a fresh
+    :func:`~repro.optimum.lower_bounds.height_lower_bound`.
+
+    This is the oracle guarding ``engine="batch"``: any scratch-buffer
+    bleed-through between policies, stale context reuse, or cost drift
+    shows up as a violation here.
+    """
+    from ..optimum.lower_bounds import height_lower_bound
+    from ..simulation.batch import BatchRunner
+
+    names = list(packings_by_policy)
+    entries = [
+        (name, {"seed": seed} if name == "random_fit" else None) for name in names
+    ]
+    runner = BatchRunner(instance, backend=backend)
+    results, assignments = runner.run_units(entries, keep_assignments=True)
+    out: List[Violation] = []
+    expected_lb = height_lower_bound(instance)
+    for name, unit, assignment in zip(names, results, assignments):
+        packing = packings_by_policy[name]
+        if unit.num_bins != packing.num_bins:
+            out.append(Violation(
+                "batch",
+                f"{name}: batched pass opened {unit.num_bins} bins, "
+                f"per-unit packing {packing.num_bins}",
+            ))
+        if assignment != dict(packing.assignment):
+            diff = [
+                uid for uid in packing.assignment
+                if assignment.get(uid) != packing.assignment[uid]
+            ]
+            out.append(Violation(
+                "batch",
+                f"{name}: batched assignment differs on items {diff[:10]}"
+                f"{'...' if len(diff) > 10 else ''} "
+                f"(batched {[assignment.get(u) for u in diff[:10]]}, "
+                f"per-unit {[packing.assignment.get(u) for u in diff[:10]]})",
+            ))
+        if unit.cost != packing.cost:
+            out.append(Violation(
+                "batch",
+                f"{name}: batched cost {unit.cost!r} != per-unit packing "
+                f"cost {packing.cost!r} (bit-identity contract)",
+            ))
+        if unit.lower_bound != expected_lb:
+            out.append(Violation(
+                "batch",
+                f"{name}: batched lower bound {unit.lower_bound!r} != "
+                f"height_lower_bound {expected_lb!r}",
+            ))
+    return out
+
+
 def differential_check(
     instance: Instance,
     policy: str,
@@ -243,11 +319,15 @@ def sweep_equality_check(
     ``sweep_cell(processes=0)`` runs algorithms in-process on the live
     instances; ``parallel_sweep(processes=0)`` drives the exact worker
     entry point (``simulate_unit``) including the instance dict
-    round-trip that real process pools perform.  The ratio vectors must
-    be identical.
+    round-trip that real process pools perform, and
+    ``parallel_sweep(engine="batch")`` drives the batched worker entry
+    point (``simulate_batch_unit``) that groups each instance's whole
+    policy fan-out into one :class:`~repro.simulation.batch.BatchRunner`
+    pass.  All three ratio vectors must be identical.
     """
     serial = sweep_cell(policies, list(instances))
     worker = parallel_sweep(policies, list(instances), processes=0)
+    batched = parallel_sweep(policies, list(instances), processes=0, engine="batch")
     out: List[Violation] = []
     for name in policies:
         worker_ratios = [r.ratio for r in worker[name]]
@@ -256,6 +336,13 @@ def sweep_equality_check(
                 "sweep",
                 f"{name}: serial ratios {serial.ratios[name]} != worker-path "
                 f"ratios {worker_ratios}",
+            ))
+        batch_ratios = [r.ratio for r in batched[name]]
+        if serial.ratios[name] != batch_ratios:
+            out.append(Violation(
+                "sweep",
+                f"{name}: serial ratios {serial.ratios[name]} != batched-path "
+                f"ratios {batch_ratios}",
             ))
     return out
 
@@ -289,21 +376,35 @@ def resume_equality_check(
         total_units = sum(len(v) for v in plain.values())
         cut = max(1, total_units // 2)
         with tempfile.TemporaryDirectory(prefix="repro-resume-oracle-") as ckpt:
-            resumable_sweep(
+            partial = resumable_sweep(
                 policies, batch, processes=0, engine=engine,
                 checkpoint_dir=ckpt, flush_every=1, max_units=cut,
             )
+            # The batch engine completes whole payloads (one instance x
+            # all policies) atomically, so the interrupted phase may
+            # overshoot ``cut`` — the resumed phase must reload exactly
+            # what phase one actually completed, whatever that was.
+            expected_resumed = sum(len(v) for v in partial.values())
             col = _Collector()
             resumed = resumable_sweep(
                 policies, batch, processes=0, engine=engine,
                 checkpoint_dir=ckpt, resume=True, collector=col,
             )
-        if col.units_resumed != cut:
+        if expected_resumed < cut or expected_resumed >= total_units:
+            out.append(Violation(
+                "resume",
+                f"engine={engine}: interrupted phase completed "
+                f"{expected_resumed} units (max_units={cut}, total "
+                f"{total_units}) — the fabricated interruption did not "
+                "leave a genuine partial sweep",
+            ))
+        if col.units_resumed != expected_resumed:
             out.append(Violation(
                 "resume",
                 f"engine={engine}: resumed phase reloaded "
                 f"{col.units_resumed} units from the checkpoint, expected "
-                f"{cut} — the resume path is not actually resuming",
+                f"{expected_resumed} — the resume path is not actually "
+                "resuming",
             ))
         for name in policies:
             a = [(r.instance_index, r.cost, r.num_bins, r.lower_bound)

@@ -1,0 +1,119 @@
+"""Memory-layout and derived-quantity caching regressions.
+
+Pins the two instance-level amortisation satellites of the batched
+execution work:
+
+* ``Item`` / ``Event`` are slotted on Python >= 3.10 (no per-object
+  ``__dict__``), while staying picklable and copyable — the layouts the
+  hot event loop allocates per event;
+* ``Instance`` derived quantities (``mu``, ``span``, duration extrema,
+  ``dimension_maxima``) are cached properties: computed once, correct,
+  and returning the same object on re-access.
+"""
+
+from __future__ import annotations
+
+import copy
+import pickle
+import sys
+
+import numpy as np
+import pytest
+
+from repro.core.items import Item
+from repro.core.events import Event, EventKind, event_stream
+from repro.verify.generators import corpus_list
+from repro.workloads.uniform import UniformWorkload
+from repro.workloads.base import generate_batch
+
+SLOTTED = sys.version_info >= (3, 10)
+
+
+def _item():
+    return Item(uid=3, arrival=1.5, departure=4.0, size=[2.0, 3.0])
+
+
+# ----------------------------------------------------------------------
+# __slots__ on hot per-event objects
+# ----------------------------------------------------------------------
+@pytest.mark.skipif(not SLOTTED, reason="dataclass slots need Python 3.10+")
+def test_item_and_event_have_no_dict():
+    item = _item()
+    event = Event(time=1.5, kind=EventKind.ARRIVAL, seq=0, item=item)
+    for obj in (item, event):
+        assert not hasattr(obj, "__dict__")
+        with pytest.raises(AttributeError):
+            object.__getattribute__(obj, "__dict__")
+
+
+def test_slotted_item_still_pickles_and_copies():
+    item = _item()
+    for clone in (pickle.loads(pickle.dumps(item)), copy.deepcopy(item)):
+        assert clone.uid == item.uid
+        assert clone.arrival == item.arrival
+        assert clone.departure == item.departure
+        assert np.array_equal(clone.size, item.size)
+
+
+def test_slotted_event_still_pickles_and_orders():
+    inst = generate_batch(UniformWorkload(d=2, n=10, mu=3), 1, seed=2)[0]
+    events = event_stream(inst)
+    assert len(events) == 2 * len(inst.items)
+    assert events == sorted(events)  # dataclass ordering == module ordering
+    clone = pickle.loads(pickle.dumps(events[0]))
+    assert clone.time == events[0].time and clone.kind == events[0].kind
+
+
+def test_instances_pickle_round_trip_with_slotted_items():
+    inst = generate_batch(UniformWorkload(d=2, n=25, mu=4), 1, seed=9)[0]
+    clone = pickle.loads(pickle.dumps(inst))
+    assert clone.to_dict() == inst.to_dict()
+
+
+# ----------------------------------------------------------------------
+# Instance cached properties
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def inst():
+    return corpus_list(4, seed=20230613)[3].instance
+
+
+def test_cached_properties_return_cached_objects(inst):
+    assert inst.dimension_maxima is inst.dimension_maxima
+    for name in ("mu", "span", "min_duration", "max_duration", "total_duration"):
+        first = getattr(inst, name)
+        assert getattr(inst, name) == first
+        # cached_property stores the computed value in the __dict__
+        assert name in vars(inst)
+
+
+def test_cached_property_values_match_definitions(inst):
+    durations = [it.departure - it.arrival for it in inst.items]
+    assert inst.min_duration == min(durations)
+    assert inst.max_duration == max(durations)
+    assert inst.mu == max(durations) / min(durations)
+    assert inst.total_duration == sum(durations)
+    # span(R) is the measure of the union of the active intervals
+    union = 0.0
+    lo = hi = None
+    for a, b in sorted((it.arrival, it.departure) for it in inst.items):
+        if lo is None or a > hi:
+            if lo is not None:
+                union += hi - lo
+            lo, hi = a, b
+        elif b > hi:
+            hi = b
+    union += hi - lo
+    assert inst.span == pytest.approx(union)
+    arrivals = [it.arrival for it in inst.items]
+    departures = [it.departure for it in inst.items]
+    assert (inst.horizon.start, inst.horizon.end) == (min(arrivals), max(departures))
+    expected = np.max(np.stack([it.size for it in inst.items]), axis=0)
+    assert np.array_equal(inst.dimension_maxima, expected)
+
+
+def test_dimension_maxima_is_read_only(inst):
+    maxima = inst.dimension_maxima
+    assert not maxima.flags.writeable
+    with pytest.raises(ValueError):
+        maxima[0] = -1.0

@@ -24,6 +24,13 @@ Exit status 0 on success; raises (non-zero) on any mismatch.  Used by
 the ``kill-resume`` CI job; run locally with::
 
     PYTHONPATH=src python tools/kill_resume_smoke.py
+    PYTHONPATH=src python tools/kill_resume_smoke.py --engine batch
+
+``--engine`` selects the sweep engine for every phase (the reference,
+the killed child, and the resume — and the checkpoint fingerprint binds
+to it).  ``batch`` exercises the grouped dispatch path, where the child
+completes whole per-instance payloads atomically and the resume must
+trim exactly the flushed entries out of each batch payload.
 """
 
 from __future__ import annotations
@@ -57,13 +64,14 @@ def make_batch():
     return generate_batch(gen, 6, seed=7)
 
 
-def run_sweep(checkpoint_dir=None, resume=False, collector=None):
+def run_sweep(engine="classic", checkpoint_dir=None, resume=False, collector=None):
     """One sweep over the shared workload (serial: deterministic order)."""
     return resumable_sweep(
         ALGOS,
         make_batch(),
         processes=0,
         algorithm_kwargs=KWARGS,
+        engine=engine,
         checkpoint_dir=checkpoint_dir,
         resume=resume,
         flush_every=1,
@@ -80,15 +88,15 @@ def aggregates(results):
     }
 
 
-def child_main(checkpoint_dir: str) -> int:
+def child_main(checkpoint_dir: str, engine: str) -> int:
     """Sweep under the kill plan — never returns normally in the smoke."""
-    run_sweep(checkpoint_dir=checkpoint_dir)
+    run_sweep(engine=engine, checkpoint_dir=checkpoint_dir)
     return 0  # only reachable if the kill hook did not fire
 
 
-def parent_main() -> int:
-    print("[1/3] reference run (in-process, no checkpoint)")
-    reference = aggregates(run_sweep())
+def parent_main(engine: str) -> int:
+    print(f"[1/3] reference run (in-process, no checkpoint, engine={engine})")
+    reference = aggregates(run_sweep(engine=engine))
     total_units = sum(len(v) for v in reference.values())
 
     with tempfile.TemporaryDirectory(prefix="kill-resume-") as ckpt:
@@ -96,7 +104,8 @@ def parent_main() -> int:
         env = dict(os.environ)
         env[ENV_FAULT_KILL_AFTER] = str(KILL_AFTER_FLUSHES)
         proc = subprocess.run(
-            [sys.executable, os.path.abspath(__file__), "--child", ckpt],
+            [sys.executable, os.path.abspath(__file__), "--child", ckpt,
+             "--engine", engine],
             env=env,
             timeout=600,
         )
@@ -104,7 +113,7 @@ def parent_main() -> int:
             raise SystemExit("child survived: the kill hook never fired")
         print(f"      child died with returncode {proc.returncode} (expected)")
 
-        fingerprint = sweep_fingerprint(ALGOS, make_batch(), KWARGS, "classic")
+        fingerprint = sweep_fingerprint(ALGOS, make_batch(), KWARGS, engine)
         store = CheckpointStore(ckpt, fingerprint=fingerprint)
         flushed = len(store)
         if flushed < KILL_AFTER_FLUSHES:
@@ -117,8 +126,8 @@ def parent_main() -> int:
 
         print("[3/3] resume from the orphaned checkpoint")
         col = StatsCollector()
-        resumed = aggregates(run_sweep(checkpoint_dir=ckpt, resume=True,
-                                       collector=col))
+        resumed = aggregates(run_sweep(engine=engine, checkpoint_dir=ckpt,
+                                       resume=True, collector=col))
         stats = col.snapshot()
         if stats.units_resumed != flushed:
             raise SystemExit(
@@ -136,10 +145,14 @@ def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--child", metavar="CHECKPOINT_DIR", default=None,
                         help="internal: run the killable sweep phase")
+    parser.add_argument("--engine", choices=["classic", "fast", "batch"],
+                        default="classic",
+                        help="sweep engine for every phase (bound into the "
+                             "checkpoint fingerprint)")
     args = parser.parse_args()
     if args.child is not None:
-        return child_main(args.child)
-    return parent_main()
+        return child_main(args.child, args.engine)
+    return parent_main(args.engine)
 
 
 if __name__ == "__main__":
