@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Bounded-memory streaming benchmark, merged into BENCH_core.json.
+
+Runs the pinned-seed streaming grid through the
+:class:`~repro.streaming.StreamingEngine`: the headline cell is a
+~10-million-event (~5-million-item) Poisson stream (d = 2, rate = 5000,
+horizon = 1000) dispatched through ``next_fit`` — the O(1)-per-arrival
+policy — consumed lazily from
+:meth:`~repro.workloads.poisson.PoissonWorkload.stream` with
+``record_assignment=False``, so nothing on the path is O(stream length).
+A shorter ``first_fit`` cell covers the deep-open-list Any Fit scan
+cost.  Each record carries events/sec throughput, the peak live-item and
+open-bin counts (the O(live) memory bound made measurable — compare
+``peak_live_items`` against ``items``), and the process peak RSS.
+
+The payload nests under the ``"streaming"`` key of ``BENCH_core.json``
+when that file already holds a core-suite payload, so one file carries
+the whole perf trajectory.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python benchmarks/bench_streaming.py            # full grid (minutes)
+    PYTHONPATH=src python benchmarks/bench_streaming.py --smoke    # seconds-fast
+
+Equivalent CLI form: ``python -m repro bench --suite streaming``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+# Allow running as a plain script from a checkout without installing.
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SRC = os.path.join(_REPO_ROOT, "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.observability.bench import (  # noqa: E402
+    STREAMING_SCENARIOS,
+    STREAMING_SMOKE_SCENARIOS,
+    merge_suite,
+    run_streaming_suite,
+    write_bench,
+)
+from repro.observability.bench import SCHEMA as _CORE_SCHEMA  # noqa: E402
+
+_DEFAULT_OUTPUT = os.path.join(_REPO_ROOT, "BENCH_core.json")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="run the seconds-fast smoke grid instead of the full one")
+    parser.add_argument("--repeats", type=int, default=1,
+                        help="runs per scenario; wall-time is the min "
+                             "(default 1 — the headline cell runs minutes)")
+    parser.add_argument("--output", default=_DEFAULT_OUTPUT,
+                        help="output JSON path (default: BENCH_core.json at the repo root)")
+    args = parser.parse_args(argv)
+
+    scenarios = STREAMING_SMOKE_SCENARIOS if args.smoke else STREAMING_SCENARIOS
+    suite = "streaming-smoke" if args.smoke else "streaming"
+    print(f"running {suite} suite ({len(scenarios)} scenarios, "
+          f"repeats={args.repeats}) ...")
+    payload = run_streaming_suite(
+        scenarios=scenarios,
+        repeats=args.repeats,
+        suite=suite,
+        progress=print,
+    )
+
+    # Nest under the core payload when the output file already holds one
+    # (existing "fastpath"/"batch" records ride along untouched).
+    existing = None
+    if os.path.exists(args.output):
+        try:
+            with open(args.output, "r", encoding="utf-8") as fh:
+                existing = json.load(fh)
+        except (OSError, ValueError):
+            existing = None
+    if isinstance(existing, dict) and existing.get("schema") == _CORE_SCHEMA:
+        write_bench(merge_suite(existing, "streaming", payload), args.output)
+    else:
+        write_bench(payload, args.output)
+
+    head = payload["headline"]
+    print(f"suite finished in {payload['total_wall_time_s']:.1f} s; "
+          f"headline ({head['scenario']}): {head['events']} events at "
+          f"{head['events_per_sec']:.0f}/s, peak live "
+          f"{head['peak_live_items']} of {head['items']} items, "
+          f"rss {head['peak_rss_mb']:.0f} MiB; wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,7 +18,7 @@ list-maintenance hooks.
 from __future__ import annotations
 
 import abc
-from typing import Callable, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -54,6 +54,16 @@ class OnlineAlgorithm(abc.ABC):
     #: subclass overriding ``choose`` cannot inherit eligibility by
     #: accident.
     fast_kernel: Optional[str] = None
+
+    #: Unbounded-audit toggle.  Some policies accrue O(stream-length)
+    #: proof bookkeeping that no *online* decision ever reads (Next
+    #: Fit's ``release_log`` for the Theorem 4 check is the one case
+    #: today).  The streaming engine and the placement service clear
+    #: this flag before :meth:`start` so long-lived runs stay
+    #: O(live-state); the classic engines leave it on, so the offline
+    #: analyses (:mod:`repro.analysis.proofs`) see the full trail.
+    #: Must never influence dispatch decisions — only what is recorded.
+    audit_mode: bool = True
 
     #: Optional stats collector bound by an instrumented engine for the
     #: duration of one run (see ``repro.observability``).  Class-level
@@ -93,6 +103,38 @@ class OnlineAlgorithm(abc.ABC):
         ``closed`` is ``True`` when the departure emptied the bin.  The
         default implementation does nothing.
         """
+
+    # ------------------------------------------------------------------
+    # snapshot/restore (service mode)
+    # ------------------------------------------------------------------
+    def export_state(self) -> Dict[str, Any]:
+        """JSON-ready snapshot of the policy's mutable mid-run state.
+
+        Bins are referenced by index (the engine owns the bin objects);
+        :meth:`import_state` re-binds them.  The base contract raises —
+        a policy must opt in explicitly, because silently snapshotting a
+        policy with unexported state (an RNG, a recency order) would
+        restore into *different* future decisions.
+        :class:`AnyFitAlgorithm` and the stock Section 7 policies all
+        opt in; see :class:`~repro.streaming.service.PlacementService`.
+        """
+        raise AlgorithmError(
+            f"{self.name} does not support state export; override "
+            "export_state/import_state to make it snapshottable"
+        )
+
+    def import_state(self, state: Mapping[str, Any], bins_by_index: Mapping[int, Bin]) -> None:
+        """Inverse of :meth:`export_state`.
+
+        Call :meth:`start` first (it binds the capacity and resets the
+        derived per-run state), then this to re-adopt the snapshot.
+        ``bins_by_index`` maps bin index → live bin object for every bin
+        the snapshot references.
+        """
+        raise AlgorithmError(
+            f"{self.name} does not support state import; override "
+            "export_state/import_state to make it snapshottable"
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(name={self.name!r})"
@@ -156,6 +198,20 @@ class AnyFitAlgorithm(OnlineAlgorithm):
         if closed:
             self._list = [b for b in self._list if b is not bin_]
             self.on_closed(bin_, now)
+
+    def export_state(self) -> Dict[str, Any]:
+        """Snapshot ``L`` as a list of bin indexes (order is the state).
+
+        Sufficient for every stock Any Fit policy whose only mutable
+        state *is* the ordered open list (First/Last/Best/Worst Fit,
+        Move To Front); policies with extra state extend the dict.
+        """
+        return {"open_list": [b.index for b in self._list]}
+
+    def import_state(self, state: Mapping[str, Any], bins_by_index: Mapping[int, Bin]) -> None:
+        if self._capacity is None:
+            raise AlgorithmError(f"{self.name}: import_state before start()")
+        self._list = [bins_by_index[i] for i in state["open_list"]]
 
     # ------------------------------------------------------------------
     # hooks for subclasses

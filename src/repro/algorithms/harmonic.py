@@ -81,3 +81,23 @@ class HarmonicFit(OnlineAlgorithm):
             cls = self._class_of_bin.pop(bin_.index, None)
             if cls is not None and cls in self._classes:
                 self._classes[cls] = [b for b in self._classes[cls] if b is not bin_]
+
+    def export_state(self):
+        """Class buckets as index lists (First Fit order within a class)."""
+        return {
+            "classes": {
+                str(cls): [b.index for b in bucket]
+                for cls, bucket in self._classes.items()
+            },
+        }
+
+    def import_state(self, state, bins_by_index) -> None:
+        if self._capacity is None:
+            raise ConfigurationError(f"{self.name}: import_state before start()")
+        self._classes = {
+            int(cls): [bins_by_index[i] for i in idxs]
+            for cls, idxs in state["classes"].items()
+        }
+        self._class_of_bin = {
+            b.index: cls for cls, bucket in self._classes.items() for b in bucket
+        }

@@ -61,13 +61,33 @@ class NextFit(AnyFitAlgorithm):
         # remains active in the engine and keeps accruing usage time.
         if self._list:
             released = self._list[0]
-            self.release_times[released.index] = now
-            self.release_log.append(
-                (released.index, now, item, released.active_items())
-            )
+            # both structures grow with every bin ever opened (and
+            # release_log pins the released bin's resident Items), so a
+            # bounded-memory run must switch them off — dispatch never
+            # reads either, only the offline Theorem 4 check does
+            if self.audit_mode:
+                self.release_times[released.index] = now
+                self.release_log.append(
+                    (released.index, now, item, released.active_items())
+                )
         self._list = [bin_]
 
     def on_closed(self, bin_: Bin, now: float) -> None:
         # A current bin that closes (all items departed) ends its
         # current-period at its close time.
-        self.release_times.setdefault(bin_.index, now)
+        if self.audit_mode:
+            self.release_times.setdefault(bin_.index, now)
+
+    def export_state(self):
+        # release_times feeds the Theorem 4 usage-period decomposition
+        # and is part of the resumable state; release_log holds live
+        # Item/Bin references for the offline proof check only and is
+        # deliberately *not* snapshotted (it restarts empty).
+        state = super().export_state()
+        state["release_times"] = {str(k): v for k, v in self.release_times.items()}
+        return state
+
+    def import_state(self, state, bins_by_index) -> None:
+        super().import_state(state, bins_by_index)
+        self.release_times = {int(k): v for k, v in state["release_times"].items()}
+        self.release_log = []

@@ -44,3 +44,17 @@ class RandomFit(AnyFitAlgorithm):
     def choose(self, item: Item, candidates: List[Bin], now: float) -> Bin:
         assert self._rng is not None, "start() not called"
         return candidates[int(self._rng.integers(len(candidates)))]
+
+    def export_state(self):
+        # the bit-generator state dict is plain ints/strings, so the
+        # snapshot stays JSON-serialisable; restoring it replays the
+        # exact random stream from the snapshot point onward
+        state = super().export_state()
+        assert self._rng is not None, "start() not called"
+        state["rng_state"] = self._rng.bit_generator.state
+        return state
+
+    def import_state(self, state, bins_by_index) -> None:
+        super().import_state(state, bins_by_index)
+        assert self._rng is not None, "start() not called"
+        self._rng.bit_generator.state = state["rng_state"]

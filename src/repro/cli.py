@@ -18,7 +18,10 @@ Subcommands regenerate each paper artefact:
   ``BENCH_core.json`` trajectory file; see docs/observability.md);
 * ``verify``  — the differential/invariant fuzzing harness
   (``--profile quick|deep``; see docs/verification.md) or a single
-  Theorem 2/4 proof decomposition (``--theorem``).
+  Theorem 2/4 proof decomposition (``--theorem``);
+* ``serve``   — a long-lived :class:`~repro.streaming.PlacementService`
+  speaking JSON-lines over stdin/stdout, with snapshot/restore
+  (see docs/streaming.md).
 """
 
 from __future__ import annotations
@@ -153,13 +156,15 @@ def _build_parser() -> argparse.ArgumentParser:
                     choices=available_algorithms())
     pr.add_argument("--validate", action="store_true",
                     help="audit the packing before reporting")
-    pr.add_argument("--engine", choices=["classic", "fast", "batch"],
+    pr.add_argument("--engine", choices=["classic", "fast", "batch", "streaming"],
                     default="classic",
                     help="fast = the flat-array FastEngine (bit-identical "
                          "packings, several times faster; falls back to "
                          "classic for policies without a fast kernel); "
                          "batch = one BatchRunner pass (same results; pays "
-                         "off over many replays)")
+                         "off over many replays); streaming = the "
+                         "bounded-memory event loop (same results on every "
+                         "policy; memory scales with peak live items)")
     pr.add_argument("--retries", type=int, default=0,
                     help="retry the run with exponential backoff on failure")
     pr.add_argument("--unit-timeout", type=float, default=None,
@@ -172,14 +177,18 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     pb.add_argument("--suite",
                     choices=["core", "smoke", "fastpath", "fastpath-smoke",
-                             "batch", "batch-smoke"],
+                             "batch", "batch-smoke",
+                             "streaming", "streaming-smoke"],
                     default="core",
                     help="core = the BENCH_core.json grid; smoke = seconds-fast "
                          "subset; fastpath = the classic-vs-FastEngine "
                          "comparison grid (merged under the 'fastpath' key of "
                          "the output); batch = the per-unit-vs-batched sweep "
                          "comparison grid (merged under the 'batch' key); "
-                         "*-smoke = their seconds-fast subsets")
+                         "streaming = the bounded-memory long-stream grid "
+                         "(events/sec + peak-RSS, merged under the "
+                         "'streaming' key); *-smoke = their seconds-fast "
+                         "subsets")
     pb.add_argument("--repeats", type=int, default=3,
                     help="runs per (scenario, algorithm); wall-time is the min")
     pb.add_argument("--output", default="BENCH_core.json",
@@ -188,6 +197,29 @@ def _build_parser() -> argparse.ArgumentParser:
                     help="also emit per-run records to this JSON-lines file")
     pb.add_argument("--overhead", action="store_true",
                     help="measure and report instrumented-vs-plain engine overhead")
+
+    pss = sub.add_parser(
+        "serve",
+        help="run a long-lived placement service over JSON-lines "
+             "stdin/stdout (see docs/streaming.md for the protocol)",
+    )
+    pss.add_argument("--policy", default="move_to_front",
+                     choices=available_algorithms())
+    pss.add_argument("--capacity", type=float, nargs="+", default=[100.0],
+                     help="bin capacity: one value per dimension, or a "
+                          "single scalar combined with --d")
+    pss.add_argument("--d", type=int, default=1,
+                     help="dimensions when --capacity is a single scalar")
+    pss.add_argument("--seed", type=int, default=0,
+                     help="seed for random_fit (ignored by other policies)")
+    pss.add_argument("--restore", default=None, metavar="PATH",
+                     help="resume from a checksummed snapshot file (written "
+                          "by the snapshot op or --snapshot-on-exit); "
+                          "--policy/--capacity/--d/--seed are then ignored")
+    pss.add_argument("--snapshot-on-exit", default=None, metavar="PATH",
+                     dest="snapshot_on_exit",
+                     help="write a checksummed snapshot here when the "
+                          "request stream ends")
 
     pv = sub.add_parser(
         "verify",
@@ -375,10 +407,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             FASTPATH_SMOKE_SCENARIOS,
             SCHEMA,
             SMOKE_SCENARIOS,
+            STREAMING_SCENARIOS,
+            STREAMING_SMOKE_SCENARIOS,
             measure_overhead,
             merge_suite,
             run_batch_suite,
             run_fastpath_suite,
+            run_streaming_suite,
             run_suite,
             write_bench,
         )
@@ -393,6 +428,32 @@ def main(argv: Optional[List[str]] = None) -> int:
             except (OSError, ValueError):
                 return None
 
+        if args.suite in ("streaming", "streaming-smoke"):
+            scenarios = (
+                STREAMING_SCENARIOS if args.suite == "streaming"
+                else STREAMING_SMOKE_SCENARIOS
+            )
+            print(f"running {args.suite} suite ({len(scenarios)} scenarios, "
+                  f"repeats={args.repeats}) ...")
+            payload = run_streaming_suite(
+                scenarios=scenarios, repeats=args.repeats,
+                suite=args.suite, progress=print
+            )
+            # Keep one trajectory file: nest under an existing core
+            # payload (preserving its companion records) when present.
+            out = payload
+            existing = _load_existing()
+            if isinstance(existing, dict) and existing.get("schema") == SCHEMA:
+                out = merge_suite(existing, "streaming", payload)
+            write_bench(out, args.output)
+            head = payload["headline"]
+            print(f"suite finished in {payload['total_wall_time_s']:.1f} s; "
+                  f"headline ({head['scenario']}): "
+                  f"{head['events']} events at "
+                  f"{head['events_per_sec']:.0f}/s, peak live "
+                  f"{head['peak_live_items']} of {head['items']} items, "
+                  f"rss {head['peak_rss_mb']:.0f} MiB; wrote {args.output}")
+            return 0
         if args.suite in ("batch", "batch-smoke"):
             scenarios = (
                 BATCH_SCENARIOS if args.suite == "batch"
@@ -463,12 +524,31 @@ def main(argv: Optional[List[str]] = None) -> int:
         # A core re-run must not discard existing companion records.
         existing = _load_existing()
         if isinstance(existing, dict):
-            for key in ("fastpath", "batch"):
+            for key in ("fastpath", "batch", "streaming"):
                 if key in existing:
                     payload = merge_suite(payload, key, existing[key])
         write_bench(payload, args.output)
         print(f"suite finished in {payload['total_wall_time_s']:.1f} s; "
               f"wrote {args.output}")
+    elif args.command == "serve":
+        from .streaming.service import PlacementService, serve_loop
+
+        if args.restore:
+            svc = PlacementService.restore_from(args.restore)
+            print(f'{{"ok": true, "restored": "{args.restore}"}}', flush=True)
+        else:
+            cap = (args.capacity[0] if len(args.capacity) == 1
+                   else args.capacity)
+            svc = PlacementService(policy=args.policy, capacity=cap,
+                                   d=args.d, seed=args.seed)
+
+        def _emit(line: str) -> None:
+            sys.stdout.write(line + "\n")
+            sys.stdout.flush()
+
+        serve_loop(svc, sys.stdin, _emit)
+        if args.snapshot_on_exit:
+            svc.snapshot_to(args.snapshot_on_exit)
     elif args.command == "verify":
         if args.profile is not None:
             from .verify import run_verify

@@ -18,6 +18,7 @@ __all__ = [
     "ConfigurationError",
     "CheckpointError",
     "UnitFailedError",
+    "StreamOrderError",
 ]
 
 
@@ -86,6 +87,17 @@ class CheckpointError(DVBPError, RuntimeError):
     unit outside the sweep it was opened for.  Corrupted shards do *not*
     raise — they are dropped with a warning and their units re-run (see
     :mod:`repro.orchestration.checkpoint`).
+    """
+
+
+class StreamOrderError(DVBPError, ValueError):
+    """An incremental event stream violated its ordering contract.
+
+    The streaming merge (:mod:`repro.streaming.merge`) requires arrivals
+    in non-decreasing time order — that is what lets it interleave the
+    departure heap without buffering the whole stream.  An out-of-order
+    arrival would silently produce an event order different from the
+    classic engine's lexsort, so it fails loudly instead.
     """
 
 

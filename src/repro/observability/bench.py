@@ -59,12 +59,18 @@ __all__ = [
     "SweepBenchScenario",
     "BATCH_SCENARIOS",
     "BATCH_SMOKE_SCENARIOS",
+    "STREAMING_SCHEMA",
+    "StreamBenchScenario",
+    "STREAMING_SCENARIOS",
+    "STREAMING_SMOKE_SCENARIOS",
     "run_scenario",
     "run_suite",
     "run_fastpath_scenario",
     "run_fastpath_suite",
     "run_batch_scenario",
     "run_batch_suite",
+    "run_streaming_scenario",
+    "run_streaming_suite",
     "write_bench",
     "merge_fastpath",
     "merge_suite",
@@ -82,6 +88,10 @@ FASTPATH_SCHEMA = "repro-bench-fastpath/v1"
 #: Schema tag of the batched-sweep comparison payload nested under the
 #: ``"batch"`` key of ``BENCH_core.json``.
 BATCH_SCHEMA = "repro-bench-batch/v1"
+
+#: Schema tag of the bounded-memory long-stream payload nested under the
+#: ``"streaming"`` key of ``BENCH_core.json``.
+STREAMING_SCHEMA = "repro-bench-streaming/v1"
 
 #: Suite base seed (the paper's arXiv date, matching ExperimentConfig).
 BASE_SEED = 20230419
@@ -248,6 +258,86 @@ BATCH_SCENARIOS: List[SweepBenchScenario] = _sweep_grid(
 BATCH_SMOKE_SCENARIOS: List[SweepBenchScenario] = _sweep_grid(
     d_values=(1, 2), mu_values=(10,), n=120, m=2
 )
+
+
+@dataclass(frozen=True)
+class StreamBenchScenario:
+    """One bounded-memory streaming cell: a pinned Poisson stream.
+
+    Unlike every other scenario class here, this one never materialises
+    an :class:`~repro.core.instance.Instance` — the whole point is that
+    the stream is consumed lazily by the
+    :class:`~repro.streaming.StreamingEngine`, so memory scales with the
+    *peak number of concurrently live items* (≈ ``rate`` × mean
+    duration, ~11k for the headline cell) while the stream itself runs
+    to millions of items.  The headline cell is a ten-million-event
+    (five-million-item) stream dispatched through ``next_fit``, the
+    O(1)-per-arrival policy — deep-open-list policies like ``first_fit``
+    re-stack the whole open list per arrival and get a shorter cell of
+    their own.
+    """
+
+    name: str
+    policy: str
+    d: int
+    rate: float
+    horizon: float
+    seed: int = BASE_SEED
+
+    def workload(self):
+        """The pinned Poisson stream source."""
+        from ..workloads.poisson import PoissonWorkload
+
+        return PoissonWorkload(d=self.d, rate=self.rate, horizon=self.horizon)
+
+    def params(self) -> Dict[str, Any]:
+        """JSON-ready parameter record."""
+        return {"policy": self.policy, "d": self.d, "rate": self.rate,
+                "horizon": self.horizon, "seed": self.seed}
+
+
+#: The bounded-memory grid: the ~10M-event next_fit headline plus a
+#: ~200k-event first_fit cell (deep open list, representative of the
+#: Any Fit scan cost).  Expected item counts are ``rate * horizon``;
+#: events are twice that.
+STREAMING_SCENARIOS: List[StreamBenchScenario] = [
+    StreamBenchScenario(
+        name="poisson-d2-rate5000-next_fit",
+        policy="next_fit",
+        d=2,
+        rate=5000.0,
+        horizon=1000.0,
+        seed=BASE_SEED + 1,
+    ),
+    StreamBenchScenario(
+        name="poisson-d2-rate100-first_fit",
+        policy="first_fit",
+        d=2,
+        rate=100.0,
+        horizon=1000.0,
+        seed=BASE_SEED + 2,
+    ),
+]
+
+#: A seconds-fast streaming subset for tests and the CI smoke leg.
+STREAMING_SMOKE_SCENARIOS: List[StreamBenchScenario] = [
+    StreamBenchScenario(
+        name="poisson-d2-rate50-next_fit-smoke",
+        policy="next_fit",
+        d=2,
+        rate=50.0,
+        horizon=40.0,
+        seed=BASE_SEED + 3,
+    ),
+    StreamBenchScenario(
+        name="poisson-d2-rate50-first_fit-smoke",
+        policy="first_fit",
+        d=2,
+        rate=50.0,
+        horizon=40.0,
+        seed=BASE_SEED + 4,
+    ),
+]
 
 
 def run_scenario(
@@ -596,6 +686,126 @@ def run_batch_suite(
     return payload
 
 
+def _peak_rss_mb() -> float:
+    """Process-lifetime peak resident set size in MiB (0.0 if unknown).
+
+    ``ru_maxrss`` is a high-water mark for the whole process, so on a
+    suite of several scenarios only the *first* (largest) cell's number
+    is attributable; the suite runner orders scenarios largest-first and
+    records the per-scenario delta-free value as-is, documented as a
+    process peak.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platforms
+        return 0.0
+    rss = float(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+    if sys.platform == "darwin":  # bytes there, KiB on Linux
+        rss /= 1024.0
+    return rss / 1024.0
+
+
+def run_streaming_scenario(
+    scenario: StreamBenchScenario,
+    repeats: int = 1,
+    flush_every: int = 1_000_000,
+) -> Dict[str, Any]:
+    """Run one bounded-memory stream end to end; return its JSON record.
+
+    A fresh :class:`~repro.streaming.StreamingEngine` consumes the
+    scenario's lazily generated Poisson stream with
+    ``record_assignment=False`` — *nothing* on this path is O(stream
+    length): no instance, no item list, no assignment map.  Wall-time is
+    the minimum over ``repeats`` (default 1 — the headline cell runs
+    minutes); counters come from the last run and are seed-stable.
+    ``peak_rss_mb`` is the process high-water mark after the run, the
+    operational "does 10M events fit in memory" number.
+    """
+    from ..streaming import StreamingEngine
+
+    workload = scenario.workload()
+    best: Optional[Dict[str, Any]] = None
+    for _ in range(max(1, repeats)):
+        algo = make_algorithm(scenario.policy)
+        engine = StreamingEngine(
+            algo, workload.capacity, record_assignment=False,
+            flush_every=flush_every,
+        )
+        t0 = time.perf_counter()
+        result = engine.run(workload.stream_seeded(scenario.seed))
+        wall = time.perf_counter() - t0
+        cell = {
+            "wall_time_s": wall,
+            "items": result.arrivals,
+            "events": result.events,
+            "events_per_sec": result.events / wall if wall > 0 else 0.0,
+            "cost": result.cost,
+            "bins_opened": result.bins_opened,
+            "peak_open_bins": result.peak_open_bins,
+            "peak_live_items": result.peak_live_items,
+            "flushes": result.flushes,
+            "peak_rss_mb": _peak_rss_mb(),
+        }
+        if best is None or cell["wall_time_s"] < best["wall_time_s"]:
+            best = cell
+    return {"name": scenario.name, "params": scenario.params(), **best}
+
+
+def run_streaming_suite(
+    scenarios: Sequence[StreamBenchScenario] = tuple(STREAMING_SCENARIOS),
+    repeats: int = 1,
+    suite: str = "streaming",
+    progress=None,
+) -> Dict[str, Any]:
+    """Run the bounded-memory suite; return its JSON payload.
+
+    The ``headline`` block repeats the largest cell (by event count):
+    events/sec throughput, the peak live-item count (the memory model's
+    O(live) bound made measurable — compare it against ``items`` to see
+    the stream was never materialised), and the process peak RSS.
+    """
+    t0 = time.perf_counter()
+    records = []
+    # largest first, so the process-peak RSS number is attributable to
+    # the headline cell (see _peak_rss_mb)
+    ordered = sorted(
+        scenarios, key=lambda s: s.rate * s.horizon, reverse=True
+    )
+    for scenario in ordered:
+        record = run_streaming_scenario(scenario, repeats=repeats)
+        records.append(record)
+        if progress is not None:
+            progress(
+                f"  {record['name']}: {record['events']} events in "
+                f"{record['wall_time_s']:.1f} s "
+                f"({record['events_per_sec']:.0f}/s), "
+                f"peak live {record['peak_live_items']} of "
+                f"{record['items']} items, "
+                f"rss {record['peak_rss_mb']:.0f} MiB"
+            )
+    largest = max(records, key=lambda r: r["events"])
+    payload = {
+        "schema": STREAMING_SCHEMA,
+        "suite": suite,
+        "generated_unix": time.time(),
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "repeats": repeats,
+        "total_wall_time_s": time.perf_counter() - t0,
+        "headline": {
+            "scenario": largest["name"],
+            "events": largest["events"],
+            "items": largest["items"],
+            "events_per_sec": largest["events_per_sec"],
+            "peak_live_items": largest["peak_live_items"],
+            "peak_open_bins": largest["peak_open_bins"],
+            "peak_rss_mb": largest["peak_rss_mb"],
+        },
+        "scenarios": records,
+    }
+    return payload
+
+
 def measure_item_memory(count: int = 10_000) -> Dict[str, Any]:
     """Per-object memory of the slotted :class:`~repro.core.items.Item`.
 
@@ -672,7 +882,8 @@ def merge_suite(
     """Attach a companion suite payload under ``key`` of the core payload.
 
     Generalisation of :func:`merge_fastpath` for the growing family of
-    nested suites (``"fastpath"``, ``"batch"``): the core grid stays at
+    nested suites (``"fastpath"``, ``"batch"``, ``"streaming"``): the
+    core grid stays at
     the top level with its unchanged schema, and each companion nests
     under its own key, so re-running one suite never clobbers another's
     trajectory.

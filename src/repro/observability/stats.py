@@ -32,6 +32,17 @@ Counter semantics
     kernel (ineligible) or because the kernel failed and the run
     degraded gracefully.  Deterministic for a fixed (algorithm,
     instance, engine-request) triple.
+``streaming_runs`` / ``stream_flushes`` / ``peak_live_items``
+    The streaming-engine path (:mod:`repro.streaming`): how many runs
+    the streaming engine executed, how many periodic cost flushes it
+    emitted, and the peak number of simultaneously live items it held
+    (the quantity its O(peak-open-items) memory contract is stated in).
+    Like the fault-recovery counters below, these describe *how* a run
+    was executed — which engine, what flush cadence — not what it
+    computed, so all three are zeroed in
+    :meth:`RunStats.deterministic_part`: an instrumented-vs-plain or
+    streaming-vs-classic differential must stay bit-identical on the
+    deterministic part.
 ``retries`` / ``unit_timeouts`` / ``units_resumed`` / ``pool_restarts``
     Orchestration-side fault-recovery counters (see
     :mod:`repro.orchestration`): work units re-executed after a worker
@@ -100,6 +111,9 @@ class RunStats:
     fit_checks: int = 0
     fastpath_runs: int = 0
     fastpath_fallbacks: int = 0
+    streaming_runs: int = 0
+    stream_flushes: int = 0
+    peak_live_items: int = 0
     retries: int = 0
     unit_timeouts: int = 0
     units_resumed: int = 0
@@ -169,6 +183,9 @@ class RunStats:
             fit_checks=sum(p.fit_checks for p in parts),
             fastpath_runs=sum(p.fastpath_runs for p in parts),
             fastpath_fallbacks=sum(p.fastpath_fallbacks for p in parts),
+            streaming_runs=sum(p.streaming_runs for p in parts),
+            stream_flushes=sum(p.stream_flushes for p in parts),
+            peak_live_items=max(p.peak_live_items for p in parts),
             retries=sum(p.retries for p in parts),
             unit_timeouts=sum(p.unit_timeouts for p in parts),
             units_resumed=sum(p.units_resumed for p in parts),
@@ -187,10 +204,19 @@ class RunStats:
         resume-determinism oracle compare it.  The fault-recovery
         counters (``retries``/``unit_timeouts``/``units_resumed``/
         ``pool_restarts``) describe the *execution history*, not the
-        computation, so they are zeroed alongside the timings.
+        computation, so they are zeroed alongside the timings — and so
+        do the streaming-path counters (``streaming_runs``/
+        ``stream_flushes``/``peak_live_items``): which engine executed a
+        run and how often it flushed are execution facts, and the
+        classic engine does not track live items at all, so leaving any
+        of them in would break the instrumented-vs-plain and
+        streaming-vs-classic bit-identity differentials.
         """
         return replace(
             self,
+            streaming_runs=0,
+            stream_flushes=0,
+            peak_live_items=0,
             retries=0,
             unit_timeouts=0,
             units_resumed=0,
@@ -235,6 +261,9 @@ class StatsCollector:
         "fit_checks",
         "fastpath_runs",
         "fastpath_fallbacks",
+        "streaming_runs",
+        "stream_flushes",
+        "peak_live_items",
         "retries",
         "unit_timeouts",
         "units_resumed",
@@ -259,6 +288,9 @@ class StatsCollector:
         self.fit_checks = 0
         self.fastpath_runs = 0
         self.fastpath_fallbacks = 0
+        self.streaming_runs = 0
+        self.stream_flushes = 0
+        self.peak_live_items = 0
         self.retries = 0
         self.unit_timeouts = 0
         self.units_resumed = 0
@@ -369,6 +401,9 @@ class StatsCollector:
             fit_checks=self.fit_checks,
             fastpath_runs=self.fastpath_runs,
             fastpath_fallbacks=self.fastpath_fallbacks,
+            streaming_runs=self.streaming_runs,
+            stream_flushes=self.stream_flushes,
+            peak_live_items=self.peak_live_items,
             retries=self.retries,
             unit_timeouts=self.unit_timeouts,
             units_resumed=self.units_resumed,
@@ -392,6 +427,9 @@ class StatsCollector:
         self.fit_checks = 0
         self.fastpath_runs = 0
         self.fastpath_fallbacks = 0
+        self.streaming_runs = 0
+        self.stream_flushes = 0
+        self.peak_live_items = 0
         self.retries = 0
         self.unit_timeouts = 0
         self.units_resumed = 0

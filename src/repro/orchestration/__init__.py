@@ -23,6 +23,7 @@ end-to-end for both engines.
 
 from .checkpoint import (
     CheckpointStore,
+    atomic_write,
     record_to_result,
     result_to_record,
     sweep_fingerprint,
@@ -42,6 +43,7 @@ from .sweep import resumable_sweep
 
 __all__ = [
     "CheckpointStore",
+    "atomic_write",
     "ENV_FAULT_KILL_AFTER",
     "ENV_FAULT_MODE",
     "ENV_FAULT_TIMES",

@@ -52,6 +52,7 @@ __all__ = [
     "sweep_fingerprint",
     "result_to_record",
     "record_to_result",
+    "atomic_write",
 ]
 
 SCHEMA = "repro.orchestration.checkpoint/v1"
@@ -143,6 +144,11 @@ def _atomic_write(path: str, data: str) -> None:
         os.fsync(dir_fd)
     finally:
         os.close(dir_fd)
+
+
+#: Public alias: the crash-safe write primitive is also the persistence
+#: layer of :class:`repro.streaming.service.PlacementService` snapshots.
+atomic_write = _atomic_write
 
 
 class CheckpointStore:

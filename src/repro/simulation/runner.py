@@ -33,15 +33,18 @@ def effective_engine(
 ) -> str:
     """The engine :func:`run` would actually use for this request.
 
-    ``engine="fast"`` (or ``"batch"``) is a *request*: runs the fast
-    path cannot take (observers present, or a policy without a
-    registered kernel) execute on the classic engine instead.  CLIs and
-    drivers call this to report the effective engine up front rather
-    than leaving the fallback implicit; it performs no simulation and
-    never warns.
+    ``engine="fast"`` (or ``"batch"``, or ``"streaming"``) is a
+    *request*: runs the alternate path cannot take (observers present,
+    or — for the fast/batch engines — a policy without a registered
+    kernel) execute on the classic engine instead.  CLIs and drivers
+    call this to report the effective engine up front rather than
+    leaving the fallback implicit; it performs no simulation and never
+    warns.
     """
-    if engine not in ("fast", "batch") or observers:
+    if engine not in ("fast", "batch", "streaming") or observers:
         return "classic"
+    if engine == "streaming":
+        return "streaming"
     from .fastpath import fast_policy_for
 
     return engine if fast_policy_for(algorithm) is not None else "classic"
@@ -75,21 +78,32 @@ def run(
         when given, the engine records per-run counters and timings into
         it (``None`` keeps the uninstrumented fast path).
     engine:
-        ``"classic"`` (default), ``"fast"``, or ``"batch"``.  ``"fast"``
-        requests the flat-array
+        ``"classic"`` (default), ``"fast"``, ``"batch"``, or
+        ``"streaming"``.  ``"fast"`` requests the flat-array
         :class:`~repro.simulation.fastpath.FastEngine`; ``"batch"``
         routes through a :class:`~repro.simulation.batch.BatchRunner`
         (useful mainly for parity with sweep flags — the batched
         amortisation pays off over many replays, which
         :func:`run_many` and ``parallel_sweep(engine="batch")``
-        exploit).  Runs the fast path cannot take (observers present, or
-        a policy without a fast kernel) fall back to the classic engine
-        with the same result — all engines are bit-identical.
+        exploit); ``"streaming"`` replays through the bounded-memory
+        :func:`repro.streaming.streaming_run` event loop (every
+        policy supported).  Runs an alternate path cannot take
+        (observers present, or — fast/batch — a policy without a fast
+        kernel) fall back to the classic engine with the same result —
+        all engines are bit-identical.
     """
-    if engine not in ("classic", "fast", "batch"):
+    if engine not in ("classic", "fast", "batch", "streaming"):
         raise ConfigurationError(
-            f"unknown engine {engine!r}; expected 'classic', 'fast', or 'batch'"
+            f"unknown engine {engine!r}; expected 'classic', 'fast', "
+            f"'batch', or 'streaming'"
         )
+    if engine == "streaming" and not observers:
+        from ..streaming import streaming_run
+
+        packing = streaming_run(_resolve(algorithm), instance, collector=collector)
+        if validate:
+            packing.validate()
+        return packing
     if engine == "batch" and not observers:
         from .batch import BatchRunner
 

@@ -1,0 +1,42 @@
+"""repro.streaming — incremental event consumption with bounded memory.
+
+The fourth execution mode (after classic, fastpath, and batch): instead
+of materialising an :class:`~repro.core.instance.Instance` and
+lexsorting all ``2n`` events up front, this package consumes items one
+at a time and keeps only live state, so memory scales with the *peak
+number of concurrently open items*, not the stream length.  Three
+modules:
+
+* :mod:`~repro.streaming.merge` — the streaming merge: arrivals from an
+  iterator interleaved with a departure heap, reproducing the classic
+  ``(time, kind, seq)`` event order (departures-first at ties) exactly;
+* :mod:`~repro.streaming.engine` — :class:`StreamingEngine`, the
+  bounded-memory replay loop (tombstone-reclaimed bins, periodic cost
+  flushing), plus :func:`streaming_run`, the
+  :class:`~repro.core.packing.Packing`-returning adapter behind
+  ``run(..., engine="streaming")``;
+* :mod:`~repro.streaming.service` — :class:`PlacementService`, a
+  long-lived ``place``/``depart`` server with crash-safe JSON
+  snapshot/restore built on the orchestration checkpoint machinery
+  (also reachable as ``repro serve``).
+
+The engine is bit-identical in final cost and assignment to the classic
+engine on every materialised instance — the ``compare_with_streaming``
+oracle in :mod:`repro.verify` enforces this in every verify profile.
+"""
+
+from .engine import StreamBin, StreamingEngine, StreamResult, streaming_run
+from .merge import merge_events
+from .service import OPEN_ENDED, SNAPSHOT_SCHEMA, PlacementService, serve_loop
+
+__all__ = [
+    "StreamBin",
+    "StreamingEngine",
+    "StreamResult",
+    "streaming_run",
+    "merge_events",
+    "OPEN_ENDED",
+    "SNAPSHOT_SCHEMA",
+    "PlacementService",
+    "serve_loop",
+]

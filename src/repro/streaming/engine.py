@@ -1,0 +1,398 @@
+"""The streaming engine: O(peak-open-items) replay of an item stream.
+
+Twin number three.  The classic engine (and its flat-array and batched
+siblings) materialise the full instance and lexsort all ``2n`` events up
+front; this engine consumes an *iterator* of items in arrival order,
+merges departures in on the fly (:mod:`repro.streaming.merge`), and
+keeps only live state:
+
+* open bins live in a dict keyed by bin index and are dropped the moment
+  they close (tombstone reclamation) — a closed bin's Eq. 1 cost
+  contribution is exactly ``closed_at - opened_at``, because a bin opens
+  with its first item, stays non-empty until it closes, and is never
+  reused, so the contribution is folded into a running total and the
+  object freed;
+* the item → bin map already pops on departure, so it too holds only
+  live items;
+* bins are :class:`StreamBin` — a :class:`~repro.core.bins.Bin` that
+  tracks the latest member departure instead of appending every member
+  to an unbounded audit ``history`` list;
+* policy-side proof bookkeeping is suspended for the replay
+  (``algorithm.audit_mode = False``) — Next Fit's Theorem 4
+  ``release_log`` otherwise pins every released bin's residents for
+  the life of the run.
+
+Decisions are bit-identical to the classic engine: the same
+:class:`~repro.algorithms.base.OnlineAlgorithm` object makes the same
+calls in the same event order over bins with the same float loads, so
+the assignment (and therefore the Eq. 1 cost) is the same — the
+``compare_with_streaming`` oracle in :mod:`repro.verify.oracles`
+enforces this on every corpus instance.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from ..algorithms.base import OnlineAlgorithm
+from ..core.bins import Bin
+from ..core.errors import AlgorithmError, StreamOrderError
+from ..core.instance import Instance
+from ..core.intervals import Interval
+from ..core.items import Item
+from ..core.packing import Packing
+from ..observability.stats import StatsCollector
+
+__all__ = ["StreamBin", "StreamResult", "StreamingEngine", "streaming_run"]
+
+_TOL = 1e-9
+
+
+class _CapacityContext:
+    """Duck-typed stand-in for an :class:`~repro.core.instance.Instance`.
+
+    Every stock algorithm's :meth:`~repro.algorithms.base.OnlineAlgorithm.start`
+    reads only ``instance.capacity``; streaming has no instance to offer,
+    so this shim carries the capacity vector and nothing else.
+    """
+
+    __slots__ = ("capacity",)
+
+    def __init__(self, capacity: np.ndarray) -> None:
+        self.capacity = capacity
+
+
+class StreamBin(Bin):
+    """A :class:`~repro.core.bins.Bin` with O(1) memory per bin.
+
+    The base class appends every member ever packed to ``history`` (the
+    audit trail the offline analyses need); on an unbounded stream that
+    list is the difference between O(live) and O(total) memory.  This
+    subclass keeps ``history`` empty and tracks the single scalar the
+    engine needs from it — the latest member departure, which is what
+    :attr:`usage_period` falls back to while the bin is still open.
+    """
+
+    __slots__ = ("latest_departure",)
+
+    def __init__(self, capacity: np.ndarray, index: int, opened_at: float) -> None:
+        super().__init__(capacity, index, opened_at)
+        self.latest_departure = float(opened_at)
+
+    def pack(self, item: Item) -> None:
+        # identical capacity-check and load arithmetic to the base class;
+        # the appended audit entry is dropped immediately to keep the
+        # per-bin footprint constant
+        super().pack(item)
+        self.history.pop()
+        if item.departure > self.latest_departure:
+            self.latest_departure = item.departure
+
+    @property
+    def usage_period(self) -> Interval:
+        end = self.closed_at if self.closed_at is not None else self.latest_departure
+        return Interval(self.opened_at, end)
+
+
+@dataclass(frozen=True)
+class StreamResult:
+    """What one streaming replay learned.
+
+    ``cost`` is the running Eq. 1 total: the exact ``closed - opened``
+    contribution of every closed bin, plus the accrued-so-far usage of
+    any bin still open when the stream ended (zero bins remain open when
+    every item's departure is finite).  The running total sums in bin
+    *close* order; :func:`streaming_run` cross-checks it against the
+    assignment-derived :class:`~repro.core.packing.Packing` cost.
+    """
+
+    algorithm: str
+    cost: float
+    events: int
+    arrivals: int
+    departures: int
+    bins_opened: int
+    bins_closed: int
+    open_bins: int
+    peak_open_bins: int
+    peak_live_items: int
+    flushes: int
+    assignment: Optional[Dict[int, int]] = None
+
+
+class StreamingEngine:
+    """Replays an item iterator through one algorithm with bounded memory.
+
+    Parameters
+    ----------
+    algorithm:
+        The dispatch policy (same object contract as the classic
+        engine).
+    capacity:
+        Per-dimension bin capacity vector.
+    collector:
+        Optional :class:`~repro.observability.stats.StatsCollector`;
+        when given the run is instrumented (dispatch timing, lifecycle
+        counters, ``streaming_runs`` / ``stream_flushes`` /
+        ``peak_live_items``).
+    record_assignment:
+        Keep the full uid → bin-index map.  Needed by the verify oracle
+        and the ``Packing``-returning :func:`streaming_run` wrapper, but
+        it is O(total items) — leave it off (the default) on unbounded
+        streams; the engine then holds live state only.
+    flush_every:
+        Emit a ``"stream_flush"`` trace record (through the collector's
+        sink, when one is attached) and bump ``stream_flushes`` every
+        this many events.  ``0`` disables periodic flushing.
+    """
+
+    def __init__(
+        self,
+        algorithm: OnlineAlgorithm,
+        capacity: np.ndarray,
+        collector: Optional[StatsCollector] = None,
+        record_assignment: bool = False,
+        flush_every: int = 1_000_000,
+    ) -> None:
+        self.algorithm = algorithm
+        self.capacity = np.asarray(capacity, dtype=np.float64)
+        self.collector = collector
+        self.record_assignment = record_assignment
+        self.flush_every = int(flush_every)
+        self._dispatch_s = 0.0
+        self._ran = False
+
+    # ------------------------------------------------------------------
+    def run(self, items: Iterable[Item]) -> StreamResult:
+        """Consume ``items`` (non-decreasing arrival order) to exhaustion."""
+        if self._ran:
+            raise AlgorithmError(
+                "StreamingEngine instances are single-use; build a new one"
+            )
+        self._ran = True
+        col = self.collector
+        t_run = perf_counter()
+        if col is not None:
+            col.run_started(_CapacityContext(self.capacity), self.algorithm)
+            self.algorithm.bind_collector(col)
+        # suspend unbounded proof bookkeeping (e.g. next_fit's
+        # release_log) for the duration of the replay: it is never read
+        # online and would silently turn O(live) memory into O(stream)
+        prev_audit = self.algorithm.audit_mode
+        self.algorithm.audit_mode = False
+        try:
+            result = self._event_loop(items, col)
+        finally:
+            self.algorithm.audit_mode = prev_audit
+            if col is not None:
+                self.algorithm.bind_collector(None)
+        if col is not None:
+            col.record_run_totals(
+                arrivals=result.arrivals,
+                departures=result.departures,
+                bins_opened=result.bins_opened,
+                bins_closed=result.bins_closed,
+                peak_open_bins=result.peak_open_bins,
+                dispatch_time_s=self._dispatch_s,
+            )
+            col.streaming_runs += 1
+            col.stream_flushes += result.flushes
+            if result.peak_live_items > col.peak_live_items:
+                col.peak_live_items = result.peak_live_items
+            col.run_finished(
+                perf_counter() - t_run,
+                context={"engine": "streaming", "events": result.events},
+            )
+        return result
+
+    # ------------------------------------------------------------------
+    def _event_loop(
+        self, items: Iterable[Item], col: Optional[StatsCollector]
+    ) -> StreamResult:
+        # Inline streaming merge: same drain conditions and tie-breaks as
+        # repro.streaming.merge.merge_events (pinned against
+        # core.events.event_stream by tests), without allocating an Event
+        # object per event on the hot path.
+        algorithm = self.algorithm
+        capacity = self.capacity
+        algorithm.start(_CapacityContext(capacity))
+
+        heap: List[Tuple[float, int, Item]] = []
+        heappush, heappop = heapq.heappush, heapq.heappop
+        open_bins: Dict[int, StreamBin] = {}
+        bin_of_item: Dict[int, StreamBin] = {}
+        assignment: Optional[Dict[int, int]] = (
+            {} if self.record_assignment else None
+        )
+        next_index = 0
+        events = arrivals = departures = 0
+        closed_count = peak_open = peak_live = 0
+        cost_closed = 0.0
+        dispatch_s = 0.0
+        flushes = 0
+        flush_every = self.flush_every
+        next_flush = flush_every if flush_every else float("inf")
+        last_arrival = float("-inf")
+        instrumented = col is not None
+        pc = perf_counter
+
+        def handle_departure(item: Item, now: float) -> None:
+            nonlocal closed_count, cost_closed
+            bin_ = bin_of_item.pop(item.uid)
+            closed = bin_.remove(item, now)
+            algorithm.notify_departure(bin_, item, now, closed)
+            if closed:
+                closed_count += 1
+                cost_closed += bin_.closed_at - bin_.opened_at
+                del open_bins[bin_.index]  # tombstone reclamation
+
+        for pos, item in enumerate(items):
+            if item.arrival < last_arrival:
+                raise StreamOrderError(
+                    f"arrival stream is out of order: item {item.uid} arrives "
+                    f"at {item.arrival!r} after an arrival at {last_arrival!r}"
+                )
+            now = last_arrival = item.arrival
+            # departures-first at equal times (core.events rule 2)
+            while heap and heap[0][0] <= now:
+                t, _, departed = heappop(heap)
+                handle_departure(departed, t)
+                departures += 1
+                events += 1
+
+            opened: List[StreamBin] = []
+
+            def open_new_bin() -> StreamBin:
+                nonlocal next_index
+                if opened:
+                    raise AlgorithmError(
+                        f"{algorithm.name} opened two bins for one item "
+                        f"(item {item.uid})"
+                    )
+                fresh = StreamBin(capacity, index=next_index, opened_at=now)
+                next_index += 1
+                open_bins[fresh.index] = fresh
+                opened.append(fresh)
+                return fresh
+
+            if instrumented:
+                t0 = pc()
+                target = algorithm.dispatch(item, now, open_new_bin)
+                dispatch_s += pc() - t0
+            else:
+                target = algorithm.dispatch(item, now, open_new_bin)
+            if target is None:
+                raise AlgorithmError(
+                    f"{algorithm.name} returned no bin for item {item.uid}"
+                )
+            target.pack(item)
+            bin_of_item[item.uid] = target
+            if assignment is not None:
+                assignment[item.uid] = target.index
+            heappush(heap, (item.departure, item.uid, item))
+
+            arrivals += 1
+            events += 1
+            if len(open_bins) > peak_open:
+                peak_open = len(open_bins)
+            if len(bin_of_item) > peak_live:
+                peak_live = len(bin_of_item)
+            if events >= next_flush:
+                # one flush per crossed threshold, however many events
+                # the departure drain advanced past it in one iteration
+                while events >= next_flush:
+                    next_flush += flush_every
+                flushes += 1
+                self._emit_flush(col, events, cost_closed, open_bins, bin_of_item)
+
+        while heap:
+            t, _, departed = heappop(heap)
+            handle_departure(departed, t)
+            departures += 1
+            events += 1
+
+        # accrued usage of bins the stream left open (empty stream tail):
+        # latest known departure bounds what they have certainly accrued
+        cost = cost_closed
+        for bin_ in open_bins.values():
+            cost += bin_.latest_departure - bin_.opened_at
+
+        self._dispatch_s = dispatch_s
+        return StreamResult(
+            algorithm=algorithm.name,
+            cost=cost,
+            events=events,
+            arrivals=arrivals,
+            departures=departures,
+            bins_opened=next_index,
+            bins_closed=closed_count,
+            open_bins=len(open_bins),
+            peak_open_bins=peak_open,
+            peak_live_items=peak_live,
+            flushes=flushes,
+            assignment=assignment,
+        )
+
+    def _emit_flush(
+        self,
+        col: Optional[StatsCollector],
+        events: int,
+        cost_closed: float,
+        open_bins: Dict[int, StreamBin],
+        live_items: Dict[int, StreamBin],
+    ) -> None:
+        """Emit one periodic progress record through the trace sink."""
+        if col is None or col.sink is None:
+            return
+        col.sink.emit(
+            "stream_flush",
+            {
+                "events": events,
+                "cost_closed": cost_closed,
+                "open_bins": len(open_bins),
+                "live_items": len(live_items),
+            },
+        )
+
+
+def streaming_run(
+    algorithm: OnlineAlgorithm,
+    instance: Instance,
+    collector: Optional[StatsCollector] = None,
+    flush_every: int = 1_000_000,
+) -> Packing:
+    """Replay a materialised instance through the streaming engine.
+
+    The adapter behind ``run(..., engine="streaming")`` and the
+    ``compare_with_streaming`` oracle: records the full assignment and
+    returns the same :class:`~repro.core.packing.Packing` currency as
+    every other engine (built by ``Packing.from_assignment``, hence
+    bit-identical cost arithmetic to the classic engine whenever the
+    assignments agree).  The engine's running close-order cost total is
+    cross-checked against the packing cost before returning — drift
+    beyond tolerance means the streaming accounting itself is broken and
+    raises rather than returning a plausible-looking packing.
+    """
+    engine = StreamingEngine(
+        algorithm,
+        instance.capacity,
+        collector=collector,
+        record_assignment=True,
+        flush_every=flush_every,
+    )
+    result = engine.run(instance.items)
+    packing = Packing.from_assignment(
+        instance, result.assignment, algorithm=algorithm.name
+    )
+    if abs(result.cost - packing.cost) > _TOL * max(1.0, abs(packing.cost)):
+        raise AlgorithmError(
+            f"streaming running cost {result.cost!r} drifted from the "
+            f"assignment-derived cost {packing.cost!r} "
+            f"({algorithm.name} on {instance.name!r})"
+        )
+    return packing

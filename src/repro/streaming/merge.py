@@ -1,0 +1,66 @@
+"""Streaming event merge: arrivals + a departure heap, classic order.
+
+The classic engine materialises all ``2n`` events and lexsorts them by
+``(time, kind, seq)`` (:func:`repro.core.events.event_stream`).  The
+streaming merge reproduces *exactly* that total order without ever
+holding more than the currently live items: arrivals are consumed
+lazily from an iterator (in non-decreasing arrival order — the order
+every generator and every stored instance already provides), and each
+item's future departure is parked on a heap keyed ``(time, uid)``.
+
+Why this is exact, not approximate:
+
+* a departure on the heap belongs to an item that has already arrived,
+  and every not-yet-consumed arrival is no earlier than the current one
+  — so draining the heap up to (and including, departures-first) the
+  next arrival's time can never emit a departure too early or miss one;
+* departures at equal times pop in uid order, arrivals at equal times
+  keep the input order — the same tie-breaks rules 2–4 of
+  :mod:`repro.core.events` prescribe.
+
+The heap therefore holds one entry per *live* item: memory is
+O(peak-concurrently-open items), not O(total items).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Iterator, List, Tuple
+
+from ..core.errors import StreamOrderError
+from ..core.events import Event, EventKind
+from ..core.items import Item
+
+__all__ = ["merge_events"]
+
+
+def merge_events(items: Iterable[Item]) -> Iterator[Event]:
+    """Yield the classic ``(time, kind, seq)``-ordered event stream lazily.
+
+    ``items`` must arrive in non-decreasing arrival time (equal-time
+    arrivals in the intended dispatch order, as in ``Instance.items``);
+    an out-of-order arrival raises :class:`~repro.core.errors.StreamOrderError`.
+    Arrival ``seq`` is the position in the input stream and departure
+    ``seq`` is the uid — identical to
+    :func:`repro.core.events.event_stream`, so the two streams compare
+    equal element for element on any materialised instance.
+    """
+    heap: List[Tuple[float, int, Item]] = []
+    last_arrival = float("-inf")
+    for pos, item in enumerate(items):
+        if item.arrival < last_arrival:
+            raise StreamOrderError(
+                f"arrival stream is out of order: item {item.uid} arrives at "
+                f"{item.arrival!r} after an arrival at {last_arrival!r}"
+            )
+        last_arrival = item.arrival
+        # departures-first at ties: a departure at exactly item.arrival
+        # sorts as (t, DEPARTURE=0, uid) < (t, ARRIVAL=1, pos)
+        while heap and heap[0][0] <= item.arrival:
+            t, uid, departed = heapq.heappop(heap)
+            yield Event(t, EventKind.DEPARTURE, uid, departed)
+        yield Event(item.arrival, EventKind.ARRIVAL, pos, item)
+        heapq.heappush(heap, (item.departure, item.uid, item))
+    while heap:
+        t, uid, departed = heapq.heappop(heap)
+        yield Event(t, EventKind.DEPARTURE, uid, departed)

@@ -38,8 +38,10 @@ from .mutation import (
     mutation_smoke_test,
 )
 from .oracles import (
+    compare_with_batch,
     compare_with_fastpath,
     compare_with_reference,
+    compare_with_streaming,
     cost_check,
     differential_check,
     eq1_cost,
@@ -72,8 +74,10 @@ __all__ = [
     "StaleResidualFastEngine",
     "broken_fit",
     "mutation_smoke_test",
+    "compare_with_batch",
     "compare_with_fastpath",
     "compare_with_reference",
+    "compare_with_streaming",
     "cost_check",
     "differential_check",
     "eq1_cost",

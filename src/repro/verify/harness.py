@@ -4,7 +4,8 @@ Drives the whole verification subsystem over a deterministic corpus
 (:mod:`repro.verify.generators`): every corpus instance is checked for
 the algorithm-free invariants, then replayed through all seven Section 7
 policies with the reference differential oracle, the classic-vs-fastpath
-twin-engine differential, the invariant auditor, and the Eq. 1 cost
+twin-engine differential, the classic-vs-streaming bounded-memory
+differential, the invariant auditor, and the Eq. 1 cost
 recomputation, then the whole policy set is re-run through one batched
 :class:`~repro.simulation.batch.BatchRunner` pass which must reproduce
 every assignment, bin count, and cost exactly; a stride of (instance,
@@ -51,6 +52,7 @@ from .oracles import (
     compare_with_batch,
     compare_with_fastpath,
     compare_with_reference,
+    compare_with_streaming,
     cost_check,
     instrumented_equality_check,
     resume_equality_check,
@@ -224,11 +226,13 @@ def run_verify(
                 report.violations.append((f"{where}/{policy}", v))
             for v in compare_with_fastpath(packing, policy, seed=0):
                 report.violations.append((f"{where}/{policy}", v))
+            for v in compare_with_streaming(packing, policy, seed=0):
+                report.violations.append((f"{where}/{policy}", v))
             for v in audit_run(packing, policy):
                 report.violations.append((f"{where}/{policy}", v))
             for v in cost_check(packing):
                 report.violations.append((f"{where}/{policy}", v))
-            report.checks += 4
+            report.checks += 5
             pair = entry.index * len(prof.policies) + p_idx
             if prof.instrumented_stride and pair % prof.instrumented_stride == 0:
                 for v in instrumented_equality_check(inst, policy, seed=0):

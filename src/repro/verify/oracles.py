@@ -13,6 +13,10 @@ counterpart and requires the two to agree exactly:
   :class:`~repro.simulation.batch.BatchRunner` pass over all policies
   (shared context, shared scratch buffers, shared lower bound), which
   must reproduce every assignment, bin count, and Eq. 1 cost exactly;
+* :func:`compare_with_streaming` — the classic engine versus the
+  bounded-memory :class:`~repro.streaming.engine.StreamingEngine`
+  (incremental merge, tombstone-reclaimed bins), which must reproduce
+  every assignment, bin count, and Eq. 1 cost bit for bit;
 * :func:`instrumented_equality_check` — the engine's plain event loop
   versus its instrumented twin (identical packing; run counters that
   agree with ground truth derived from the packing itself);
@@ -53,6 +57,7 @@ __all__ = [
     "compare_with_reference",
     "compare_with_fastpath",
     "compare_with_batch",
+    "compare_with_streaming",
     "differential_check",
     "instrumented_equality_check",
     "cost_check",
@@ -235,6 +240,55 @@ def compare_with_batch(
                 f"{name}: batched lower bound {unit.lower_bound!r} != "
                 f"height_lower_bound {expected_lb!r}",
             ))
+    return out
+
+
+def compare_with_streaming(
+    packing: Packing, policy: str, seed: int = 0
+) -> List[Violation]:
+    """Compare a classic-engine ``packing`` against the streaming replay.
+
+    The streaming engine consumes the instance's items through the
+    incremental merge (departure heap, tombstone-reclaimed bins) instead
+    of the up-front event lexsort, and must land on the *same* packing:
+    same bin count, same item → bin assignment, and — since
+    :func:`~repro.streaming.engine.streaming_run` derives its packing
+    from the assignment through the same
+    :meth:`~repro.core.packing.Packing.from_assignment` arithmetic — the
+    identical Eq. 1 cost bit for bit, so no tolerance is granted.
+    Unlike the fastpath oracle this applies to *every* registry policy:
+    the streaming engine drives the ordinary algorithm objects.
+    """
+    from ..streaming import streaming_run
+
+    kwargs = {"seed": seed} if policy == "random_fit" else {}
+    stream_packing = streaming_run(make_algorithm(policy, **kwargs), packing.instance)
+    out: List[Violation] = []
+    if packing.num_bins != stream_packing.num_bins:
+        out.append(Violation(
+            "streaming",
+            f"{policy}: classic engine opened {packing.num_bins} bins, "
+            f"streaming {stream_packing.num_bins}",
+        ))
+    if dict(packing.assignment) != dict(stream_packing.assignment):
+        stream_assignment = dict(stream_packing.assignment)
+        diff = [
+            uid for uid in packing.assignment
+            if stream_assignment.get(uid) != packing.assignment[uid]
+        ]
+        out.append(Violation(
+            "streaming",
+            f"{policy}: assignments differ on items {diff[:10]}"
+            f"{'...' if len(diff) > 10 else ''} "
+            f"(classic {[packing.assignment.get(u) for u in diff[:10]]}, "
+            f"streaming {[stream_assignment.get(u) for u in diff[:10]]})",
+        ))
+    if stream_packing.cost != packing.cost:
+        out.append(Violation(
+            "streaming",
+            f"{policy}: streaming cost {stream_packing.cost!r} != classic "
+            f"cost {packing.cost!r} (bit-identity contract)",
+        ))
     return out
 
 

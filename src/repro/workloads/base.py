@@ -15,6 +15,7 @@ from typing import Iterator, List, Optional, Union
 import numpy as np
 
 from ..core.instance import Instance
+from ..core.items import Item
 
 __all__ = ["WorkloadGenerator", "generate_batch", "iter_batch"]
 
@@ -43,6 +44,37 @@ class WorkloadGenerator(abc.ABC):
     def sample_seeded(self, seed: SeedLike = None) -> Instance:
         """Draw one instance from an integer seed (convenience)."""
         return self.sample(_as_generator(seed))
+
+    def stream(
+        self, rng: np.random.Generator, limit: Optional[int] = None
+    ) -> Iterator[Item]:
+        """Yield items lazily in non-decreasing arrival order.
+
+        The streaming protocol behind ``repro.streaming``: consumers
+        (the streaming engine, the bounded-memory benches) pull items
+        one at a time and never see an
+        :class:`~repro.core.instance.Instance`.  ``limit`` caps the
+        number of items yielded (``None`` = the generator's natural
+        length).
+
+        The **default** implementation simply materialises
+        :meth:`sample` and yields its items — correct for every
+        generator, but *not* bounded-memory.  Generators whose arrival
+        process admits a sequential construction (Poisson via
+        exponential gaps, uniform via conditional order statistics)
+        override this with a true O(1)-state stream; overrides need not
+        reproduce :meth:`sample` item for item, only the same arrival
+        process family (each override documents its exact law).
+        """
+        instance = self.sample(rng)
+        items = instance.items if limit is None else instance.items[:limit]
+        yield from items
+
+    def stream_seeded(
+        self, seed: SeedLike = None, limit: Optional[int] = None
+    ) -> Iterator[Item]:
+        """Seeded convenience twin of :meth:`stream`."""
+        return self.stream(_as_generator(seed), limit=limit)
 
     def describe(self) -> dict:
         """Generator parameters, for experiment manifests.

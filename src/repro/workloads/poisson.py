@@ -10,7 +10,7 @@ sensitivity ablation of DESIGN.md §6.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Union
+from typing import Iterator, Optional, Union
 
 import numpy as np
 
@@ -97,3 +97,39 @@ class PoissonWorkload(WorkloadGenerator):
         ]
         label = self.name or f"poisson(d={self.d},rate={self.rate:g})"
         return Instance(items, capacity=self.capacity, name=label, _skip_sort_check=True)
+
+    def stream(
+        self, rng: np.random.Generator, limit: Optional[int] = None
+    ) -> Iterator[Item]:
+        """Lazy Poisson stream via exponential inter-arrival gaps.
+
+        A Poisson process of rate ``λ`` *is* a renewal process with
+        ``Exp(λ)`` gaps, so accumulating exponential draws walks the
+        exact same arrival law as :meth:`sample`'s count-then-sort
+        construction — without ever knowing ``n`` up front.  Live state
+        is one clock float plus a bounded draw-ahead chunk (gap,
+        duration, and size draws are chunked for vectorised RNG
+        throughput; the chunk is a constant, not a function of stream
+        length).  The stream ends when the clock passes ``horizon`` (or
+        after ``limit`` items).
+
+        Draw order differs from :meth:`sample`, so the same seed gives
+        the same *distribution* but not the same items; streaming
+        replays are reproduced by re-streaming with the same seed.
+        ``min_items`` is a materialised-instance guarantee and does not
+        apply to streams (an empty stream is a valid stream).
+        """
+        chunk = 8192
+        scale = 1.0 / self.rate
+        t = 0.0
+        uid = 0
+        while True:
+            gaps = rng.exponential(scale, size=chunk)
+            durations = self.durations.draw(rng, chunk)
+            sizes = self.sizes.draw(rng, chunk, self.d)
+            for j in range(chunk):
+                t += gaps[j]
+                if t > self.horizon or (limit is not None and uid >= limit):
+                    return
+                yield Item(float(t), float(t + durations[j]), sizes[j], uid=uid)
+                uid += 1

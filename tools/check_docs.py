@@ -8,8 +8,11 @@ Run from anywhere (the repo root is derived from this file's location):
 Three checks, any failure exits non-zero with a per-item report:
 
 1. **Links** — every intra-repo markdown link (``[text](relative/path)``)
-   in the checked files points at a file that exists.  External
-   (``http``/``mailto``) and pure-fragment (``#...``) links are skipped.
+   in the checked files points at a file that exists, and every anchor
+   fragment (``path#section`` or the pure-fragment ``#section``, which
+   targets the current file) names an actual heading of the target
+   markdown file (GitHub heading-slug rules, duplicate-suffix
+   included).  External (``http``/``mailto``) links are skipped.
 2. **Code blocks** — every ``python`` fenced block either executes (if
    it is doctest-style, i.e. its first line starts with ``>>>``) or at
    least compiles.  All doctest blocks of one markdown file run in a
@@ -43,6 +46,37 @@ CHECKED_FILES = [
 
 LINK_RE = re.compile(r"\[[^\]\[]*\]\(([^)\s]+)\)")
 FENCE_RE = re.compile(r"^```(\w*)\s*$")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*$")
+
+
+def heading_slugs(text: str) -> set:
+    """GitHub anchor slugs of every markdown heading in ``text``.
+
+    Mirrors GitHub's slugger: formatting stripped, lowercased,
+    punctuation (everything but word characters, hyphens, and spaces)
+    removed, spaces hyphenated, and duplicate headings suffixed
+    ``-1``, ``-2``, ...  Headings inside fenced code blocks (``# shell
+    comments``, say) are ignored.
+    """
+    counts: Dict[str, int] = {}
+    slugs = set()
+    in_fence = False
+    for line in text.splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = HEADING_RE.match(line)
+        if not m:
+            continue
+        title = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", m.group(2))
+        title = title.replace("`", "").replace("*", "")
+        slug = re.sub(r"[^\w\- ]", "", title.lower()).strip().replace(" ", "-")
+        seen = counts.get(slug, 0)
+        counts[slug] = seen + 1
+        slugs.add(slug if seen == 0 else f"{slug}-{seen}")
+    return slugs
 
 
 def iter_code_blocks(text: str) -> List[Tuple[str, int, str]]:
@@ -61,15 +95,26 @@ def iter_code_blocks(text: str) -> List[Tuple[str, int, str]]:
     return blocks
 
 
-def check_links(path: Path, text: str, errors: List[str]) -> None:
+def check_links(
+    path: Path, text: str, errors: List[str], slug_cache: Dict[Path, set]
+) -> None:
     for target in LINK_RE.findall(text):
-        if target.startswith(("http://", "https://", "mailto:", "#")):
+        if target.startswith(("http://", "https://", "mailto:")):
             continue
-        rel = target.split("#", 1)[0]
-        if not rel:
-            continue
-        if not (path.parent / rel).exists():
+        rel, _, frag = target.partition("#")
+        dest = (path.parent / rel).resolve() if rel else path
+        if rel and not dest.exists():
             errors.append(f"{path.relative_to(REPO)}: broken link -> {target}")
+            continue
+        if not frag or dest.suffix != ".md":
+            continue
+        if dest not in slug_cache:
+            slug_cache[dest] = heading_slugs(dest.read_text(encoding="utf-8"))
+        if frag not in slug_cache[dest]:
+            errors.append(
+                f"{path.relative_to(REPO)}: broken anchor -> {target} "
+                f"(no such heading in {dest.name})"
+            )
 
 
 def check_code_blocks(path: Path, text: str, errors: List[str]) -> None:
@@ -135,12 +180,14 @@ def check_api_coverage(errors: List[str]) -> int:
 def main() -> int:
     sys.path.insert(0, str(SRC))
     errors: List[str] = []
+    slug_cache: Dict[Path, set] = {}
     for path in CHECKED_FILES:
         if not path.exists():
             errors.append(f"missing checked file: {path.relative_to(REPO)}")
             continue
         text = path.read_text(encoding="utf-8")
-        check_links(path, text, errors)
+        slug_cache.setdefault(path.resolve(), heading_slugs(text))
+        check_links(path.resolve(), text, errors, slug_cache)
         check_code_blocks(path, text, errors)
     n_modules = check_api_coverage(errors)
     if errors:
