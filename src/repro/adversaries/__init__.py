@@ -1,0 +1,68 @@
+"""Adaptive adversaries with certified competitive-ratio trajectories.
+
+The paper's lower bounds are proved by adversaries that *watch* the
+online algorithm and choose each next arrival adaptively.  This package
+makes those proofs executable:
+
+* :mod:`~repro.adversaries.base` — the :class:`Adversary` contract and
+  the :class:`EngineView` of live engine state an attack may observe;
+* :mod:`~repro.adversaries.attacks` — one attack per lower-bound
+  theorem (5, 6, 8, and the Theorem 7 unboundedness amplifier), plus
+  the deliberately lame :class:`NullAdversary` mutant;
+* :mod:`~repro.adversaries.driver` — the live adaptive loop, the
+  classic-engine replay (bit-identity asserted), and the certified
+  ``cost / opt_upper`` trajectory;
+* :mod:`~repro.adversaries.scenarios` — the must-exceed-bound scenario
+  grid wired into every ``repro verify`` profile.
+
+Because every induced attack is a plain
+:class:`~repro.core.instance.Instance`, the whole differential corpus
+machinery (reference/fastpath/batch/streaming oracles, invariant
+auditor) applies to adversarial instances for free.  See
+``docs/adversaries.md``.
+"""
+
+from .attacks import (
+    ATTACKS,
+    BestFitAmplifier,
+    DurationRevealing,
+    LeaderTargeting,
+    NextFitChurner,
+    NullAdversary,
+    make_adversary,
+)
+from .base import Adversary, AttackConfig, BinView, EngineView, PackRecord
+from .driver import AdversaryDriver, AttackResult, TrajectoryPoint, run_attack
+from .scenarios import (
+    MUST_EXCEED_SCENARIOS,
+    AttackScenario,
+    ScenarioOutcome,
+    must_exceed_report,
+    null_adversary_outcome,
+    run_scenario,
+)
+
+__all__ = [
+    "Adversary",
+    "AttackConfig",
+    "BinView",
+    "EngineView",
+    "PackRecord",
+    "DurationRevealing",
+    "NextFitChurner",
+    "LeaderTargeting",
+    "BestFitAmplifier",
+    "NullAdversary",
+    "ATTACKS",
+    "make_adversary",
+    "AdversaryDriver",
+    "AttackResult",
+    "TrajectoryPoint",
+    "run_attack",
+    "AttackScenario",
+    "ScenarioOutcome",
+    "MUST_EXCEED_SCENARIOS",
+    "run_scenario",
+    "must_exceed_report",
+    "null_adversary_outcome",
+]

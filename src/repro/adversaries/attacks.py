@@ -1,0 +1,436 @@
+"""The concrete adaptive attacks behind the paper's lower-bound theorems.
+
+Each class adapts one proof construction into a closed-loop adversary:
+
+* :class:`DurationRevealing` — Theorem 5: any Any Fit policy is at
+  least ``(mu+1)d``-competitive.  Short blocker pairs force ``dk`` open
+  bins, then — observing which bins actually stayed open — one tiny
+  long item per observed bin pins them all for another ``mu``.
+* :class:`NextFitChurner` — Theorem 6: Next Fit is at least
+  ``2·mu·d``-competitive.  Alternating half-bin blockers and tiny long
+  parasites churn the current bin, watching the pack feedback to count
+  how many bins have been pinned.
+* :class:`LeaderTargeting` — Theorem 8: Move To Front is at least
+  ``max{2mu, (mu+1)d}``-competitive.  Each round drops a half-bin
+  blocker, reads the *observed* front of the candidate list and its
+  residual, and fires a parasite sized to land exactly there.
+* :class:`BestFitAmplifier` — Theorem 7: Best Fit (and Worst Fit) have
+  unbounded ratio.  Filler/anchor/guard phases trap one long anchor per
+  bin; the attack watches its own certified ratio and stops once it
+  exceeds the configured threshold.
+* :class:`NullAdversary` — a deliberately lame mutant (random arrivals,
+  ignores the view) used by the mutation smoke-test to prove the
+  must-exceed-bound check can actually fail.
+
+Every attack maintains an explicit offline packing of what it emitted,
+so its :meth:`~repro.adversaries.base.Adversary.opt_upper` certificate
+is a true ``OPT`` upper bound at every trajectory step.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Set, Type
+
+import numpy as np
+
+from ..analysis.theory import (
+    any_fit_lower_bound,
+    move_to_front_lower_bound,
+    next_fit_lower_bound,
+)
+from ..core.errors import ConfigurationError
+from ..core.items import Item, make_item
+from .base import Adversary, AttackConfig, EngineView
+
+__all__ = [
+    "DurationRevealing",
+    "NextFitChurner",
+    "LeaderTargeting",
+    "BestFitAmplifier",
+    "NullAdversary",
+    "ATTACKS",
+    "make_adversary",
+]
+
+#: Sizing slack: auto-sized attacks aim this far above ``target_fraction``
+#: so float jitter (the randomised ``delta``) cannot drop them below it.
+_SIZING_MARGIN = 0.03
+
+
+def _sizing_fraction(config: AttackConfig) -> float:
+    return min(0.97, config.target_fraction + _SIZING_MARGIN)
+
+
+class DurationRevealing(Adversary):
+    """Theorem 5 adversary: reveal durations only after bins are committed.
+
+    Phase one emits ``d*k`` blocker pairs at ``t = 0`` (all of duration
+    1): the *odd* item of pair ``m`` is nearly full in its group
+    dimension ``m // k``, the *even* item is a sliver that only fits the
+    bin the odd item just opened — so every Any Fit policy opens ``d*k``
+    bins, each left with exactly ``eps'`` residual in its group
+    dimension.  Phase two is the adaptive reveal: at ``t = 1 - delta``
+    the adversary *counts the bins it observes open* and emits exactly
+    that many ``eps'``-sized items of duration ``mu`` — each bin can
+    absorb exactly one, so all observed bins stay open for another
+    ``mu`` while the offline optimum packs the long slivers into a
+    single bin.
+    """
+
+    name = "duration_revealing"
+    target_policy = "first_fit"
+
+    def theoretical_bound(self) -> float:
+        return any_fit_lower_bound(self.config.mu, self.config.d)
+
+    @staticmethod
+    def auto_rounds(mu: float, d: int, fraction: float) -> int:
+        """Smallest ``k`` whose certified ratio reaches ``fraction`` of
+        the bound: ``d*k*(mu+1-delta) / (k + 1 + mu) >= fraction*(mu+1)*d``.
+        """
+        delta_max = 2e-3
+        denom = (1.0 - fraction) * (mu + 1.0) - delta_max
+        if denom <= 0:
+            raise ConfigurationError(
+                f"target fraction {fraction} too aggressive for mu={mu}"
+            )
+        return int(math.ceil(fraction * (mu + 1.0) ** 2 / denom)) + 1
+
+    def reset(self, rng: np.random.Generator) -> None:
+        super().reset(rng)
+        cfg = self.config
+        self.k = cfg.rounds or self.auto_rounds(cfg.mu, cfg.d, _sizing_fraction(cfg))
+        #: reveal jitter — randomised (seed-dependent) but bounded away
+        #: from the departure tie at t = 1
+        self.delta = float(rng.uniform(5e-4, 2e-3))
+        d = cfg.d
+        self.eps = 1.0 / (d * d * self.k + d + 2)
+        self.eps_small = self.eps / 3.0
+        self._pairs_done = 0
+        self._half = 0  # 0 = emit the odd (blocker), 1 = the even (sliver)
+        self._reveal_left: Optional[int] = None
+        self._odd_bins_used = 0
+
+    def next_item(self, view: EngineView) -> Optional[Item]:
+        cfg = self.config
+        d, k = cfg.d, self.k
+        if self._pairs_done < d * k:
+            m = self._pairs_done
+            group = m // k
+            size = np.full(d, self.eps)
+            if self._half == 0:
+                size[group] = 1.0 - d * self.eps
+                self._half = 1
+                # offline: one odd per group per bin -> k odd-bins total
+                if self._odd_bins_used < k:
+                    self._odd_bins_used += 1
+                    self._opt_upper += 1.0
+                return make_item(0.0, 1.0, size)
+            size[:] = d * self.eps - self.eps_small
+            self._half = 0
+            self._pairs_done += 1
+            if self._pairs_done == 1:
+                self._opt_upper += 1.0  # one offline bin holds every sliver
+            return make_item(0.0, 1.0, size)
+        # adaptive reveal: pin exactly the bins observed open right now
+        if self._reveal_left is None:
+            self._reveal_left = len(view.open_bins)
+            self._opt_upper += cfg.mu  # all long slivers share one offline bin
+        if self._reveal_left <= 0:
+            return None
+        self._reveal_left -= 1
+        return make_item(1.0 - self.delta, cfg.mu, np.full(cfg.d, self.eps_small))
+
+
+class NextFitChurner(Adversary):
+    """Theorem 6 adversary: churn Next Fit's single current bin.
+
+    Emits blocker/parasite pairs at ``t = 0``: the blocker is just over
+    half a bin in its group dimension (so two never share a bin), the
+    parasite is a tiny sliver of duration ``mu`` that rides along into
+    whatever bin the blocker landed in.  Next Fit keeps releasing its
+    current bin and opening a fresh one, so (almost) every pair pins its
+    own bin for the full ``mu`` — the adversary watches the pack
+    feedback to count distinct pinned bins and stops once ``d*k`` are
+    pinned (or at the 2x safety cap against a non-churning policy).
+    """
+
+    name = "next_fit_churner"
+    target_policy = "next_fit"
+
+    def theoretical_bound(self) -> float:
+        return next_fit_lower_bound(self.config.mu, self.config.d)
+
+    @staticmethod
+    def auto_rounds(mu: float, fraction: float) -> int:
+        """Smallest ``k`` with ``d*k*mu / (mu + k/2) >= fraction*2*mu*d``."""
+        if fraction >= 1.0:
+            raise ConfigurationError(f"target fraction {fraction} must be < 1")
+        k = int(math.ceil(2.0 * fraction * mu / (1.0 - fraction)))
+        return k + k % 2 + 2  # even, with margin for the group-boundary loss
+
+    def reset(self, rng: np.random.Generator) -> None:
+        super().reset(rng)
+        cfg = self.config
+        self.k = cfg.rounds or self.auto_rounds(cfg.mu, _sizing_fraction(cfg))
+        d = cfg.d
+        self.eps_small = 1.0 / (d * self.k + 1)
+        #: seed-dependent blocker shave: any factor > 1 keeps two
+        #: blockers per bin infeasible while varying the emitted stream
+        self.shave = float(rng.uniform(2.0, 4.0))
+        self.eps = self.eps_small / (2.0 * d * self.shave)
+        self._pairs_done = 0
+        self._half = 0
+        self._pinned: Set[int] = set()
+        self._odds = 0
+        self._evens = 0
+
+    def next_item(self, view: EngineView) -> Optional[Item]:
+        cfg = self.config
+        d, k = cfg.d, self.k
+        target = d * k
+        if view.last is not None and self._half == 0 and self._pairs_done:
+            # feedback from the previous parasite: which bin it pinned
+            self._pinned.add(view.last.bin_index)
+        if len(self._pinned) >= target or self._pairs_done >= target:
+            return None
+        if self._half == 0:
+            m = self._pairs_done
+            group = m // k
+            size = np.full(d, self.eps)
+            size[group] = 0.5 - d * self.eps
+            self._half = 1
+            self._odds += 1
+            # offline: one blocker pair per group per bin, so the bin
+            # count of any emitted prefix is ceil(largest group count / 2)
+            if self._odds <= k and self._odds % 2 == 1:
+                self._opt_upper += 1.0
+            return make_item(0.0, 1.0, size)
+        self._half = 0
+        self._pairs_done += 1
+        self._evens += 1
+        # offline: d*k parasites per sliver-bin of duration mu
+        if (self._evens - 1) % (d * k) == 0:
+            self._opt_upper += cfg.mu
+        return make_item(0.0, cfg.mu, np.full(d, self.eps_small))
+
+
+class LeaderTargeting(Adversary):
+    """Theorem 8 adversary: always feed Move To Front's leader.
+
+    One-dimensional by construction (``d`` must be 1; at higher ``d``
+    the Move To Front bound ``max{2mu, (mu+1)d}`` is witnessed by
+    :class:`DurationRevealing`, which applies to every Any Fit policy).
+
+    Each round emits a half-bin blocker at ``t = 0`` — no open bin can
+    take it, so the policy opens a fresh bin which Move To Front
+    promotes to the front of ``L`` — then *reads the observed leader and
+    its residual* and fires a parasite sized to fit it (duration
+    ``mu``).  Move To Front packs the parasite into the leader, so every
+    round permanently pins one more bin, while offline all parasites
+    share a single bin and blockers pair up two per bin.
+    """
+
+    name = "leader_targeting"
+    target_policy = "move_to_front"
+
+    def __init__(self, config: Optional[AttackConfig] = None) -> None:
+        super().__init__(config)
+        if self.config.d != 1:
+            raise ConfigurationError(
+                f"{self.name} is a 1-dimensional construction (Theorem 8); "
+                f"got d={self.config.d}"
+            )
+
+    def theoretical_bound(self) -> float:
+        return move_to_front_lower_bound(self.config.mu, 1)
+
+    @staticmethod
+    def auto_rounds(mu: float, fraction: float) -> int:
+        """Smallest round count ``R`` with ``R*mu/(mu + R/2) >= fraction*2*mu``."""
+        if fraction >= 1.0:
+            raise ConfigurationError(f"target fraction {fraction} must be < 1")
+        r = int(math.ceil(2.0 * fraction * mu / (1.0 - fraction)))
+        return r + r % 2 + 2
+
+    def reset(self, rng: np.random.Generator) -> None:
+        super().reset(rng)
+        cfg = self.config
+        self.rounds = cfg.rounds or self.auto_rounds(cfg.mu, _sizing_fraction(cfg))
+        #: parasite size: small enough that all of them share one offline
+        #: bin; the jitter keeps the emitted stream seed-dependent
+        self.parasite = float(rng.uniform(0.8, 1.0)) / (self.rounds + 1)
+        self._round = 0
+        self._half = 0
+        self._targeted_hits = 0
+
+    def next_item(self, view: EngineView) -> Optional[Item]:
+        cfg = self.config
+        if self._half == 0:
+            if self._round >= self.rounds:
+                return None
+            self._half = 1
+            if self._round % 2 == 0:
+                self._opt_upper += 1.0  # offline blockers pair two per bin
+            return make_item(0.0, 1.0, [0.5])
+        # adaptive shot: aim at the observed leader's residual
+        leader = view.leader_index
+        size = self.parasite
+        if leader is not None:
+            bv = view.bin_view(leader)
+            if bv is not None:
+                size = min(size, max(bv.min_residual, 1e-9))
+        self._half = 0
+        self._round += 1
+        if view.last is not None and view.last.opened_new:
+            self._targeted_hits += 1  # the blocker opened the bin we now hit
+        if self._round == 1:
+            self._opt_upper += cfg.mu  # one offline bin holds every parasite
+        return make_item(0.0, cfg.mu, [size])
+
+
+class BestFitAmplifier(Adversary):
+    """Theorem 7 adversary: drive Best/Worst Fit past any ratio threshold.
+
+    One-dimensional.  Phase ``i`` (starting at ``t = 3i``) plays three
+    forced moves: a half-bin *filler* (no existing bin can take it — a
+    fresh bin opens), a tiny *anchor* that only fits the filler's bin
+    and departs at the far horizon ``t_end``, and — after the filler
+    departs — a *guard* sized from the observed residual of the
+    now-lone-anchor bin so that no future item ever fits there again.
+    Every phase therefore strands one bin open until ``t_end``, while
+    offline all anchors share a single bin; the algorithm's cost grows
+    by ``~t_end`` per phase against an offline cost that barely moves.
+    The attack watches its own certified ratio and stops as soon as it
+    exceeds ``ratio_threshold`` (or at the sizing cap).
+    """
+
+    name = "best_fit_amplifier"
+    target_policy = "best_fit"
+
+    def __init__(self, config: Optional[AttackConfig] = None) -> None:
+        super().__init__(config)
+        if self.config.d != 1:
+            raise ConfigurationError(
+                f"{self.name} is a 1-dimensional construction (Theorem 7); "
+                f"got d={self.config.d}"
+            )
+
+    def theoretical_bound(self) -> float:
+        return math.inf  # Theorem 7: no finite bound exists
+
+    def reset(self, rng: np.random.Generator) -> None:
+        super().reset(rng)
+        cfg = self.config
+        #: phase cap: the threshold is reached around ``threshold + 1``
+        #: phases, the slack absorbs the offline side's guard costs
+        self.cap = cfg.rounds or int(math.ceil(cfg.ratio_threshold * 1.25)) + 16
+        self.anchor = 1.0 / (4.0 * self.cap)
+        self.horizon = 3.0 * self.cap
+        #: anchor departure: far enough out that one phase's ~t_end cost
+        #: dwarfs the whole offline certificate
+        self.t_end = self.horizon + 200.0 * self.cap * max(cfg.ratio_threshold, 1.0)
+        self._phase = 0
+        self._step = 0  # 0 filler, 1 anchor, 2 guard
+        self._anchor_bin: Optional[int] = None
+
+    def next_item(self, view: EngineView) -> Optional[Item]:
+        t0 = 3.0 * self._phase
+        if self._step == 0:
+            if self._phase >= self.cap:
+                return None
+            if self._phase > 0:
+                # certified stop check: committed cost vs our certificate
+                ratio = view.committed_cost / max(self._opt_upper, 1e-12)
+                if ratio >= self.config.ratio_threshold:
+                    return None
+            self._step = 1
+            self._opt_upper += 1.0  # filler gets its own offline bin
+            return make_item(t0, 1.0, [0.5])
+        if self._step == 1:
+            self._step = 2
+            if view.last is not None:
+                self._anchor_bin = view.last.bin_index  # the filler's bin
+            if self._phase == 0:
+                self._opt_upper += self.t_end  # one offline bin for all anchors
+            return Item(t0, self.t_end, np.array([self.anchor]))
+        # guard, at t0 + 2: size it from the observed residual of the
+        # anchor's bin.  The view snapshot predates the filler's
+        # departure at t0 + 1, so the residual the guard will actually
+        # see is the observed one plus the filler's half bin; leaving
+        # exactly half an anchor of slack blocks all future anchors.
+        self._step = 0
+        guard = 1.0 - 1.5 * self.anchor
+        bin_index = self._anchor_bin if self._anchor_bin is not None else (
+            view.last.bin_index if view.last is not None else None)
+        if bin_index is not None:
+            bv = view.bin_view(bin_index)
+            if bv is not None:
+                guard = bv.min_residual + 0.5 - 0.5 * self.anchor
+        duration = self.horizon - (t0 + 2.0)
+        self._phase += 1
+        self._opt_upper += duration  # each guard alone in an offline bin
+        return make_item(t0 + 2.0, duration, [guard])
+
+
+class NullAdversary(Adversary):
+    """A deliberately broken adversary: random arrivals, ignores the view.
+
+    Exists so the mutation smoke-test can prove the must-exceed-bound
+    wiring has teeth — a state-blind random stream lands nowhere near
+    ``target_fraction`` of the Theorem 5 bound, so the same check that
+    passes every real attack must FAIL this one.
+    """
+
+    name = "null_adversary"
+    target_policy = "first_fit"
+
+    def theoretical_bound(self) -> float:
+        return any_fit_lower_bound(self.config.mu, self.config.d)
+
+    def reset(self, rng: np.random.Generator) -> None:
+        super().reset(rng)
+        self.count = self.config.rounds or 40
+        self._emitted = 0
+        self._now = 0.0
+
+    def opt_upper(self) -> Optional[float]:
+        return None  # no certificate; the driver uses the FFD bracket
+
+    def next_item(self, view: EngineView) -> Optional[Item]:
+        if self._emitted >= self.count:
+            return None
+        rng = self.rng
+        self._now += float(rng.exponential(0.5))
+        self._emitted += 1
+        size = rng.uniform(0.05, 0.6, size=self.config.d)
+        duration = float(rng.uniform(1.0, self.config.mu))
+        return make_item(self._now, duration, size)
+
+
+#: Registry of attack name -> class (the CLI and scenarios build from it).
+ATTACKS: Dict[str, Type[Adversary]] = {
+    DurationRevealing.name: DurationRevealing,
+    NextFitChurner.name: NextFitChurner,
+    LeaderTargeting.name: LeaderTargeting,
+    BestFitAmplifier.name: BestFitAmplifier,
+    NullAdversary.name: NullAdversary,
+}
+
+
+def make_adversary(name: str, config: Optional[AttackConfig] = None) -> Adversary:
+    """Instantiate a registered attack by name.
+
+    Raises
+    ------
+    ConfigurationError
+        For unknown names, listing the registered ones.
+    """
+    try:
+        cls = ATTACKS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown attack {name!r}; available: {', '.join(sorted(ATTACKS))}"
+        ) from None
+    return cls(config)

@@ -1,0 +1,233 @@
+"""Adaptive adversary interfaces: observe the live packing, emit arrivals.
+
+The paper's lower bounds (Theorems 5, 6, 8, and the Theorem 7
+unboundedness of Best/Worst Fit) are proved by *adaptive* adversaries:
+constructions that watch what the online algorithm does and choose the
+next arrival accordingly.  The static gadget workloads in
+:mod:`repro.workloads.adversarial` hard-code the sequence each proof
+predicts; the classes here instead close the loop — after every arrival
+the :class:`~repro.adversaries.driver.AdversaryDriver` hands the
+adversary an :class:`EngineView` of the live engine state (open bins,
+loads, residuals, the policy's candidate-list order) and the adversary
+answers with the next :class:`~repro.core.items.Item`, or ``None`` to
+stop.
+
+An adversary is also its own *certifier*: alongside the emitted items it
+maintains an explicit offline packing of everything emitted so far, so
+:meth:`Adversary.opt_upper` is a true upper bound on ``OPT`` of the
+induced prefix and ``cost / opt_upper`` is a certified (never inflated)
+competitive-ratio estimate at every step of the trajectory.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..core.errors import ConfigurationError
+from ..core.items import DATACLASS_SLOTS, Item
+
+__all__ = [
+    "AttackConfig",
+    "BinView",
+    "PackRecord",
+    "EngineView",
+    "Adversary",
+]
+
+
+@dataclass(frozen=True)
+class AttackConfig:
+    """Shared knobs of every attack.
+
+    Parameters
+    ----------
+    mu:
+        Duration ratio the attack is built for (longest emitted duration
+        divided by shortest).  The theoretical bound is evaluated at
+        this ``mu``.
+    d:
+        Resource dimensions of the emitted items.  ``LeaderTargeting``
+        and ``BestFitAmplifier`` are 1-dimensional constructions and
+        reject ``d != 1``.
+    rounds:
+        Explicit construction size (phases/pairs, attack-specific).
+        ``None`` auto-sizes the attack so the certified ratio reaches
+        ``target_fraction`` of the theoretical bound with margin.
+    target_fraction:
+        Fraction of the closed-form lower bound the attack must certify
+        when ``rounds`` is auto-sized (the must-exceed-bound scenarios
+        check against this).
+    ratio_threshold:
+        Stop threshold for unbounded-ratio attacks
+        (:class:`~repro.adversaries.attacks.BestFitAmplifier`): the
+        attack keeps amplifying until its certified ratio exceeds it.
+    max_items:
+        Hard safety cap on emitted items; exceeding it is an error in
+        the attack's own termination logic.
+    """
+
+    mu: float = 4.0
+    d: int = 1
+    rounds: Optional[int] = None
+    target_fraction: float = 0.9
+    ratio_threshold: float = 50.0
+    max_items: int = 20_000
+
+    def __post_init__(self) -> None:
+        if self.mu < 1:
+            raise ConfigurationError(f"mu must be >= 1, got {self.mu}")
+        if self.d < 1:
+            raise ConfigurationError(f"d must be >= 1, got {self.d}")
+        if self.rounds is not None and self.rounds < 1:
+            raise ConfigurationError(f"rounds must be >= 1, got {self.rounds}")
+        if not (0.0 < self.target_fraction < 1.0):
+            raise ConfigurationError(
+                f"target_fraction must be in (0, 1), got {self.target_fraction}"
+            )
+        if self.ratio_threshold <= 1.0:
+            raise ConfigurationError(
+                f"ratio_threshold must exceed 1, got {self.ratio_threshold}"
+            )
+        if self.max_items < 8:
+            raise ConfigurationError(f"max_items must be >= 8, got {self.max_items}")
+
+
+@dataclass(frozen=True, **DATACLASS_SLOTS)
+class BinView:
+    """Read-only snapshot of one open bin, as the adversary may see it.
+
+    ``position`` is the bin's index in the policy's candidate list ``L``
+    (0 = the bin an Any Fit policy inspects first), or ``-1`` when the
+    bin is open but not a candidate (Next Fit's released bins) or the
+    policy does not expose a list.
+    """
+
+    index: int
+    load: Tuple[float, ...]
+    residual: Tuple[float, ...]
+    num_active: int
+    position: int = -1
+
+    @property
+    def min_residual(self) -> float:
+        """Smallest per-dimension residual capacity (the binding one)."""
+        return min(self.residual)
+
+
+@dataclass(frozen=True, **DATACLASS_SLOTS)
+class PackRecord:
+    """What happened to the most recently emitted item."""
+
+    uid: int
+    bin_index: int
+    opened_new: bool
+
+
+@dataclass(frozen=True)
+class EngineView:
+    """Everything an adaptive adversary may observe after an event.
+
+    This is deliberately the *information the proofs assume an adaptive
+    adversary has*: the open bins with loads/residuals, the policy's
+    candidate-list order (so Move To Front's leader is observable), the
+    committed cost so far, and where the last item landed — but never
+    the policy's future decisions.
+    """
+
+    now: float
+    policy: str
+    capacity: Tuple[float, ...]
+    open_bins: Tuple[BinView, ...] = ()
+    #: Bin indexes in the policy's candidate-list order (``L``-order);
+    #: empty when the policy does not expose a list.
+    candidate_order: Tuple[int, ...] = ()
+    bins_opened: int = 0
+    committed_cost: float = 0.0
+    emitted: int = 0
+    last: Optional[PackRecord] = None
+
+    @property
+    def d(self) -> int:
+        """Resource dimensions of the run."""
+        return len(self.capacity)
+
+    @property
+    def leader_index(self) -> Optional[int]:
+        """Bin index at the front of the candidate list, if any."""
+        return self.candidate_order[0] if self.candidate_order else None
+
+    def bin_view(self, index: int) -> Optional[BinView]:
+        """The view of open bin ``index``, or ``None`` if closed/unknown."""
+        for b in self.open_bins:
+            if b.index == index:
+                return b
+        return None
+
+
+class Adversary(abc.ABC):
+    """Base class for adaptive attacks.
+
+    Subclasses implement :meth:`next_item` — called once per emission
+    with the post-event :class:`EngineView` — and keep
+    :attr:`_opt_upper` current (an explicit offline packing cost of the
+    emitted prefix, hence ``>= OPT``).  Uids on returned items are
+    ignored; the driver re-assigns them sequentially.
+    """
+
+    #: Registry name of the attack.
+    name: str = "adversary"
+    #: Registry name of the policy this attack is built to defeat.
+    target_policy: str = "first_fit"
+
+    def __init__(self, config: Optional[AttackConfig] = None) -> None:
+        self.config = config if config is not None else AttackConfig()
+        self._rng: Optional[np.random.Generator] = None
+        self._opt_upper = 0.0
+
+    def reset(self, rng: np.random.Generator) -> None:
+        """Prepare for a fresh run.  Subclasses must call ``super()``."""
+        self._rng = rng
+        self._opt_upper = 0.0
+
+    @abc.abstractmethod
+    def next_item(self, view: EngineView) -> Optional[Item]:
+        """The next arrival given the live engine state, or ``None`` to stop.
+
+        Arrival times must be non-decreasing across calls (the induced
+        sequence is an online instance).
+        """
+
+    def opt_upper(self) -> Optional[float]:
+        """Certified upper bound on ``OPT`` of the emitted prefix.
+
+        Returns ``None`` when the attack carries no certificate (the
+        driver then falls back to the FFD bracket of
+        :func:`repro.optimum.opt_cost.optimum_cost_bounds`).
+        """
+        return self._opt_upper
+
+    def theoretical_bound(self) -> float:
+        """Closed-form lower bound this attack is certified against.
+
+        ``inf`` for unboundedness attacks (Theorem 7), which are checked
+        against :attr:`AttackConfig.ratio_threshold` instead.
+        """
+        return math.inf
+
+    @property
+    def rng(self) -> np.random.Generator:
+        """The SeedSequence-derived generator bound by :meth:`reset`."""
+        if self._rng is None:
+            raise ConfigurationError(
+                f"{self.name}: next_item before reset() — run attacks "
+                "through AdversaryDriver"
+            )
+        return self._rng
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(target={self.target_policy!r}, {self.config!r})"

@@ -1,0 +1,360 @@
+"""The adversary driver: live adaptive loop, classic replay, trajectories.
+
+:class:`AdversaryDriver` runs an attack in two passes.
+
+**Live pass** — an incremental twin of the classic engine's event loop:
+after every arrival the driver rebuilds an
+:class:`~repro.adversaries.base.EngineView` (open bins, loads,
+residuals, the policy's candidate-list order, committed cost) and asks
+the adversary for the next arrival.  Departures due at or before the
+next arrival are processed first, in ``(time, uid)`` order — exactly
+the classic engine's event ordering — so the policy sees the same
+history it would in a batch replay.  The per-arrival *committed cost*
+is ``sum(bin.usage_time)``: an open bin's usage period already extends
+to the latest departure among items ever packed, so the cost of every
+decision is charged the moment it is made.
+
+**Replay pass** — the induced arrivals form a plain
+:class:`~repro.core.instance.Instance`, which is replayed through the
+classic :func:`~repro.simulation.runner.run`; the driver asserts the
+replayed assignment is bit-identical to the live one
+(``replay_identical``), so everything downstream (invariant auditor,
+four-engine differential oracles) applies to adversarial instances with
+no special cases.
+
+The certified ratio is ``cost / opt_upper`` where ``opt_upper`` is the
+adversary's own offline-packing certificate (cross-checked against the
+:func:`~repro.optimum.opt_cost.optimum_cost_bounds` lower bracket), or
+the FFD bracket upper bound when the attack carries no certificate.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..algorithms.base import AnyFitAlgorithm
+from ..algorithms.registry import make_algorithm
+from ..core.bins import Bin
+from ..core.errors import AlgorithmError, ConfigurationError
+from ..core.instance import Instance
+from ..core.items import Item
+from ..optimum.opt_cost import optimum_cost_bounds
+from ..simulation.runner import run
+from .attacks import make_adversary
+from .base import Adversary, AttackConfig, BinView, EngineView, PackRecord
+
+__all__ = [
+    "TrajectoryPoint",
+    "AttackResult",
+    "AdversaryDriver",
+    "run_attack",
+]
+
+_TOL = 1e-9
+
+
+class _CapacityContext:
+    """Duck-typed stand-in for an Instance carrying only the capacity.
+
+    The live loop has no materialised instance when the policy's
+    ``start`` runs (the adversary has not emitted anything yet); stock
+    policies only read ``instance.capacity`` there.
+    """
+
+    __slots__ = ("capacity",)
+
+    def __init__(self, capacity: np.ndarray) -> None:
+        self.capacity = capacity
+
+
+@dataclass(frozen=True)
+class TrajectoryPoint:
+    """One step of the certified-ratio trajectory (after one arrival)."""
+
+    step: int
+    time: float
+    bins_opened: int
+    committed_cost: float
+    opt_upper: float
+    certified_ratio: float
+
+
+@dataclass(frozen=True)
+class AttackResult:
+    """Everything one attack run produced."""
+
+    attack: str
+    policy: str
+    mu: float
+    d: int
+    instance: Instance
+    cost: float
+    opt_upper: float
+    certified_ratio: float
+    theoretical_bound: float
+    #: ``certified_ratio / theoretical_bound`` — ``inf`` for
+    #: unboundedness attacks, whose bound is ``inf`` and whose success
+    #: criterion is the ratio threshold instead.
+    fraction_of_bound: float
+    trajectory: Tuple[TrajectoryPoint, ...]
+    replay_identical: bool
+
+    @property
+    def n(self) -> int:
+        """Number of induced items."""
+        return self.instance.n
+
+    def summary(self) -> dict:
+        """JSON-ready summary (without the instance or trajectory).
+
+        The unboundedness attacks have an infinite bound; JSON has no
+        ``inf``, so those fields come out as ``None``.
+        """
+        finite = math.isfinite(self.theoretical_bound)
+        return {
+            "attack": self.attack,
+            "policy": self.policy,
+            "mu": self.mu,
+            "d": self.d,
+            "items": self.n,
+            "cost": self.cost,
+            "opt_upper": self.opt_upper,
+            "certified_ratio": self.certified_ratio,
+            "theoretical_bound": self.theoretical_bound if finite else None,
+            "fraction_of_bound": self.fraction_of_bound if finite else None,
+            "replay_identical": self.replay_identical,
+        }
+
+
+class AdversaryDriver:
+    """Runs one adaptive attack against one policy.
+
+    Parameters
+    ----------
+    adversary:
+        The attack (already configured).
+    policy:
+        Registry name of the policy to attack; defaults to the attack's
+        :attr:`~repro.adversaries.base.Adversary.target_policy`.
+    seed:
+        SeedSequence seed for the adversary's RNG — the only source of
+        randomness, so ``(attack, policy, seed)`` determines the induced
+        instance exactly (the golden-pin tests rely on this).
+    record_trajectory:
+        Disable to skip per-arrival trajectory points (large attacks).
+    """
+
+    def __init__(
+        self,
+        adversary: Adversary,
+        policy: Optional[str] = None,
+        seed: int = 0,
+        record_trajectory: bool = True,
+    ) -> None:
+        self.adversary = adversary
+        self.policy = policy or adversary.target_policy
+        self.seed = int(seed)
+        self.record_trajectory = record_trajectory
+
+    # ------------------------------------------------------------------
+    def run(self) -> AttackResult:
+        """Execute the live loop, replay, and certify the ratio."""
+        adversary = self.adversary
+        config = adversary.config
+        rng = np.random.default_rng(np.random.SeedSequence(self.seed))
+        adversary.reset(rng)
+
+        kwargs = {"seed": 0} if self.policy == "random_fit" else {}
+        algorithm = make_algorithm(self.policy, **kwargs)
+        capacity = np.ones(config.d, dtype=np.float64)
+        algorithm.start(_CapacityContext(capacity))
+
+        bins: List[Bin] = []
+        heap: List[Tuple[float, int]] = []  # (departure, uid)
+        item_of: Dict[int, Item] = {}
+        bin_of: Dict[int, Bin] = {}
+        assignment: Dict[int, int] = {}
+        emitted: List[Item] = []
+        trajectory: List[TrajectoryPoint] = []
+        now = 0.0
+        last: Optional[PackRecord] = None
+
+        while True:
+            view = self._view(algorithm, bins, capacity, now, len(emitted), last)
+            item = adversary.next_item(view)
+            if item is None:
+                break
+            if len(emitted) >= config.max_items:
+                raise AlgorithmError(
+                    f"{adversary.name} exceeded max_items={config.max_items}; "
+                    "the attack's termination logic is broken"
+                )
+            item = item.with_uid(len(emitted))
+            if item.arrival < now:
+                raise AlgorithmError(
+                    f"{adversary.name} emitted a decreasing arrival "
+                    f"({item.arrival} after {now})"
+                )
+            # departures at or before the arrival fire first, in
+            # (time, uid) order — the classic engine's event ordering
+            while heap and heap[0][0] <= item.arrival:
+                dep_time, uid = heapq.heappop(heap)
+                departed = item_of.pop(uid)
+                target = bin_of.pop(uid)
+                closed = target.remove(departed, dep_time)
+                algorithm.notify_departure(target, departed, dep_time, closed)
+            now = item.arrival
+
+            opened: List[Bin] = []
+
+            def open_new_bin() -> Bin:
+                fresh = Bin(capacity, index=len(bins), opened_at=now)
+                bins.append(fresh)
+                opened.append(fresh)
+                return fresh
+
+            target = algorithm.dispatch(item, now, open_new_bin)
+            if target is None:
+                raise AlgorithmError(
+                    f"{self.policy} returned no bin for item {item.uid}"
+                )
+            target.pack(item)
+            item_of[item.uid] = item
+            bin_of[item.uid] = target
+            assignment[item.uid] = target.index
+            heapq.heappush(heap, (item.departure, item.uid))
+            emitted.append(item)
+            last = PackRecord(item.uid, target.index, bool(opened))
+
+            if self.record_trajectory:
+                committed = sum(b.usage_time for b in bins)
+                opt_now = adversary.opt_upper()
+                opt_now = float(opt_now) if opt_now else math.nan
+                ratio = committed / opt_now if opt_now and opt_now > 0 else math.nan
+                trajectory.append(TrajectoryPoint(
+                    step=len(emitted) - 1,
+                    time=now,
+                    bins_opened=len(bins),
+                    committed_cost=committed,
+                    opt_upper=opt_now,
+                    certified_ratio=ratio,
+                ))
+
+        if not emitted:
+            raise AlgorithmError(f"{adversary.name} emitted no items")
+        # drain the remaining departures so the live policy state winds
+        # down cleanly (cost is already committed — this changes nothing)
+        while heap:
+            dep_time, uid = heapq.heappop(heap)
+            departed = item_of.pop(uid)
+            target = bin_of.pop(uid)
+            closed = target.remove(departed, dep_time)
+            algorithm.notify_departure(target, departed, dep_time, closed)
+
+        instance = Instance(
+            emitted, capacity=capacity,
+            name=f"{adversary.name}[{self.policy},seed={self.seed}]",
+        )
+
+        # replay through the classic engine: the induced instance must
+        # reproduce the live decisions bit for bit
+        replay_algorithm = make_algorithm(self.policy, **kwargs)
+        packing = run(replay_algorithm, instance)
+        replay_identical = dict(packing.assignment) == assignment
+
+        certificate = adversary.opt_upper()
+        if certificate is None:
+            opt_upper = optimum_cost_bounds(instance)[1]
+        else:
+            opt_upper = float(certificate)
+            lower = optimum_cost_bounds(instance)[0]
+            if opt_upper + _TOL * max(1.0, opt_upper) < lower:
+                raise AlgorithmError(
+                    f"{adversary.name}: certificate {opt_upper:.6g} is below "
+                    f"the certified OPT lower bound {lower:.6g} — the "
+                    "attack's offline packing is infeasible"
+                )
+        cost = packing.cost
+        ratio = cost / opt_upper if opt_upper > 0 else math.inf
+        bound = adversary.theoretical_bound()
+        fraction = ratio / bound if math.isfinite(bound) else math.inf
+        return AttackResult(
+            attack=adversary.name,
+            policy=self.policy,
+            mu=config.mu,
+            d=config.d,
+            instance=instance,
+            cost=cost,
+            opt_upper=opt_upper,
+            certified_ratio=ratio,
+            theoretical_bound=bound,
+            fraction_of_bound=fraction,
+            trajectory=tuple(trajectory),
+            replay_identical=replay_identical,
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _view(
+        algorithm,
+        bins: List[Bin],
+        capacity: np.ndarray,
+        now: float,
+        emitted: int,
+        last: Optional[PackRecord],
+    ) -> EngineView:
+        """Snapshot the live engine state for the adversary."""
+        positions: Dict[int, int] = {}
+        candidate_order: Tuple[int, ...] = ()
+        if isinstance(algorithm, AnyFitAlgorithm):
+            open_list = algorithm.open_list
+            positions = {b.index: i for i, b in enumerate(open_list)}
+            candidate_order = tuple(b.index for b in open_list)
+        views = []
+        committed = 0.0
+        for b in bins:
+            committed += b.usage_time
+            if not b.is_open:
+                continue
+            views.append(BinView(
+                index=b.index,
+                load=tuple(float(x) for x in b.load),
+                residual=tuple(float(c - x) for c, x in zip(capacity, b.load)),
+                num_active=b.num_active,
+                position=positions.get(b.index, -1),
+            ))
+        return EngineView(
+            now=now,
+            policy=getattr(algorithm, "name", type(algorithm).__name__),
+            capacity=tuple(float(c) for c in capacity),
+            open_bins=tuple(views),
+            candidate_order=candidate_order,
+            bins_opened=len(bins),
+            committed_cost=committed,
+            emitted=emitted,
+            last=last,
+        )
+
+
+def run_attack(
+    attack: str,
+    config: Optional[AttackConfig] = None,
+    policy: Optional[str] = None,
+    seed: int = 0,
+) -> AttackResult:
+    """Convenience wrapper: build and drive a registered attack once.
+
+    Raises
+    ------
+    ConfigurationError
+        For unknown attack or policy names.
+    """
+    adversary = make_adversary(attack, config)
+    if not isinstance(adversary, Adversary):  # pragma: no cover - registry guard
+        raise ConfigurationError(f"{attack!r} did not build an Adversary")
+    return AdversaryDriver(adversary, policy=policy, seed=seed).run()

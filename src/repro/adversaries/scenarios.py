@@ -1,0 +1,148 @@
+"""Must-exceed-bound scenarios: the attacks as verification checks.
+
+Each :class:`AttackScenario` pins one attack against one policy at one
+``(mu, d)`` point and states what success means: the certified ratio
+must reach ``fraction`` of the closed-form lower bound (Theorems 5, 6,
+8), or — for the unboundedness attacks, whose bound is infinite — must
+exceed the configured ratio threshold (Theorem 7).  A failed scenario
+is a *verification violation*: either an attack regressed (stopped
+achieving its theorem's bound) or a policy changed behaviour in a way
+that breaks the certified construction; both must be caught.
+
+:data:`MUST_EXCEED_SCENARIOS` is the set every ``repro verify`` profile
+runs; :func:`null_adversary_outcome` runs the deliberately lame
+:class:`~repro.adversaries.attacks.NullAdversary` through the *same*
+check, which must FAIL — the mutation smoke-test's proof that this
+wiring can actually reject a broken adversary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from .attacks import make_adversary
+from .base import AttackConfig
+from .driver import AdversaryDriver, AttackResult
+
+__all__ = [
+    "AttackScenario",
+    "ScenarioOutcome",
+    "MUST_EXCEED_SCENARIOS",
+    "run_scenario",
+    "must_exceed_report",
+    "null_adversary_outcome",
+]
+
+
+@dataclass(frozen=True)
+class AttackScenario:
+    """One pinned must-exceed-bound check.
+
+    ``threshold`` switches the success criterion: ``None`` requires
+    ``certified_ratio >= fraction * theoretical_bound`` (bounded-ratio
+    theorems); a value requires ``certified_ratio >= threshold``
+    (unboundedness theorems, where the bound is infinite).
+    """
+
+    attack: str
+    policy: str
+    mu: float
+    d: int
+    fraction: float = 0.9
+    threshold: Optional[float] = None
+
+    @property
+    def label(self) -> str:
+        """Stable identifier used in verify reports and bench records."""
+        if self.threshold is not None:
+            return f"{self.attack}@{self.policy}(threshold={self.threshold:g})"
+        return f"{self.attack}@{self.policy}(mu={self.mu:g},d={self.d})"
+
+
+@dataclass(frozen=True)
+class ScenarioOutcome:
+    """A scenario's verdict plus the full attack result behind it."""
+
+    scenario: AttackScenario
+    result: AttackResult
+    required: float
+    achieved: float
+    passed: bool
+    message: str
+
+
+#: The scenario grid every verify profile runs: each bounded-ratio
+#: attack at two ``(mu, d)`` points, plus the Theorem 7 amplifier
+#: driving both Best Fit and Worst Fit past the ratio threshold.
+MUST_EXCEED_SCENARIOS: Tuple[AttackScenario, ...] = (
+    AttackScenario("duration_revealing", "first_fit", mu=2.0, d=2),
+    AttackScenario("duration_revealing", "first_fit", mu=4.0, d=1),
+    AttackScenario("next_fit_churner", "next_fit", mu=2.0, d=1),
+    AttackScenario("next_fit_churner", "next_fit", mu=3.0, d=2),
+    AttackScenario("leader_targeting", "move_to_front", mu=4.0, d=1),
+    AttackScenario("leader_targeting", "move_to_front", mu=6.0, d=1),
+    AttackScenario("best_fit_amplifier", "best_fit", mu=1.0, d=1, threshold=50.0),
+    AttackScenario("best_fit_amplifier", "worst_fit", mu=1.0, d=1, threshold=50.0),
+)
+
+
+def run_scenario(scenario: AttackScenario, seed: int = 0) -> ScenarioOutcome:
+    """Drive one scenario and judge it."""
+    config = AttackConfig(
+        mu=scenario.mu,
+        d=scenario.d,
+        target_fraction=scenario.fraction,
+        ratio_threshold=scenario.threshold if scenario.threshold is not None else 50.0,
+    )
+    adversary = make_adversary(scenario.attack, config)
+    result = AdversaryDriver(adversary, policy=scenario.policy, seed=seed).run()
+    if scenario.threshold is not None:
+        required = float(scenario.threshold)
+        kind = f"ratio threshold {required:g}"
+    else:
+        required = scenario.fraction * result.theoretical_bound
+        kind = (
+            f"{scenario.fraction:.0%} of bound {result.theoretical_bound:g} "
+            f"= {required:g}"
+        )
+    achieved = result.certified_ratio
+    passed = achieved >= required and result.replay_identical
+    if not result.replay_identical:
+        message = (
+            f"{scenario.label}: live run and classic replay diverged "
+            f"on the induced instance ({result.n} items)"
+        )
+    elif passed:
+        message = (
+            f"{scenario.label}: certified ratio {achieved:.3f} >= {kind} "
+            f"({result.n} items)"
+        )
+    else:
+        message = (
+            f"{scenario.label}: certified ratio {achieved:.3f} BELOW {kind} "
+            f"({result.n} items)"
+        )
+    return ScenarioOutcome(
+        scenario=scenario,
+        result=result,
+        required=required,
+        achieved=achieved,
+        passed=passed,
+        message=message,
+    )
+
+
+def must_exceed_report(
+    scenarios: Sequence[AttackScenario] = MUST_EXCEED_SCENARIOS,
+    seed: int = 0,
+) -> Tuple[ScenarioOutcome, ...]:
+    """Run every scenario; the harness turns failures into violations."""
+    return tuple(run_scenario(s, seed=seed) for s in scenarios)
+
+
+def null_adversary_outcome(seed: int = 0) -> ScenarioOutcome:
+    """The mutation mirror: the state-blind adversary judged by the
+    same must-exceed check, which it must FAIL."""
+    scenario = AttackScenario("null_adversary", "first_fit", mu=4.0, d=2)
+    return run_scenario(scenario, seed=seed)

@@ -19,6 +19,9 @@ Subcommands regenerate each paper artefact:
 * ``verify``  — the differential/invariant fuzzing harness
   (``--profile quick|deep``; see docs/verification.md) or a single
   Theorem 2/4 proof decomposition (``--theorem``);
+* ``attack``  — run one adaptive lower-bound adversary against a live
+  policy and print its certified-ratio trajectory, or ``--attack all``
+  for the must-exceed-bound scenario grid (see docs/adversaries.md);
 * ``serve``   — a long-lived :class:`~repro.streaming.PlacementService`
   speaking JSON-lines over stdin/stdout, with snapshot/restore
   (see docs/streaming.md).
@@ -178,7 +181,8 @@ def _build_parser() -> argparse.ArgumentParser:
     pb.add_argument("--suite",
                     choices=["core", "smoke", "fastpath", "fastpath-smoke",
                              "batch", "batch-smoke",
-                             "streaming", "streaming-smoke"],
+                             "streaming", "streaming-smoke",
+                             "adversary"],
                     default="core",
                     help="core = the BENCH_core.json grid; smoke = seconds-fast "
                          "subset; fastpath = the classic-vs-FastEngine "
@@ -187,8 +191,10 @@ def _build_parser() -> argparse.ArgumentParser:
                          "comparison grid (merged under the 'batch' key); "
                          "streaming = the bounded-memory long-stream grid "
                          "(events/sec + peak-RSS, merged under the "
-                         "'streaming' key); *-smoke = their seconds-fast "
-                         "subsets")
+                         "'streaming' key); adversary = the adaptive "
+                         "must-exceed-bound attack grid (certified ratios + "
+                         "wall time, merged under the 'adversary' key); "
+                         "*-smoke = their seconds-fast subsets")
     pb.add_argument("--repeats", type=int, default=3,
                     help="runs per (scenario, algorithm); wall-time is the min")
     pb.add_argument("--output", default="BENCH_core.json",
@@ -239,6 +245,37 @@ def _build_parser() -> argparse.ArgumentParser:
     pv.add_argument("--seed", type=int, default=None,
                     help="workload seed (--theorem path) or corpus seed "
                          "override (--profile path)")
+
+    from .adversaries.attacks import ATTACKS as _ATTACKS
+
+    pa = sub.add_parser(
+        "attack",
+        help="run an adaptive lower-bound adversary against a live policy "
+             "and print its certified-ratio trajectory",
+    )
+    pa.add_argument("--attack", default="all",
+                    choices=sorted(_ATTACKS) + ["all"],
+                    help="which attack to run; 'all' runs the "
+                         "must-exceed-bound scenario grid that repro verify "
+                         "uses and exits non-zero on any failure")
+    pa.add_argument("--policy", default=None, choices=available_algorithms(),
+                    help="policy to attack (default: the attack's target)")
+    pa.add_argument("--mu", type=float, default=4.0,
+                    help="duration ratio the attack is built for")
+    pa.add_argument("--d", type=int, default=1, help="resource dimensions")
+    pa.add_argument("--rounds", type=int, default=None,
+                    help="explicit construction size (default: auto-sized to "
+                         "reach --fraction of the theoretical bound)")
+    pa.add_argument("--fraction", type=float, default=0.9,
+                    help="target fraction of the bound when auto-sizing")
+    pa.add_argument("--threshold", type=float, default=50.0,
+                    help="stop threshold for the unbounded-ratio attacks")
+    pa.add_argument("--seed", type=int, default=0,
+                    help="adversary RNG seed (determines the induced instance)")
+    pa.add_argument("--trajectory", type=int, default=0, metavar="N",
+                    help="print every N-th certified-ratio trajectory point")
+    pa.add_argument("--json", action="store_true", dest="as_json",
+                    help="print the result summary as JSON instead of a table")
 
     return parser
 
@@ -411,6 +448,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             STREAMING_SMOKE_SCENARIOS,
             measure_overhead,
             merge_suite,
+            run_adversary_suite,
             run_batch_suite,
             run_fastpath_suite,
             run_streaming_suite,
@@ -428,6 +466,25 @@ def main(argv: Optional[List[str]] = None) -> int:
             except (OSError, ValueError):
                 return None
 
+        if args.suite == "adversary":
+            print(f"running {args.suite} suite (repeats={args.repeats}) ...")
+            payload = run_adversary_suite(repeats=args.repeats,
+                                          suite=args.suite, progress=print)
+            # Keep one trajectory file: nest under an existing core
+            # payload (preserving its companion records) when present.
+            out = payload
+            existing = _load_existing()
+            if isinstance(existing, dict) and existing.get("schema") == SCHEMA:
+                out = merge_suite(existing, "adversary", payload)
+            write_bench(out, args.output)
+            head = payload["headline"]
+            print(f"suite finished in {payload['total_wall_time_s']:.1f} s; "
+                  f"{head['scenarios']} scenarios, "
+                  f"all_passed={head['all_passed']}, tightest margin "
+                  f"{head['tightest_margin']:.3f} "
+                  f"({head['tightest_scenario']}), max amplifier ratio "
+                  f"{head['max_amplifier_ratio']:.1f}; wrote {args.output}")
+            return 0 if head["all_passed"] else 1
         if args.suite in ("streaming", "streaming-smoke"):
             scenarios = (
                 STREAMING_SCENARIOS if args.suite == "streaming"
@@ -524,7 +581,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         # A core re-run must not discard existing companion records.
         existing = _load_existing()
         if isinstance(existing, dict):
-            for key in ("fastpath", "batch", "streaming"):
+            for key in ("fastpath", "batch", "streaming", "adversary"):
                 if key in existing:
                     payload = merge_suite(payload, key, existing[key])
         write_bench(payload, args.output)
@@ -575,6 +632,56 @@ def main(argv: Optional[List[str]] = None) -> int:
         ))
         print(f"\nall inequalities hold: {report.all_hold}")
         return 0 if report.all_hold else 1
+    elif args.command == "attack":
+        import json as _json
+
+        from .adversaries import AttackConfig, must_exceed_report, run_attack
+
+        if args.attack == "all":
+            outcomes = must_exceed_report(seed=args.seed)
+            rows = [
+                [
+                    o.scenario.label,
+                    f"{o.achieved:.3f}",
+                    f"{o.required:.3f}",
+                    o.result.n,
+                    "PASS" if o.passed else "FAIL",
+                ]
+                for o in outcomes
+            ]
+            print(format_table(
+                ["scenario", "certified ratio", "required", "items", "verdict"],
+                rows, title="Must-exceed-bound scenario grid",
+            ))
+            return 0 if all(o.passed for o in outcomes) else 1
+
+        config = AttackConfig(
+            mu=args.mu, d=args.d, rounds=args.rounds,
+            target_fraction=args.fraction, ratio_threshold=args.threshold,
+        )
+        result = run_attack(args.attack, config=config,
+                            policy=args.policy, seed=args.seed)
+        if args.as_json:
+            print(_json.dumps(result.summary(), indent=2))
+        else:
+            rows = [[k, v] for k, v in result.summary().items()]
+            print(format_table(
+                ["field", "value"], rows,
+                title=f"{result.attack} vs {result.policy}",
+            ))
+            if args.trajectory > 0:
+                points = result.trajectory[::args.trajectory]
+                if result.trajectory and result.trajectory[-1] not in points:
+                    points = points + (result.trajectory[-1],)
+                print("\ncertified-ratio trajectory "
+                      f"(every {args.trajectory}th of {len(result.trajectory)} points):")
+                for pt in points:
+                    print(f"  step {pt.step:5d}  t={pt.time:9.3f}  "
+                          f"bins={pt.bins_opened:4d}  "
+                          f"cost={pt.committed_cost:10.3f}  "
+                          f"opt<= {pt.opt_upper:10.3f}  "
+                          f"ratio={pt.certified_ratio:7.3f}")
+        return 0
     return 0
 
 

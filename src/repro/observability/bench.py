@@ -63,6 +63,7 @@ __all__ = [
     "StreamBenchScenario",
     "STREAMING_SCENARIOS",
     "STREAMING_SMOKE_SCENARIOS",
+    "ADVERSARY_SCHEMA",
     "run_scenario",
     "run_suite",
     "run_fastpath_scenario",
@@ -71,6 +72,7 @@ __all__ = [
     "run_batch_suite",
     "run_streaming_scenario",
     "run_streaming_suite",
+    "run_adversary_suite",
     "write_bench",
     "merge_fastpath",
     "merge_suite",
@@ -92,6 +94,10 @@ BATCH_SCHEMA = "repro-bench-batch/v1"
 #: Schema tag of the bounded-memory long-stream payload nested under the
 #: ``"streaming"`` key of ``BENCH_core.json``.
 STREAMING_SCHEMA = "repro-bench-streaming/v1"
+
+#: Schema tag of the adaptive-adversary payload nested under the
+#: ``"adversary"`` key of ``BENCH_core.json``.
+ADVERSARY_SCHEMA = "repro-bench-adversary/v1"
 
 #: Suite base seed (the paper's arXiv date, matching ExperimentConfig).
 BASE_SEED = 20230419
@@ -806,6 +812,92 @@ def run_streaming_suite(
     return payload
 
 
+def run_adversary_suite(
+    scenarios=None,
+    repeats: int = 1,
+    suite: str = "adversary",
+    progress=None,
+) -> Dict[str, Any]:
+    """Time the adaptive-adversary must-exceed scenario grid.
+
+    Each cell records the induced-instance size, the certified ratio and
+    the fraction of the theoretical bound it achieved, plus wall time
+    (minimum over ``repeats`` — only the timing fields vary between
+    runs; the ratios are seed-pinned and exactly reproducible).  The
+    ``headline`` block carries the tightest bounded-ratio margin (the
+    scenario closest to its required fraction) and the largest amplifier
+    ratio — the numbers a perf/correctness trajectory should watch.
+    """
+    from ..adversaries.scenarios import MUST_EXCEED_SCENARIOS, run_scenario as _run_sc
+
+    if scenarios is None:
+        scenarios = MUST_EXCEED_SCENARIOS
+    t0 = time.perf_counter()
+    records = []
+    for scenario in scenarios:
+        best = None
+        for _ in range(max(1, repeats)):
+            s0 = time.perf_counter()
+            outcome = _run_sc(scenario, seed=0)
+            wall = time.perf_counter() - s0
+            if best is None or wall < best["wall_time_s"]:
+                res = outcome.result
+                finite = res.theoretical_bound != float("inf")
+                best = {
+                    "name": scenario.label,
+                    "attack": scenario.attack,
+                    "policy": scenario.policy,
+                    "mu": scenario.mu,
+                    "d": scenario.d,
+                    "items": res.n,
+                    "certified_ratio": res.certified_ratio,
+                    "required": outcome.required,
+                    # None for the unboundedness attacks (JSON has no inf)
+                    "theoretical_bound": res.theoretical_bound if finite else None,
+                    "fraction_of_bound": res.fraction_of_bound if finite else None,
+                    "passed": outcome.passed,
+                    "replay_identical": res.replay_identical,
+                    "wall_time_s": wall,
+                }
+        records.append(best)
+        if progress is not None:
+            progress(
+                f"  {best['name']}: ratio {best['certified_ratio']:.3f} "
+                f"(required {best['required']:.3f}), {best['items']} items "
+                f"in {best['wall_time_s']:.2f} s"
+            )
+    bounded = [r for r in records if r["theoretical_bound"] is not None]
+    unbounded = [r for r in records if r["theoretical_bound"] is None]
+    tightest = min(
+        bounded, key=lambda r: r["certified_ratio"] / r["required"], default=None
+    )
+    amplifier = max(
+        unbounded, key=lambda r: r["certified_ratio"], default=None
+    )
+    return {
+        "schema": ADVERSARY_SCHEMA,
+        "suite": suite,
+        "generated_unix": time.time(),
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "repeats": repeats,
+        "total_wall_time_s": time.perf_counter() - t0,
+        "headline": {
+            "scenarios": len(records),
+            "all_passed": all(r["passed"] for r in records),
+            "tightest_scenario": tightest["name"] if tightest else None,
+            "tightest_margin": (
+                tightest["certified_ratio"] / tightest["required"]
+                if tightest else None
+            ),
+            "max_amplifier_ratio": (
+                amplifier["certified_ratio"] if amplifier else None
+            ),
+        },
+        "scenarios": records,
+    }
+
+
 def measure_item_memory(count: int = 10_000) -> Dict[str, Any]:
     """Per-object memory of the slotted :class:`~repro.core.items.Item`.
 
@@ -882,7 +974,8 @@ def merge_suite(
     """Attach a companion suite payload under ``key`` of the core payload.
 
     Generalisation of :func:`merge_fastpath` for the growing family of
-    nested suites (``"fastpath"``, ``"batch"``, ``"streaming"``): the
+    nested suites (``"fastpath"``, ``"batch"``, ``"streaming"``,
+    ``"adversary"``): the
     core grid stays at
     the top level with its unchanged schema, and each companion nests
     under its own key, so re-running one suite never clobbers another's

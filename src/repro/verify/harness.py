@@ -11,10 +11,15 @@ recomputation, then the whole policy set is re-run through one batched
 every assignment, bin count, and cost exactly; a stride of (instance,
 policy) pairs additionally runs the plain-vs-instrumented engine
 differential, and one small batch exercises the serial-vs-worker-vs-batched
-sweep equality.  The run ends
-with the mutation smoke-test — if an injected mutant goes *uncaught*,
-the harness itself is broken, and that is reported as a violation like
-any other.
+sweep equality.  Every profile then runs the adaptive-adversary
+must-exceed-bound scenarios (:data:`repro.adversaries.MUST_EXCEED_SCENARIOS`):
+each lower-bound attack must certify the required fraction of its
+theorem's bound (or drive the unbounded policies past the ratio
+threshold) against the live engine, or the run fails.  The run ends
+with the mutation smoke-test — if an injected mutant goes *uncaught*
+(including the state-blind NullAdversary, which must *fail* the
+adversary-bound check), the harness itself is broken, and that is
+reported as a violation like any other.
 
 Every engine run is instrumented through one shared
 :class:`~repro.observability.stats.StatsCollector`, so the report carries
@@ -39,6 +44,7 @@ from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Callable, List, Optional, Sequence, Tuple
 
+from ..adversaries.scenarios import ScenarioOutcome, must_exceed_report
 from ..algorithms.registry import PAPER_ALGORITHMS, make_algorithm
 from ..core.errors import ConfigurationError, SolverLimitError
 from ..observability.stats import RunStats, StatsCollector
@@ -104,6 +110,7 @@ class VerifyReport:
     runs: int = 0
     checks: int = 0
     violations: List[Tuple[str, Violation]] = field(default_factory=list)
+    adversary_outcomes: Tuple[ScenarioOutcome, ...] = ()
     mutation: Optional[MutationReport] = None
     stats: RunStats = field(default_factory=RunStats)
     wall_time_s: float = 0.0
@@ -124,6 +131,22 @@ class VerifyReport:
             f"candidate_scans={self.stats.candidate_scans}, "
             f"dispatch_time={self.stats.dispatch_time_s:.3f} s",
         ]
+        if self.adversary_outcomes:
+            passed = sum(1 for o in self.adversary_outcomes if o.passed)
+            lines.append(
+                f"  adversary bounds: {passed}/{len(self.adversary_outcomes)} "
+                "scenarios exceeded their bound"
+            )
+            worst = min(
+                (o for o in self.adversary_outcomes if o.required > 0),
+                key=lambda o: o.achieved / o.required,
+                default=None,
+            )
+            if worst is not None:
+                lines.append(
+                    f"    tightest: {worst.scenario.label} certified "
+                    f"{worst.achieved:.3f} vs required {worst.required:.3f}"
+                )
         if self.mutation is not None:
             lines.append(
                 "  mutation smoke-test: broken-fit "
@@ -131,7 +154,9 @@ class VerifyReport:
                 "eager-open "
                 f"{'CAUGHT' if self.mutation.any_fit_caught else 'MISSED'}, "
                 "stale-residual "
-                f"{'CAUGHT' if self.mutation.fastpath_caught else 'MISSED'}"
+                f"{'CAUGHT' if self.mutation.fastpath_caught else 'MISSED'}, "
+                "null-adversary "
+                f"{'CAUGHT' if self.mutation.null_adversary_caught else 'MISSED'}"
             )
         if self.violations:
             lines.append(f"  VIOLATIONS ({len(self.violations)}):")
@@ -273,6 +298,20 @@ def run_verify(
         report.violations.append(("resume-oracle", v))
     report.checks += 1
 
+    # adaptive-adversary must-exceed-bound scenarios: every profile runs
+    # the full grid against the live engine (seed pinned — the induced
+    # instances are golden-tested, so any drift here is a regression)
+    if progress is not None:
+        progress("  ... running adversary must-exceed-bound scenarios")
+    report.adversary_outcomes = must_exceed_report(seed=0)
+    for outcome in report.adversary_outcomes:
+        if not outcome.passed:
+            report.violations.append((
+                f"adversary/{outcome.scenario.label}",
+                Violation("adversary-bound", outcome.message),
+            ))
+        report.checks += 1
+
     report.mutation = mutation_smoke_test(seed=corpus_seed)
     if not report.mutation.capacity_caught:
         report.violations.append((
@@ -291,6 +330,15 @@ def run_verify(
                 "mutation",
                 "stale-residual fastpath mutant was NOT caught by the "
                 "twin-engine differential oracle",
+            ),
+        ))
+    if not report.mutation.null_adversary_caught:
+        report.violations.append((
+            "mutation",
+            Violation(
+                "mutation",
+                "NullAdversary mutant was NOT rejected by the "
+                "must-exceed-bound check",
             ),
         ))
     report.checks += 1

@@ -19,6 +19,11 @@ invariant auditor catches it:
   silently opens extra bins.  Classic and fastpath each stay
   self-consistent, so only the classic-vs-fastpath differential oracle
   (:func:`~repro.verify.oracles.compare_with_fastpath`) can catch it.
+* the :class:`~repro.adversaries.attacks.NullAdversary` — a state-blind
+  "attack" that emits random arrivals while ignoring the engine view.
+  Run through the same must-exceed-bound scenario check as the real
+  attacks, it must FAIL to reach its bound; if it *passes*, the
+  adversary-bound check is vacuous (any stream would satisfy it).
 
 :func:`mutation_smoke_test` runs all mutants and reports whether each
 was caught; the harness treats an *uncaught mutant* as a violation of
@@ -37,6 +42,7 @@ from ..core.instance import Instance
 from ..core.items import Item
 from ..core.packing import Packing
 from ..core.vectors import EPS
+from ..adversaries.scenarios import null_adversary_outcome
 from ..simulation.fastpath import FastEngine
 from ..simulation.runner import run
 from ..workloads.uniform import UniformWorkload
@@ -132,11 +138,18 @@ class MutationReport:
     any_fit_violations: List[Violation]
     fastpath_caught: bool = True
     fastpath_violations: List[Violation] = field(default_factory=list)
+    null_adversary_caught: bool = True
+    null_adversary_violations: List[Violation] = field(default_factory=list)
 
     @property
     def all_caught(self) -> bool:
         """True iff every injected mutant was flagged by the auditor."""
-        return self.capacity_caught and self.any_fit_caught and self.fastpath_caught
+        return (
+            self.capacity_caught
+            and self.any_fit_caught
+            and self.fastpath_caught
+            and self.null_adversary_caught
+        )
 
 
 def mutation_smoke_test(seed: int = 0) -> MutationReport:
@@ -163,6 +176,18 @@ def mutation_smoke_test(seed: int = 0) -> MutationReport:
         classic_packing, "first_fit", fast_packing=stale_packing
     )
 
+    # mutant 4: the state-blind NullAdversary judged by the same
+    # must-exceed-bound check as the real attacks — "caught" means the
+    # check rejected it (its certified ratio fell short of the bound)
+    null_outcome = null_adversary_outcome(seed=seed)
+    null_violations: List[Violation] = []
+    if null_outcome.passed:
+        null_violations.append(Violation(
+            "adversary-bound",
+            "NullAdversary PASSED the must-exceed-bound check "
+            f"({null_outcome.message}) — the check is vacuous",
+        ))
+
     return MutationReport(
         capacity_caught=bool(capacity_violations),
         any_fit_caught=bool(any_fit_violations),
@@ -170,4 +195,6 @@ def mutation_smoke_test(seed: int = 0) -> MutationReport:
         any_fit_violations=any_fit_violations,
         fastpath_caught=bool(fastpath_violations),
         fastpath_violations=fastpath_violations,
+        null_adversary_caught=not null_outcome.passed,
+        null_adversary_violations=null_violations,
     )

@@ -31,6 +31,8 @@ except ImportError as exc:  # pragma: no cover - exercised only without the extr
         "extra (pip install repro[test])"
     ) from exc
 
+from ..adversaries.attacks import ATTACKS
+from ..adversaries.base import AttackConfig
 from ..algorithms.registry import PAPER_ALGORITHMS
 from ..core.instance import Instance
 from ..workloads.adversarial import (
@@ -48,6 +50,7 @@ __all__ = [
     "arrivals",
     "instances",
     "adversarial_instances",
+    "adversary_configs",
     "policies",
 ]
 
@@ -149,6 +152,30 @@ def adversarial_instances(draw) -> Instance:
     else:
         adv = best_fit_trap(k=draw(st.integers(2, 4)))
     return adv.instance
+
+
+@st.composite
+def adversary_configs(draw) -> tuple:
+    """An ``(attack_name, AttackConfig)`` pair for the adaptive attacks.
+
+    ``rounds`` is drawn small and explicit (2–6) so property tests stay
+    fast — the auto-sized constructions that actually reach the bounds
+    are covered by the pinned must-exceed scenarios instead.  The
+    1-dimensional attacks (``leader_targeting``, ``best_fit_amplifier``)
+    are forced to ``d = 1``, matching their constructions.
+    """
+    name = draw(st.sampled_from(sorted(ATTACKS)))
+    if name in ("leader_targeting", "best_fit_amplifier"):
+        d = 1
+    else:
+        d = draw(st.sampled_from((1, 2)))
+    config = AttackConfig(
+        mu=float(draw(st.sampled_from((1.0, 2.0, 4.0)))) if name != "best_fit_amplifier" else 1.0,
+        d=d,
+        rounds=draw(st.integers(2, 6)),
+        ratio_threshold=float(draw(st.sampled_from((5.0, 50.0)))),
+    )
+    return name, config
 
 
 def policies() -> st.SearchStrategy[str]:

@@ -1,0 +1,74 @@
+"""Golden-pin determinism tests for the adaptive adversaries.
+
+The induced instance of an ``(attack, policy, seed)`` triple is a pure
+function of that triple: the driver derives the attack's RNG from a
+``SeedSequence`` and the live engine is deterministic.  These pins are
+load-bearing exactly like the workload-generator pins in
+``test_workload_golden.py`` — the must-exceed scenarios in every
+``repro verify`` profile and the ``adversary`` bench suite assume a
+given triple is the *same instance forever*.  A failing test here means
+an attack's RNG consumption or emission order changed; either restore
+it or consciously re-pin (and note it in CHANGES.md).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversaries import AdversaryDriver, AttackConfig, make_adversary
+from tests.test_workload_golden import stream_digest
+
+# small explicit sizes so each run takes milliseconds; determinism is a
+# property of the code path, not the construction size
+_CONFIGS = {
+    "duration_revealing": AttackConfig(mu=2.0, d=2, rounds=3),
+    "next_fit_churner": AttackConfig(mu=2.0, d=1, rounds=4),
+    "leader_targeting": AttackConfig(mu=4.0, d=1, rounds=5),
+    "best_fit_amplifier": AttackConfig(mu=1.0, d=1, rounds=4),
+    "null_adversary": AttackConfig(mu=4.0, d=2, rounds=10),
+}
+
+#: (attack, seed) -> pinned digest of the induced item stream.
+GOLDEN = {
+    ("duration_revealing", 0): "ad710f608b8699f4",
+    ("duration_revealing", 7): "bb135e47af5ed3b3",
+    ("next_fit_churner", 0): "166639037077c84a",
+    ("next_fit_churner", 7): "54c75b1b2e35d3ce",
+    ("leader_targeting", 0): "7d10e6d220df32c4",
+    ("leader_targeting", 7): "2cca3763fc72e894",
+    ("best_fit_amplifier", 0): "f69a14029f6ac9dc",
+    ("best_fit_amplifier", 7): "f69a14029f6ac9dc",
+    ("null_adversary", 0): "1368346551e14e55",
+    ("null_adversary", 7): "83991ae59d46d49d",
+}
+
+
+def _induced(attack: str, seed: int):
+    adversary = make_adversary(attack, _CONFIGS[attack])
+    return AdversaryDriver(adversary, seed=seed).run().instance
+
+
+@pytest.mark.parametrize("attack,seed", sorted(GOLDEN))
+def test_induced_stream_is_pinned(attack, seed):
+    assert stream_digest(_induced(attack, seed)) == GOLDEN[(attack, seed)]
+
+
+@pytest.mark.parametrize("attack", sorted(_CONFIGS))
+def test_same_seed_is_repeatable(attack):
+    assert stream_digest(_induced(attack, 3)) == stream_digest(_induced(attack, 3))
+
+
+@pytest.mark.parametrize("attack", sorted(_CONFIGS))
+def test_different_seeds_differ_when_randomized(attack):
+    """Distinct seeds yield distinct streams for the randomized attacks.
+
+    ``best_fit_amplifier`` is a fully deterministic construction (it
+    draws nothing from its RNG), so its streams legitimately coincide —
+    the golden table above pins both seeds to the same digest.
+    """
+    a = stream_digest(_induced(attack, 0))
+    b = stream_digest(_induced(attack, 1))
+    if attack == "best_fit_amplifier":
+        assert a == b
+    else:
+        assert a != b

@@ -148,3 +148,42 @@ class TestHarnessScript:
                             "--output", str(out)]) == 0
         payload = json.loads(out.read_text())
         assert payload["schema"] == SCHEMA
+
+
+class TestAdversarySuite:
+    def test_run_adversary_suite_payload(self):
+        from repro.adversaries.scenarios import MUST_EXCEED_SCENARIOS
+        from repro.observability.bench import ADVERSARY_SCHEMA, run_adversary_suite
+
+        # two scenarios keep the test in tier-1 time; the full grid is
+        # covered by the CLI merge test below (slow) and repro verify
+        payload = run_adversary_suite(
+            scenarios=MUST_EXCEED_SCENARIOS[2:4], repeats=1
+        )
+        assert payload["schema"] == ADVERSARY_SCHEMA
+        assert payload["headline"]["all_passed"] is True
+        assert len(payload["scenarios"]) == 2
+        for rec in payload["scenarios"]:
+            assert rec["passed"] and rec["replay_identical"]
+            assert rec["certified_ratio"] >= rec["required"]
+            assert rec["wall_time_s"] > 0
+        # payload must be strict JSON (no Infinity literals)
+        json.loads(json.dumps(payload, allow_nan=False))
+
+    @pytest.mark.slow
+    def test_cli_merges_adversary_under_core(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_core.json"
+        assert main(["bench", "--suite", "smoke", "--repeats", "1",
+                     "--output", str(out)]) == 0
+        assert main(["bench", "--suite", "adversary", "--repeats", "1",
+                     "--output", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["schema"] == SCHEMA  # core stays top-level
+        assert payload["adversary"]["headline"]["all_passed"] is True
+        assert payload["adversary"]["headline"]["max_amplifier_ratio"] >= 50.0
+        # a core re-run preserves the nested adversary record
+        assert main(["bench", "--suite", "smoke", "--repeats", "1",
+                     "--output", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert "adversary" in payload
+        capsys.readouterr()

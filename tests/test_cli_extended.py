@@ -79,6 +79,42 @@ def test_verify_theorem4(capsys):
     assert "theorem4" in out and "all inequalities hold: True" in out
 
 
+def test_attack_single_with_trajectory(capsys):
+    assert main(["attack", "--attack", "leader_targeting", "--mu", "4",
+                 "--rounds", "6", "--trajectory", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "leader_targeting vs move_to_front" in out
+    assert "certified_ratio" in out
+    assert "certified-ratio trajectory" in out
+    assert "ratio=" in out
+
+
+def test_attack_json_output(capsys):
+    assert main(["attack", "--attack", "next_fit_churner", "--mu", "2",
+                 "--rounds", "4", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["attack"] == "next_fit_churner"
+    assert payload["policy"] == "next_fit"
+    assert payload["replay_identical"] is True
+
+
+def test_attack_amplifier_threshold(capsys):
+    assert main(["attack", "--attack", "best_fit_amplifier", "--mu", "1",
+                 "--threshold", "5", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["certified_ratio"] >= 5.0
+    assert payload["theoretical_bound"] is None
+
+
+@pytest.mark.slow
+def test_attack_all_runs_scenario_grid(capsys):
+    assert main(["attack", "--attack", "all"]) == 0
+    out = capsys.readouterr().out
+    assert "Must-exceed-bound scenario grid" in out
+    assert "FAIL" not in out
+    assert out.count("PASS") == 8
+
+
 class TestOrchestrationFlags:
     """The fault-tolerance knobs added to run/figure4/experiments."""
 

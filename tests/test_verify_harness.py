@@ -35,6 +35,11 @@ def test_run_verify_short_prefix_is_clean():
     assert report.mutation is not None and report.mutation.all_caught
     assert "all invariants held" in report.render()
     assert "mutation smoke-test" in report.render()
+    # the adversary must-exceed scenarios run in every profile
+    assert len(report.adversary_outcomes) == 8
+    assert all(o.passed for o in report.adversary_outcomes)
+    assert "adversary bounds: 8/8" in report.render()
+    assert "null-adversary CAUGHT" in report.render()
 
 
 def test_run_verify_records_work_counters():
@@ -61,6 +66,7 @@ def test_mutation_smoke_test_catches_all_mutants():
     assert report.capacity_caught
     assert report.any_fit_caught
     assert report.fastpath_caught
+    assert report.null_adversary_caught
     assert report.all_caught
 
 

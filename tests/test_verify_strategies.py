@@ -53,6 +53,21 @@ def test_gadget_instances_pass_audit(inst):
     assert differential_check(inst, "move_to_front") == []
 
 
+@given(pair=sts.adversary_configs())
+def test_adversary_configs_yield_valid_instances(pair):
+    """Any generated attack config induces a valid, auditor-clean
+    instance whose classic replay matches the live run bit for bit."""
+    from repro.adversaries import AdversaryDriver, make_adversary
+
+    name, config = pair
+    result = AdversaryDriver(make_adversary(name, config), seed=5).run()
+    assert result.replay_identical
+    assert 1 <= result.n <= config.max_items
+    assert audit_instance(result.instance) == []
+    assert result.opt_upper > 0
+    assert result.certified_ratio > 0
+
+
 @given(inst=sts.instances(d=1, mu=1.0, max_items=10))
 def test_unit_duration_cost_identity(inst):
     """With mu == 1 every duration is exactly 1, so each bin's usage is a
