@@ -100,7 +100,8 @@ def main(argv=None) -> int:
         except (OSError, ValueError):
             existing = None
         if isinstance(existing, dict):
-            for key in ("fastpath", "batch"):
+            from repro.observability.bench import COMPANION_SUITES
+            for key in COMPANION_SUITES:
                 if key in existing:
                     payload = merge_suite(payload, key, existing[key])
 

@@ -159,7 +159,9 @@ def _build_parser() -> argparse.ArgumentParser:
                     choices=available_algorithms())
     pr.add_argument("--validate", action="store_true",
                     help="audit the packing before reporting")
-    pr.add_argument("--engine", choices=["classic", "fast", "batch", "streaming"],
+    pr.add_argument("--engine",
+                    choices=["classic", "fast", "batch", "streaming",
+                             "repacking"],
                     default="classic",
                     help="fast = the flat-array FastEngine (bit-identical "
                          "packings, several times faster; falls back to "
@@ -167,7 +169,17 @@ def _build_parser() -> argparse.ArgumentParser:
                          "batch = one BatchRunner pass (same results; pays "
                          "off over many replays); streaming = the "
                          "bounded-memory event loop (same results on every "
-                         "policy; memory scales with peak live items)")
+                         "policy; memory scales with peak live items); "
+                         "repacking = the migration-budget engine (may "
+                         "relocate live items within --budget after each "
+                         "event; budget 0 is bit-identical to classic)")
+    pr.add_argument("--repacker", default=None,
+                    help="repacking policy (no_repack, greedy_consolidate, "
+                         "budgeted_rebalance); only with --engine repacking")
+    pr.add_argument("--budget", type=float, default=None,
+                    help="migration budget: per-event move cap, or "
+                         "amortized credit rate for budgeted_rebalance; "
+                         "only with --engine repacking")
     pr.add_argument("--retries", type=int, default=0,
                     help="retry the run with exponential backoff on failure")
     pr.add_argument("--unit-timeout", type=float, default=None,
@@ -182,7 +194,8 @@ def _build_parser() -> argparse.ArgumentParser:
                     choices=["core", "smoke", "fastpath", "fastpath-smoke",
                              "batch", "batch-smoke",
                              "streaming", "streaming-smoke",
-                             "adversary"],
+                             "adversary",
+                             "repacking", "repacking-smoke"],
                     default="core",
                     help="core = the BENCH_core.json grid; smoke = seconds-fast "
                          "subset; fastpath = the classic-vs-FastEngine "
@@ -194,7 +207,11 @@ def _build_parser() -> argparse.ArgumentParser:
                          "'streaming' key); adversary = the adaptive "
                          "must-exceed-bound attack grid (certified ratios + "
                          "wall time, merged under the 'adversary' key); "
-                         "*-smoke = their seconds-fast subsets")
+                         "repacking = the migration-budget cost frontier "
+                         "vs the no-recourse baseline and offline/"
+                         "clairvoyant yardsticks (merged under the "
+                         "'repacking' key); *-smoke = their seconds-fast "
+                         "subsets")
     pb.add_argument("--repeats", type=int, default=3,
                     help="runs per (scenario, algorithm); wall-time is the min")
     pb.add_argument("--output", default="BENCH_core.json",
@@ -412,11 +429,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .simulation.runner import effective_engine
         from .simulation.runner import run as run_one
 
+        if args.engine != "repacking" and (
+            args.repacker is not None or args.budget is not None
+        ):
+            print("--repacker/--budget require --engine repacking",
+                  file=sys.stderr)
+            return 2
         effective = effective_engine(args.algorithm, engine=args.engine)
+        repack_kwargs = (
+            {"repacker": args.repacker, "budget": args.budget}
+            if args.engine == "repacking" else {}
+        )
         packing = call_with_retry(
             lambda: _with_timeout(
                 lambda: run_one(args.algorithm, instance,
-                                validate=args.validate, engine=args.engine),
+                                validate=args.validate, engine=args.engine,
+                                **repack_kwargs),
                 args.unit_timeout,
             ),
             RetryPolicy(retries=args.retries),
@@ -429,6 +457,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             if effective == args.engine
             else f"{effective} engine; {args.engine} requested"
         )
+        if args.engine == "repacking":
+            engine_note = (
+                f"repacking engine, {args.repacker or 'no_repack'}"
+                + (f":{args.budget:g}" if args.budget is not None else "")
+            )
         print(format_table(["metric", "value"], rows,
                            title=f"{args.algorithm} on {instance!r} "
                                  f"({engine_note})"))
@@ -442,6 +475,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             CORE_SCENARIOS,
             FASTPATH_SCENARIOS,
             FASTPATH_SMOKE_SCENARIOS,
+            REPACKING_SCENARIOS,
+            REPACKING_SMOKE_SCENARIOS,
             SCHEMA,
             SMOKE_SCENARIOS,
             STREAMING_SCENARIOS,
@@ -451,6 +486,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             run_adversary_suite,
             run_batch_suite,
             run_fastpath_suite,
+            run_repacking_suite,
             run_streaming_suite,
             run_suite,
             write_bench,
@@ -485,6 +521,32 @@ def main(argv: Optional[List[str]] = None) -> int:
                   f"({head['tightest_scenario']}), max amplifier ratio "
                   f"{head['max_amplifier_ratio']:.1f}; wrote {args.output}")
             return 0 if head["all_passed"] else 1
+        if args.suite in ("repacking", "repacking-smoke"):
+            scenarios = (
+                REPACKING_SCENARIOS if args.suite == "repacking"
+                else REPACKING_SMOKE_SCENARIOS
+            )
+            print(f"running {args.suite} suite ({len(scenarios)} scenarios, "
+                  f"repeats={args.repeats}) ...")
+            payload = run_repacking_suite(
+                scenarios=scenarios, repeats=args.repeats,
+                suite=args.suite, progress=print
+            )
+            # Keep one trajectory file: nest under an existing core
+            # payload (preserving its companion records) when present.
+            out = payload
+            existing = _load_existing()
+            if isinstance(existing, dict) and existing.get("schema") == SCHEMA:
+                out = merge_suite(existing, "repacking", payload)
+            write_bench(out, args.output)
+            head = payload["headline"]
+            print(f"suite finished in {payload['total_wall_time_s']:.1f} s; "
+                  f"{head['scenarios']} scenarios, "
+                  f"gadgets_improved={head['gadgets_improved']}, biggest "
+                  f"saving {head['biggest_improvement']:.0%} "
+                  f"({head['biggest_improvement_scenario']}); "
+                  f"wrote {args.output}")
+            return 0 if head["gadgets_improved"] else 1
         if args.suite in ("streaming", "streaming-smoke"):
             scenarios = (
                 STREAMING_SCENARIOS if args.suite == "streaming"
@@ -581,7 +643,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         # A core re-run must not discard existing companion records.
         existing = _load_existing()
         if isinstance(existing, dict):
-            for key in ("fastpath", "batch", "streaming", "adversary"):
+            from .observability.bench import COMPANION_SUITES
+            for key in COMPANION_SUITES:
                 if key in existing:
                     payload = merge_suite(payload, key, existing[key])
         write_bench(payload, args.output)

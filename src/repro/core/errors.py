@@ -19,6 +19,7 @@ __all__ = [
     "CheckpointError",
     "UnitFailedError",
     "StreamOrderError",
+    "MigrationBudgetError",
 ]
 
 
@@ -98,6 +99,17 @@ class StreamOrderError(DVBPError, ValueError):
     departure heap without buffering the whole stream.  An out-of-order
     arrival would silently produce an event order different from the
     classic engine's lexsort, so it fails loudly instead.
+    """
+
+
+class MigrationBudgetError(DVBPError, RuntimeError):
+    """A repacking policy tried to move more items than its budget allows.
+
+    The :class:`repro.repacking.MigrationLedger` enforces the migration
+    budget as a *hard* invariant: the move that would exceed the
+    per-event cap ``k`` (or exhaust the amortized credit) raises before
+    any engine state is mutated, so a buggy policy can never smuggle
+    extra recourse into a run.  See :mod:`repro.repacking.ledger`.
     """
 
 

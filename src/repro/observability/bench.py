@@ -64,6 +64,11 @@ __all__ = [
     "STREAMING_SCENARIOS",
     "STREAMING_SMOKE_SCENARIOS",
     "ADVERSARY_SCHEMA",
+    "REPACKING_SCHEMA",
+    "RepackBenchScenario",
+    "REPACKING_SCENARIOS",
+    "REPACKING_SMOKE_SCENARIOS",
+    "REPACK_FRONTIER_GRID",
     "run_scenario",
     "run_suite",
     "run_fastpath_scenario",
@@ -73,9 +78,12 @@ __all__ = [
     "run_streaming_scenario",
     "run_streaming_suite",
     "run_adversary_suite",
+    "run_repacking_scenario",
+    "run_repacking_suite",
     "write_bench",
     "merge_fastpath",
     "merge_suite",
+    "COMPANION_SUITES",
     "measure_overhead",
     "measure_item_memory",
 ]
@@ -98,6 +106,10 @@ STREAMING_SCHEMA = "repro-bench-streaming/v1"
 #: Schema tag of the adaptive-adversary payload nested under the
 #: ``"adversary"`` key of ``BENCH_core.json``.
 ADVERSARY_SCHEMA = "repro-bench-adversary/v1"
+
+#: Schema tag of the migration-budget frontier payload nested under the
+#: ``"repacking"`` key of ``BENCH_core.json``.
+REPACKING_SCHEMA = "repro-bench-repacking/v1"
 
 #: Suite base seed (the paper's arXiv date, matching ExperimentConfig).
 BASE_SEED = 20230419
@@ -343,6 +355,84 @@ STREAMING_SMOKE_SCENARIOS: List[StreamBenchScenario] = [
         horizon=40.0,
         seed=BASE_SEED + 4,
     ),
+]
+
+
+@dataclass(frozen=True)
+class RepackBenchScenario:
+    """One migration-frontier cell: a pinned instance + dispatch policy.
+
+    ``kind`` selects the construction: ``"thm5"``/``"thm6"`` build the
+    paper's lower-bound gadgets — the workloads the no-recourse model is
+    *provably* bad on, and therefore where bounded repacking must show a
+    strict win — and ``"uniform"`` is a churny random workload where the
+    improvement is incremental rather than structural.
+    """
+
+    name: str
+    policy: str
+    kind: str  # "thm5" | "thm6" | "uniform"
+    d: int = 2
+    k: int = 3
+    mu: float = 8.0
+    n: int = 200
+    seed: int = BASE_SEED
+
+    def build(self):
+        """Materialise the pinned instance."""
+        if self.kind == "thm5":
+            from ..workloads.adversarial import theorem5_instance
+
+            return theorem5_instance(d=self.d, k=self.k, mu=self.mu).instance
+        if self.kind == "thm6":
+            from ..workloads.adversarial import theorem6_instance
+
+            return theorem6_instance(d=self.d, k=self.k, mu=self.mu).instance
+        return UniformWorkload(
+            d=self.d, n=self.n, mu=self.mu, T=60, B=5, name=self.name
+        ).sample_seeded(self.seed)
+
+    def params(self) -> Dict[str, Any]:
+        """JSON-ready parameter record."""
+        return {"policy": self.policy, "kind": self.kind, "d": self.d,
+                "k": self.k, "mu": self.mu, "n": self.n, "seed": self.seed}
+
+
+#: The (repacker, budget) frontier every repacking scenario sweeps; the
+#: budget-0 ``no_repack`` anchor is the no-recourse baseline the other
+#: points are measured against.
+REPACK_FRONTIER_GRID: List[tuple] = [
+    ("no_repack", 0.0),
+    ("greedy_consolidate", 1.0),
+    ("greedy_consolidate", 2.0),
+    ("greedy_consolidate", 4.0),
+    ("budgeted_rebalance", 0.25),
+    ("budgeted_rebalance", 0.5),
+    ("budgeted_rebalance", 1.0),
+]
+
+#: The migration-frontier grid: both lower-bound gadget families (where
+#: bounded repacking must beat the no-recourse cost strictly) plus a
+#: churny uniform cell.
+REPACKING_SCENARIOS: List[RepackBenchScenario] = [
+    RepackBenchScenario(name="thm5-d2-k3-mu8-first_fit", policy="first_fit",
+                        kind="thm5", d=2, k=3, mu=8.0),
+    RepackBenchScenario(name="thm6-d2-k4-mu8-next_fit", policy="next_fit",
+                        kind="thm6", d=2, k=4, mu=8.0),
+    RepackBenchScenario(name="uniform-d2-n200-mu10-first_fit",
+                        policy="first_fit", kind="uniform", d=2, n=200,
+                        mu=10.0, seed=BASE_SEED + 11),
+]
+
+#: A seconds-fast repacking subset for tests and the CI smoke leg.
+REPACKING_SMOKE_SCENARIOS: List[RepackBenchScenario] = [
+    RepackBenchScenario(name="thm5-d1-k2-mu6-first_fit-smoke",
+                        policy="first_fit", kind="thm5", d=1, k=2, mu=6.0),
+    RepackBenchScenario(name="thm6-d1-k2-mu6-next_fit-smoke",
+                        policy="next_fit", kind="thm6", d=1, k=2, mu=6.0),
+    RepackBenchScenario(name="uniform-d2-n60-mu8-first_fit-smoke",
+                        policy="first_fit", kind="uniform", d=2, n=60,
+                        mu=8.0, seed=BASE_SEED + 12),
 ]
 
 
@@ -898,6 +988,131 @@ def run_adversary_suite(
     }
 
 
+def run_repacking_scenario(
+    scenario: RepackBenchScenario, repeats: int = 1
+) -> Dict[str, Any]:
+    """Sweep one scenario's cost-vs-migration frontier; return its record.
+
+    The whole :data:`REPACK_FRONTIER_GRID` runs through a single
+    :class:`~repro.simulation.batch.BatchRunner` pass using the reserved
+    ``"_repack"`` entry key (one instance, one shared lower bound, one
+    amortised context), so the bench exercises exactly the wiring sweeps
+    use.  Two zero-migration yardsticks anchor the frontier from below:
+    the offline :func:`~repro.optimum.offline_assignment.greedy_assignment`
+    (full hindsight, no moves ever) and the clairvoyant
+    :class:`~repro.algorithms.clairvoyant.DurationClassifiedFirstFit`
+    (knows durations, still online and no-recourse).  Wall-time is the
+    minimum over ``repeats``; every other field is seed-pinned.
+    """
+    from ..algorithms.clairvoyant import DurationClassifiedFirstFit
+    from ..optimum.offline_assignment import greedy_assignment
+    from ..simulation.batch import BatchRunner
+
+    instance = scenario.build()
+    entries = [
+        (scenario.policy, {"_repack": {"policy": repacker, "budget": budget}})
+        for repacker, budget in REPACK_FRONTIER_GRID
+    ]
+    best_wall: Optional[float] = None
+    units = None
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        runner = BatchRunner(instance)
+        units = runner.run_units(entries, collect_stats=True)
+        wall = time.perf_counter() - t0
+        if best_wall is None or wall < best_wall:
+            best_wall = wall
+    baseline = next(
+        u.cost for (rep, _), u in zip(REPACK_FRONTIER_GRID, units)
+        if rep == "no_repack"
+    )
+    frontier = [
+        {
+            "repacker": repacker,
+            "budget": budget,
+            "cost": unit.cost,
+            "num_bins": unit.num_bins,
+            "moves": unit.stats.migrations if unit.stats is not None else None,
+            "cost_vs_no_recourse": unit.cost / baseline if baseline > 0 else 1.0,
+        }
+        for (repacker, budget), unit in zip(REPACK_FRONTIER_GRID, units)
+    ]
+    best = min(frontier, key=lambda f: f["cost"])
+    offline = greedy_assignment(instance)
+    clairvoyant = run(DurationClassifiedFirstFit(), instance)
+    return {
+        "name": scenario.name,
+        "params": scenario.params(),
+        "items": instance.n,
+        "wall_time_s": best_wall,
+        "no_recourse_cost": baseline,
+        "offline_greedy_cost": offline.cost,
+        "clairvoyant_cost": clairvoyant.cost,
+        "lower_bound": units[0].lower_bound,
+        "frontier": frontier,
+        "best": {
+            "repacker": best["repacker"],
+            "budget": best["budget"],
+            "cost": best["cost"],
+            "improvement": (
+                (baseline - best["cost"]) / baseline if baseline > 0 else 0.0
+            ),
+        },
+    }
+
+
+def run_repacking_suite(
+    scenarios: Sequence[RepackBenchScenario] = tuple(REPACKING_SCENARIOS),
+    repeats: int = 1,
+    suite: str = "repacking",
+    progress=None,
+) -> Dict[str, Any]:
+    """Run the migration-frontier suite; return its JSON payload.
+
+    The ``headline`` reports whether every lower-bound gadget scenario
+    (``thm5``/``thm6``) achieved a *strict* cost improvement under some
+    budgeted policy — the structural claim of the repacking subsystem:
+    the workloads that force the no-recourse lower bounds stop being
+    worst cases once bounded migration is allowed.  ``gadgets_improved``
+    is the pass/fail gate the CLI turns into an exit code.
+    """
+    t0 = time.perf_counter()
+    records = []
+    for scenario in scenarios:
+        record = run_repacking_scenario(scenario, repeats=repeats)
+        records.append(record)
+        if progress is not None:
+            best = record["best"]
+            progress(
+                f"  {record['name']}: no-recourse {record['no_recourse_cost']:.1f} "
+                f"-> best {best['cost']:.1f} "
+                f"({best['repacker']}:{best['budget']:g}, "
+                f"{best['improvement']:.0%} saved), offline "
+                f"{record['offline_greedy_cost']:.1f}"
+            )
+    gadgets = [r for r in records if r["params"]["kind"] in ("thm5", "thm6")]
+    gadgets_improved = bool(gadgets) and all(
+        r["best"]["cost"] < r["no_recourse_cost"] - 1e-9 for r in gadgets
+    )
+    biggest = max(records, key=lambda r: r["best"]["improvement"])
+    return {
+        "schema": REPACKING_SCHEMA,
+        "suite": suite,
+        "generated_unix": time.time(),
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "repeats": repeats,
+        "total_wall_time_s": time.perf_counter() - t0,
+        "headline": {
+            "scenarios": len(records),
+            "gadgets_improved": gadgets_improved,
+            "biggest_improvement": biggest["best"]["improvement"],
+            "biggest_improvement_scenario": biggest["name"],
+        },
+        "scenarios": records,
+    }
+
+
 def measure_item_memory(count: int = 10_000) -> Dict[str, Any]:
     """Per-object memory of the slotted :class:`~repro.core.items.Item`.
 
@@ -968,15 +1183,20 @@ def merge_fastpath(core_payload: Dict[str, Any], fastpath_payload: Dict[str, Any
     return merge_suite(core_payload, "fastpath", fastpath_payload)
 
 
+#: Every companion suite that nests under the core ``BENCH_core.json``
+#: payload.  Core re-runs (CLI and ``benchmarks/harness.py``) carry
+#: these keys over from the existing file so re-running one suite never
+#: clobbers another's trajectory.
+COMPANION_SUITES = ("fastpath", "batch", "streaming", "adversary", "repacking")
+
+
 def merge_suite(
     core_payload: Dict[str, Any], key: str, payload: Dict[str, Any]
 ) -> Dict[str, Any]:
     """Attach a companion suite payload under ``key`` of the core payload.
 
     Generalisation of :func:`merge_fastpath` for the growing family of
-    nested suites (``"fastpath"``, ``"batch"``, ``"streaming"``,
-    ``"adversary"``): the
-    core grid stays at
+    nested suites (:data:`COMPANION_SUITES`): the core grid stays at
     the top level with its unchanged schema, and each companion nests
     under its own key, so re-running one suite never clobbers another's
     trajectory.

@@ -43,6 +43,15 @@ Counter semantics
     :meth:`RunStats.deterministic_part`: an instrumented-vs-plain or
     streaming-vs-classic differential must stay bit-identical on the
     deterministic part.
+``repacking_runs`` / ``migrations``
+    The migration-budget path (:mod:`repro.repacking`): how many runs
+    the repacking engine executed and how many item relocations it
+    performed in total.  ``repacking_runs`` is an execution fact (like
+    ``streaming_runs``) and is zeroed in
+    :meth:`RunStats.deterministic_part`; ``migrations`` is part of the
+    *computation* — a budget-k run with moves is a genuinely different
+    packing — and is kept, so the budget-0 differential still asserts
+    ``migrations == 0`` implicitly through bit-identity.
 ``retries`` / ``unit_timeouts`` / ``units_resumed`` / ``pool_restarts``
     Orchestration-side fault-recovery counters (see
     :mod:`repro.orchestration`): work units re-executed after a worker
@@ -114,6 +123,8 @@ class RunStats:
     streaming_runs: int = 0
     stream_flushes: int = 0
     peak_live_items: int = 0
+    repacking_runs: int = 0
+    migrations: int = 0
     retries: int = 0
     unit_timeouts: int = 0
     units_resumed: int = 0
@@ -186,6 +197,8 @@ class RunStats:
             streaming_runs=sum(p.streaming_runs for p in parts),
             stream_flushes=sum(p.stream_flushes for p in parts),
             peak_live_items=max(p.peak_live_items for p in parts),
+            repacking_runs=sum(p.repacking_runs for p in parts),
+            migrations=sum(p.migrations for p in parts),
             retries=sum(p.retries for p in parts),
             unit_timeouts=sum(p.unit_timeouts for p in parts),
             units_resumed=sum(p.units_resumed for p in parts),
@@ -217,6 +230,7 @@ class RunStats:
             streaming_runs=0,
             stream_flushes=0,
             peak_live_items=0,
+            repacking_runs=0,
             retries=0,
             unit_timeouts=0,
             units_resumed=0,
@@ -264,6 +278,8 @@ class StatsCollector:
         "streaming_runs",
         "stream_flushes",
         "peak_live_items",
+        "repacking_runs",
+        "migrations",
         "retries",
         "unit_timeouts",
         "units_resumed",
@@ -291,6 +307,8 @@ class StatsCollector:
         self.streaming_runs = 0
         self.stream_flushes = 0
         self.peak_live_items = 0
+        self.repacking_runs = 0
+        self.migrations = 0
         self.retries = 0
         self.unit_timeouts = 0
         self.units_resumed = 0
@@ -404,6 +422,8 @@ class StatsCollector:
             streaming_runs=self.streaming_runs,
             stream_flushes=self.stream_flushes,
             peak_live_items=self.peak_live_items,
+            repacking_runs=self.repacking_runs,
+            migrations=self.migrations,
             retries=self.retries,
             unit_timeouts=self.unit_timeouts,
             units_resumed=self.units_resumed,
@@ -430,6 +450,8 @@ class StatsCollector:
         self.streaming_runs = 0
         self.stream_flushes = 0
         self.peak_live_items = 0
+        self.repacking_runs = 0
+        self.migrations = 0
         self.retries = 0
         self.unit_timeouts = 0
         self.units_resumed = 0

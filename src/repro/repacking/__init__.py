@@ -1,0 +1,75 @@
+"""Migration-budget repacking: bounded recourse on top of the online engines.
+
+The paper's model is strictly no-recourse — Theorems 5/6/8 lower-bound
+any algorithm that never moves a placed item.  This package implements
+the natural relaxation from the limited-repacking literature
+(arXiv:1711.02078, arXiv:1411.0960): after every arrival/departure
+event, a repacking policy may relocate up to ``k`` live items (or draw
+from an amortized credit), with the budget enforced as a hard invariant
+by an audited :class:`~repro.repacking.ledger.MigrationLedger`.
+
+Entry points
+------------
+:func:`~repro.repacking.engine.repacking_run`
+    Run one (dispatch policy, repack policy, budget) triple on one
+    instance; also reachable as ``run(..., engine="repacking")`` and
+    ``repro run --engine repacking --repacker NAME --budget K``.
+:data:`~repro.repacking.policies.REPACK_POLICIES`
+    The shipped policies: ``no_repack`` (budget-0 twin, bit-identical
+    to the classic engine), ``greedy_consolidate`` (per-event budget),
+    ``budgeted_rebalance`` (amortized budget).
+:func:`~repro.repacking.audit.audit_repacking`
+    First-principles auditor over a finished run's residency segments
+    and move log (independent of the ledger it polices).
+
+>>> from repro.repacking import repacking_run, make_repacker
+>>> from repro.algorithms.registry import make_algorithm
+>>> from repro.core.instance import Instance
+>>> inst = Instance.from_tuples(
+...     [(0.0, 10.0, 0.4), (0.0, 2.0, 0.6), (1.0, 10.0, 0.5)], name="demo")
+>>> base = repacking_run(make_algorithm("first_fit"), inst)  # no_repack
+>>> rep = repacking_run(
+...     make_algorithm("first_fit"), inst, repacker="greedy_consolidate", budget=1)
+>>> (base.cost, base.num_moves), (rep.cost, rep.num_moves)
+((19.0, 0), (11.0, 1))
+"""
+
+from .audit import audit_migration_budget, audit_repacking
+from .engine import (
+    RepackContext,
+    RepackResult,
+    RepackingEngine,
+    first_principles_cost,
+    parse_repacking_spec,
+    repacking_run,
+)
+from .ledger import BUDGET_MODES, MigrationLedger, MoveRecord, replay_budget_check
+from .policies import (
+    REPACK_POLICIES,
+    BudgetedRebalance,
+    GreedyConsolidate,
+    NoRepack,
+    RepackPolicy,
+    make_repacker,
+)
+
+__all__ = [
+    "MigrationLedger",
+    "MoveRecord",
+    "BUDGET_MODES",
+    "replay_budget_check",
+    "RepackPolicy",
+    "NoRepack",
+    "GreedyConsolidate",
+    "BudgetedRebalance",
+    "REPACK_POLICIES",
+    "make_repacker",
+    "RepackContext",
+    "RepackResult",
+    "RepackingEngine",
+    "repacking_run",
+    "first_principles_cost",
+    "parse_repacking_spec",
+    "audit_repacking",
+    "audit_migration_budget",
+]

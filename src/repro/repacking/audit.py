@@ -1,0 +1,180 @@
+"""First-principles auditors for repacking runs.
+
+Everything here re-derives its verdicts from a finished
+:class:`~repro.repacking.engine.RepackResult`'s *raw evidence* — the
+residency segments and the engine's unconditional move log — never from
+the live ledger state it is supposed to police.  That independence is
+what lets the verify harness catch a mutant engine that bypasses
+:meth:`~repro.repacking.ledger.MigrationLedger.record` (the
+``BudgetIgnoringRepacker`` smoke test in :mod:`repro.verify.mutation`).
+
+Checks
+------
+* **budget** — per-event move counts (grouped by event index, never by
+  timestamp) stay within the per-event cap, or the cumulative count
+  stays within the accrued amortized credit; and the ledger's own log
+  agrees with the engine's.
+* **segments** — every item's segments tile its ``[arrival,
+  departure)`` exactly (abutting at move times, no gaps, no overlaps)
+  and the final segment's bin matches the packing's assignment.
+* **capacity** — replaying all segments per bin, the load vector stays
+  within capacity (+EPS) at every segment start.
+* **cost** — the packing's Eq. 1 cost equals the segment-derived
+  first-principles cost, and each bin's recorded usage period is the
+  hull of the segments it hosted.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..core.vectors import EPS
+from .engine import RepackResult, first_principles_cost
+from .ledger import replay_budget_check
+
+__all__ = ["audit_repacking", "audit_migration_budget"]
+
+_TOL = 1e-9
+
+
+def audit_migration_budget(result: RepackResult) -> List[str]:
+    """Re-check the migration budget from the engine's raw move log.
+
+    Returns human-readable violation strings (empty = clean).  Trusts
+    only ``result.moves`` (written unconditionally by the low-level move
+    primitive) and the run's declared ``(mode, budget)`` — a ledger that
+    under-counted, or an engine that skipped enforcement, is caught by
+    the replay and by the log-agreement check.
+    """
+    problems = replay_budget_check(
+        result.moves, result.budget, result.mode, result.ledger.events
+    )
+    ledger_log = tuple(result.ledger.moves)
+    if ledger_log != result.moves:
+        problems.append(
+            f"ledger recorded {len(ledger_log)} moves but the engine "
+            f"performed {len(result.moves)} — enforcement was bypassed"
+        )
+    return problems
+
+
+def _segment_problems(result: RepackResult) -> List[str]:
+    problems: List[str] = []
+    instance = result.packing.instance
+    for item in instance.items:
+        segs = result.segments.get(item.uid)
+        if not segs:
+            problems.append(f"item {item.uid} has no residency segments")
+            continue
+        if abs(segs[0][1] - item.arrival) > _TOL:
+            problems.append(
+                f"item {item.uid} first segment starts at {segs[0][1]!r}, "
+                f"not its arrival {item.arrival!r}"
+            )
+        if abs(segs[-1][2] - item.departure) > _TOL:
+            problems.append(
+                f"item {item.uid} last segment ends at {segs[-1][2]!r}, "
+                f"not its departure {item.departure!r}"
+            )
+        for (b0, s0, e0), (b1, s1, e1) in zip(segs, segs[1:]):
+            if abs(e0 - s1) > _TOL:
+                problems.append(
+                    f"item {item.uid} segments do not abut: bin {b0} ends at "
+                    f"{e0!r}, bin {b1} starts at {s1!r}"
+                )
+            if b0 == b1:
+                problems.append(
+                    f"item {item.uid} has consecutive segments in bin {b0} "
+                    f"(a move must change bins)"
+                )
+        for b, s, e in segs:
+            if not (e > s):
+                problems.append(
+                    f"item {item.uid} has an empty segment in bin {b} "
+                    f"([{s!r}, {e!r}))"
+                )
+        final_bin = segs[-1][0]
+        if result.packing.assignment.get(item.uid) != final_bin:
+            problems.append(
+                f"item {item.uid} ends in bin {final_bin} but the packing "
+                f"assigns it to bin {result.packing.assignment.get(item.uid)}"
+            )
+    return problems
+
+
+def _capacity_problems(result: RepackResult) -> List[str]:
+    problems: List[str] = []
+    instance = result.packing.instance
+    cap = instance.capacity
+    slack = cap + EPS * np.maximum(cap, 1.0)
+    by_uid = {it.uid: it for it in instance.items}
+    per_bin: Dict[int, List[Tuple[float, float, np.ndarray]]] = {}
+    for uid, segs in result.segments.items():
+        size = by_uid[uid].size
+        for b, s, e in segs:
+            per_bin.setdefault(b, []).append((s, e, size))
+    for b, segs in sorted(per_bin.items()):
+        starts = np.array([s for s, _, _ in segs])
+        ends = np.array([e for _, e, _ in segs])
+        sizes = np.stack([sz for _, _, sz in segs])
+        for t in sorted({s for s, _, _ in segs}):
+            active = (starts <= t) & (t < ends)
+            load = sizes[active].sum(axis=0)
+            if np.any(load > slack):
+                problems.append(
+                    f"bin {b} over capacity at t={t!r}: load {load!r} "
+                    f"exceeds capacity {cap!r}"
+                )
+    return problems
+
+
+def _cost_problems(result: RepackResult) -> List[str]:
+    problems: List[str] = []
+    recomputed = first_principles_cost(result.packing.instance, result.segments)
+    if abs(recomputed - result.cost) > _TOL * max(1.0, abs(recomputed)):
+        problems.append(
+            f"packing cost {result.cost!r} disagrees with the "
+            f"segment-derived cost {recomputed!r}"
+        )
+    hulls: Dict[int, Tuple[float, float]] = {}
+    for segs in result.segments.values():
+        for b, s, e in segs:
+            lo, hi = hulls.get(b, (s, e))
+            hulls[b] = (min(lo, s), max(hi, e))
+    for record in result.packing.bins:
+        hull = hulls.get(record.index)
+        if hull is None:
+            # a bin opened by an arrival and evacuated within the same
+            # event's repack window hosts only zero-length residencies:
+            # legitimate, but only at exactly zero usage time
+            if record.usage_time > _TOL:
+                problems.append(
+                    f"bin {record.index} hosted no segments yet bills "
+                    f"{record.usage_time!r} usage time"
+                )
+            continue
+        if abs(hull[0] - record.opened_at) > _TOL or abs(hull[1] - record.closed_at) > _TOL:
+            problems.append(
+                f"bin {record.index} usage period [{record.opened_at!r}, "
+                f"{record.closed_at!r}) is not the hull of its segments "
+                f"[{hull[0]!r}, {hull[1]!r})"
+            )
+    return problems
+
+
+def audit_repacking(result: RepackResult) -> List[str]:
+    """Run every repacking auditor; returns all violations found.
+
+    The union of :func:`audit_migration_budget` and the segment /
+    capacity / cost checks — ``repacking_run(validate=True)`` raises on
+    any of these, and the verify harness records each as a
+    :class:`~repro.verify.invariants.Violation`.
+    """
+    return (
+        audit_migration_budget(result)
+        + _segment_problems(result)
+        + _capacity_problems(result)
+        + _cost_problems(result)
+    )

@@ -1,0 +1,283 @@
+"""Repacking policies: what to move when the budget allows moving.
+
+A :class:`RepackPolicy` is the recourse-side twin of an
+:class:`~repro.algorithms.base.OnlineAlgorithm`: the dispatch policy
+decides where *arriving* items go, the repack policy decides which
+*live* items to relocate in the window after each event.  Policies act
+only through the :class:`~repro.repacking.engine.RepackContext`, whose
+:meth:`~repro.repacking.engine.RepackContext.move` funnels every
+relocation through the run's ledger — a policy cannot exceed its budget
+even by trying.
+
+Three policies ship, spanning the recourse regimes of the
+limited-repacking literature (arXiv:1711.02078, arXiv:1411.0960):
+
+* :class:`NoRepack` — the budget-0 twin.  Never moves anything, so the
+  run is bit-identical to the classic engine: the subsystem's built-in
+  differential oracle.
+* :class:`GreedyConsolidate` — per-event budget ``k``.  On departures,
+  tries to *empty* the lightest open bin into the residual space of the
+  others, committing only full-eviction plans with a strictly negative
+  projected Eq. 1 delta.
+* :class:`BudgetedRebalance` — amortized budget (a fractional per-event
+  credit rate).  Watches the projected close time of the *leader* bin;
+  when it grows, spends accumulated credits on FFD-style re-packs of
+  the smallest open bins.
+
+All three are deterministic pure functions of the engine state, so
+repacking runs golden-pin and replay exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.bins import Bin
+from ..core.errors import ConfigurationError
+from ..core.events import EventKind
+from ..core.instance import Instance
+from ..core.items import Item
+from ..core.vectors import fits
+
+__all__ = [
+    "RepackPolicy",
+    "NoRepack",
+    "GreedyConsolidate",
+    "BudgetedRebalance",
+    "REPACK_POLICIES",
+    "make_repacker",
+]
+
+
+class RepackPolicy:
+    """Contract between the repacking engine and a recourse policy.
+
+    Subclasses override :meth:`after_event`; the default implementation
+    never moves anything.  ``mode`` declares the budget accounting the
+    policy is designed for (``"per_event"`` or ``"amortized"``) and
+    ``default_budget`` the budget used when the caller does not pass
+    one.
+    """
+
+    #: Registry name used in engine specs, reports and golden pins.
+    name: str = "repack"
+
+    #: Budget accounting regime this policy spends from.
+    mode: str = "per_event"
+
+    #: Budget used when the caller does not supply one.
+    default_budget: float = 0.0
+
+    def start(self, instance: Instance) -> None:
+        """Reset per-run state (called once before the first event)."""
+
+    def after_event(self, ctx, kind: EventKind, now: float) -> None:
+        """The repack window: inspect ``ctx`` and optionally move items."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class NoRepack(RepackPolicy):
+    """The zero-recourse twin: never relocates anything.
+
+    Running the repacking engine with this policy (budget 0) must be
+    bit-identical to the classic engine — the property
+    :func:`repro.verify.oracles.compare_with_repacking` asserts on
+    every corpus instance x policy pair.
+    """
+
+    name = "no_repack"
+    mode = "per_event"
+    default_budget = 0.0
+
+
+def _evacuation_plan(
+    source: Bin, targets: List[Bin], now: float
+) -> Optional[List[Tuple[Item, Bin]]]:
+    """Plan moving *every* remaining resident of ``source`` into ``targets``.
+
+    Items are taken heaviest-first (L-infinity size, then uid for
+    determinism) and first-fit placed over ``targets`` in the order
+    given, tracking the load each planned move adds.  Returns the move
+    list, or ``None`` when some item fits nowhere — partial evictions
+    are never planned (they cannot close the source bin, so they cannot
+    realise the ``now - projected_close`` saving).
+
+    Residents departing exactly at ``now`` are treated as already gone:
+    their departure events fire at this same instant (the engine may
+    simply not have reached them yet in seq order), so the bin closes
+    without spending budget on them.  An empty plan (every resident is
+    a same-instant departer) is returned as ``[]``.
+    """
+    items = sorted(
+        (it for it in source.active_items() if it.departure > now),
+        key=lambda it: (-float(np.max(it.size)), it.uid),
+    )
+    extra: Dict[int, np.ndarray] = {}
+    plan: List[Tuple[Item, Bin]] = []
+    for item in items:
+        placed = False
+        for target in targets:
+            added = extra.get(target.index)
+            load = target.load if added is None else target.load + added
+            # same fit predicate (and EPS slack) as Bin.pack, so a
+            # planned move can never fail the engine's capacity check
+            if fits(load, item.size, target.capacity):
+                plan.append((item, target))
+                extra[target.index] = item.size if added is None else added + item.size
+                placed = True
+                break
+        if not placed:
+            return None
+    return plan
+
+
+def _plan_delta(ctx, source: Bin, plan: List[Tuple[Item, Bin]], now: float) -> float:
+    """Projected Eq. 1 delta of executing a full-eviction ``plan``.
+
+    Source side: the bin closes at ``now`` instead of its projected
+    close.  Destination side: each target's projected close can only be
+    pushed out to the latest departure among the items it receives.
+    """
+    delta = now - ctx.projected_close(source)
+    pushed: Dict[int, float] = {}
+    for item, target in plan:
+        base = pushed.get(target.index)
+        if base is None:
+            base = ctx.projected_close(target)
+        after = max(base, item.departure)
+        delta += after - base
+        pushed[target.index] = after
+    return delta
+
+
+class GreedyConsolidate(RepackPolicy):
+    """Per-event consolidation: empty the lightest bin on departures.
+
+    After each departure event, while the per-event budget allows,
+    consider open bins in increasing load order (L-infinity, ties by
+    index) and try to evacuate one entirely into the others' residual
+    space.  A plan is committed only when (a) it fits the remaining
+    event budget, and (b) its projected Eq. 1 delta is strictly
+    negative — closing the source *now* saves more span than the
+    receiving bins are projected to gain.
+
+    With ``k = 0`` this degenerates to :class:`NoRepack` exactly.
+    """
+
+    name = "greedy_consolidate"
+    mode = "per_event"
+    default_budget = 1.0
+
+    def after_event(self, ctx, kind: EventKind, now: float) -> None:
+        if kind is not EventKind.DEPARTURE or not ctx.can_move(1):
+            return
+        while True:
+            budget = int(ctx.remaining_budget())
+            if budget < 1:
+                return
+            open_bins = ctx.open_bins()
+            if len(open_bins) < 2:
+                return
+            candidates = sorted(
+                open_bins, key=lambda b: (float(np.max(b.load)), b.index)
+            )
+            committed = False
+            for source in candidates:
+                targets = [b for b in open_bins if b is not source]
+                plan = _evacuation_plan(source, targets, now)
+                if not plan or len(plan) > budget:
+                    continue
+                if _plan_delta(ctx, source, plan, now) >= 0.0:
+                    continue
+                for item, target in plan:
+                    ctx.move(item, target)
+                committed = True
+                break
+            if not committed:
+                return
+
+
+class BudgetedRebalance(RepackPolicy):
+    """Amortized rebalance: spend saved credits when the leader grows.
+
+    Credits accrue at ``budget`` moves per event (fractional rates are
+    the point — e.g. ``0.5`` averages one move every two events).  The
+    policy tracks the projected close time of the *leader* (the open
+    bin with the latest projected close).  When an event pushes that
+    projection past its previous high-water mark, the policy tries to
+    re-pack the smallest open bins, FFD-style: bins in increasing
+    resident-count order, each evacuated heaviest-item-first into the
+    other bins' residual space, committing only full evictions with a
+    strictly negative projected delta that fit the accumulated credit.
+    """
+
+    name = "budgeted_rebalance"
+    mode = "amortized"
+    default_budget = 0.5
+
+    def __init__(self) -> None:
+        self._leader_close = float("-inf")
+
+    def start(self, instance: Instance) -> None:
+        self._leader_close = float("-inf")
+
+    def after_event(self, ctx, kind: EventKind, now: float) -> None:
+        open_bins = ctx.open_bins()
+        leader = max(
+            (ctx.projected_close(b) for b in open_bins), default=float("-inf")
+        )
+        grew = leader > self._leader_close
+        if leader > self._leader_close:
+            self._leader_close = leader
+        if not grew or len(open_bins) < 2 or not ctx.can_move(1):
+            return
+        # FFD over the smallest bins: fewest residents first (cheapest
+        # to close), ties by lighter load then index
+        for source in sorted(
+            open_bins,
+            key=lambda b: (b.num_active, float(np.max(b.load)), b.index),
+        ):
+            if not source.is_open:  # emptied by an earlier commit
+                continue
+            targets = [b for b in ctx.open_bins() if b is not source]
+            if not targets:
+                return
+            plan = _evacuation_plan(source, targets, now)
+            if not plan or len(plan) > int(ctx.remaining_budget()):
+                continue
+            if _plan_delta(ctx, source, plan, now) >= 0.0:
+                continue
+            for item, target in plan:
+                ctx.move(item, target)
+            if not ctx.can_move(1):
+                return
+
+
+#: Registry of repacking policies, keyed by CLI/engine-spec name.
+REPACK_POLICIES = {
+    NoRepack.name: NoRepack,
+    GreedyConsolidate.name: GreedyConsolidate,
+    BudgetedRebalance.name: BudgetedRebalance,
+}
+
+
+def make_repacker(name: str, **kwargs) -> RepackPolicy:
+    """Build a repacking policy by registry name.
+
+    Raises
+    ------
+    ConfigurationError
+        For unknown names, listing the valid ones.
+    """
+    try:
+        factory = REPACK_POLICIES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown repacking policy {name!r}; expected one of "
+            f"{sorted(REPACK_POLICIES)}"
+        ) from None
+    return factory(**kwargs)

@@ -374,6 +374,13 @@ class BatchRunner:
         dispatch would produce, bit for bit.  With
         ``keep_assignments=True`` returns ``(results, assignments)`` so
         oracles can check the full item → bin map too.
+
+        An entry's kwargs may carry the reserved ``"_repack"`` key —
+        ``{"policy": name, "budget": k}`` — which routes that entry
+        through the migration-budget :mod:`repro.repacking` engine (the
+        remaining kwargs still build the dispatch algorithm).  This is
+        how the repacking bench frontier amortises one instance across
+        a (policy x repacker x budget) grid.
         """
         from .parallel import UnitResult  # local: parallel imports stay one-way
 
@@ -381,17 +388,35 @@ class BatchRunner:
         assignments: List[Dict[int, int]] = []
         for name, kwargs in entries:
             kwargs = dict(kwargs or {})
+            repack = kwargs.pop("_repack", None)
             collector = StatsCollector() if collect_stats else None
             algo = make_algorithm(name, **kwargs)
-            resolved = fast_policy_for(algo)
-            if resolved is not None:
+            if repack is not None:
+                from ..repacking import repacking_run
+
+                result = repacking_run(
+                    algo, self.instance,
+                    repacker=repack.get("policy", "no_repack"),
+                    budget=repack.get("budget"),
+                    collector=collector,
+                )
+                assignment = dict(result.packing.assignment)
+                cost, num_bins = result.cost, result.num_bins
+            elif (resolved := fast_policy_for(algo)) is not None:
                 policy, seed = resolved
                 engine = self._fast_engine(policy, seed, collector)
                 assignment = engine.run_assignment()
                 cost, num_bins = self._cost_and_bins(assignment)
             else:
+                from .engine import _note_fallback
+                from .fastpath import fast_ineligibility_reason
                 from .runner import run
 
+                _note_fallback(
+                    algo.name,
+                    fast_ineligibility_reason(algo) or "no fast kernel",
+                    collector,
+                )
                 packing = run(algo, self.instance, collector=collector)
                 assignment = dict(packing.assignment)
                 cost, num_bins = packing.cost, packing.num_bins
@@ -452,8 +477,15 @@ class BatchRunner:
         algo = make_algorithm(algorithm) if isinstance(algorithm, str) else algorithm
         resolved = fast_policy_for(algo)
         if resolved is None:
+            from .engine import _note_fallback
+            from .fastpath import fast_ineligibility_reason
             from .runner import run
 
+            _note_fallback(
+                getattr(algo, "name", type(algo).__name__),
+                fast_ineligibility_reason(algo) or "no fast kernel",
+                collector,
+            )
             return run(algo, self.instance, collector=collector)
         policy, seed = resolved
         engine = self._fast_engine(policy, seed, collector)
@@ -483,8 +515,15 @@ def batch_run_many(
     for source in sources:
         inst = source if isinstance(source, Instance) else materialize(source)
         if resolved is None:
+            from .engine import _note_fallback
+            from .fastpath import fast_ineligibility_reason
             from .runner import run
 
+            _note_fallback(
+                getattr(algo, "name", type(algo).__name__),
+                fast_ineligibility_reason(algo) or "no fast kernel",
+                collector,
+            )
             packings.append(run(algo, inst, validate=validate, collector=collector))
             continue
         policy, seed = resolved

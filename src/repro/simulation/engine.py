@@ -281,7 +281,7 @@ def simulate(
       rolled back first, so instrumented aggregates stay exact).
     """
     if fast:
-        from .fastpath import FastEngine, fast_policy_for
+        from .fastpath import FastEngine, fast_ineligibility_reason, fast_policy_for
 
         name = getattr(algorithm, "name", type(algorithm).__name__)
         if observers:
@@ -289,7 +289,12 @@ def simulate(
         else:
             resolved = fast_policy_for(algorithm)
             if resolved is None:
-                _note_fallback(name, "no fast kernel for this policy", collector)
+                _note_fallback(
+                    name,
+                    fast_ineligibility_reason(algorithm)
+                    or "no fast kernel for this policy",
+                    collector,
+                )
             else:
                 policy, seed = resolved
                 saved = _collector_state(collector)

@@ -99,6 +99,7 @@ __all__ = [
     "choose_backend",
     "register_kernel_class",
     "fast_policy_for",
+    "fast_ineligibility_reason",
     "ReplayContext",
     "FastEngine",
     "fast_simulate",
@@ -241,6 +242,41 @@ def fast_policy_for(algorithm: Union[str, object]) -> Optional[Tuple[str, int]]:
     if _KERNEL_CLASSES.get(type(algorithm)) != kernel:
         return None
     return kernel, int(getattr(algorithm, "seed", 0))
+
+
+def fast_ineligibility_reason(algorithm: Union[str, object]) -> Optional[str]:
+    """Why :func:`fast_policy_for` rejects this spec (``None`` = eligible).
+
+    The distinct causes matter operationally: a policy whose *class* has
+    no kernel will never speed up, while a stock class whose
+    *configuration* cleared ``fast_kernel`` (e.g.
+    ``BestFit(measure="l1")`` — the decision-changing non-L-infinity
+    load measures) could gain a kernel in a later PR.  Engine fallbacks
+    surface this reason through the once-per-cause
+    :class:`RuntimeWarning` and the ``fastpath_fallbacks`` counter, so
+    sweeps silently pinned to the classic engine are visible (ROADMAP
+    item 2's eligibility gap).  Every reason contains the phrase
+    ``"no fast kernel"``.
+    """
+    if fast_policy_for(algorithm) is not None:
+        return None
+    if isinstance(algorithm, str):
+        return f"no fast kernel for policy {algorithm!r}"
+    kernel = getattr(algorithm, "fast_kernel", None)
+    cls = type(algorithm).__name__
+    if kernel is None:
+        # the stock classes set fast_kernel at class level and clear it
+        # on the instance for decision-changing configurations
+        if type(algorithm) in _KERNEL_CLASSES or getattr(type(algorithm), "fast_kernel", None):
+            return (
+                f"no fast kernel for this {cls} configuration (a "
+                f"decision-changing option, e.g. a non-L-infinity load "
+                f"measure, cleared it)"
+            )
+        return f"no fast kernel for class {cls}"
+    if kernel not in FAST_POLICIES:
+        return f"no fast kernel named {kernel!r} (unknown fast policy)"
+    return f"no fast kernel registration for class {cls} (kernel {kernel!r})"
 
 
 # ----------------------------------------------------------------------

@@ -391,7 +391,13 @@ def parallel_sweep(
         :class:`~repro.simulation.batch.InstanceSpec` sources that
         regenerate in-worker through an LRU cache instead of pickling
         full instances.  Results are bit-identical to the classic sweep
-        for every ``engine`` and ``processes`` combination.
+        for every ``engine`` and ``processes`` combination.  Unit-level
+        dispatch also accepts the other engine spec strings understood
+        by :func:`~repro.simulation.runner.run` — ``"streaming"``, and
+        ``"repacking[:policy[:budget]]"`` (e.g.
+        ``"repacking:greedy_consolidate:2"``) for migration-budget
+        recourse sweeps; at budget 0 repacking results are bit-identical
+        to the classic sweep as well.
     checkpoint_dir / resume / retries / unit_timeout:
         Fault-tolerance knobs.  Leaving them at their defaults keeps the
         original in-memory executor below; setting any of them routes

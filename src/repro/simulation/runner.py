@@ -40,7 +40,15 @@ def effective_engine(
     call this to report the effective engine up front rather than
     leaving the fallback implicit; it performs no simulation and never
     warns.
+
+    ``engine="repacking"`` (and ``"repacking:policy:budget"`` specs) is
+    *semantic*, not a performance request: a budget-k run is a
+    different computation, so it never falls back and is returned
+    verbatim — the repacking engine supports observers and every
+    policy.
     """
+    if isinstance(engine, str) and engine.split(":", 1)[0] == "repacking":
+        return engine
     if engine not in ("fast", "batch", "streaming") or observers:
         return "classic"
     if engine == "streaming":
@@ -57,6 +65,8 @@ def run(
     validate: bool = False,
     collector: Optional[StatsCollector] = None,
     engine: str = "classic",
+    repacker=None,
+    budget: Optional[float] = None,
 ) -> Packing:
     """Run one algorithm on one instance.
 
@@ -77,9 +87,18 @@ def run(
         Optional :class:`~repro.observability.stats.StatsCollector`;
         when given, the engine records per-run counters and timings into
         it (``None`` keeps the uninstrumented fast path).
+    repacker / budget:
+        Repacking-engine knobs, meaningful only with
+        ``engine="repacking"``: the repacking policy (registry name or
+        :class:`~repro.repacking.policies.RepackPolicy` object;
+        default ``no_repack``) and the migration budget (per-event move
+        cap, or amortized credit rate; default: the policy's own).
+        Alternatively encode both in the engine spec string —
+        ``engine="repacking:greedy_consolidate:2"`` — which is how
+        sweep payloads carry them through worker processes.
     engine:
-        ``"classic"`` (default), ``"fast"``, ``"batch"``, or
-        ``"streaming"``.  ``"fast"`` requests the flat-array
+        ``"classic"`` (default), ``"fast"``, ``"batch"``,
+        ``"streaming"``, or ``"repacking"``.  ``"fast"`` requests the flat-array
         :class:`~repro.simulation.fastpath.FastEngine`; ``"batch"``
         routes through a :class:`~repro.simulation.batch.BatchRunner`
         (useful mainly for parity with sweep flags — the batched
@@ -90,12 +109,39 @@ def run(
         policy supported).  Runs an alternate path cannot take
         (observers present, or — fast/batch — a policy without a fast
         kernel) fall back to the classic engine with the same result —
-        all engines are bit-identical.
+        all engines are bit-identical.  ``"repacking"`` replays through
+        the migration-budget :mod:`repro.repacking` engine; it never
+        falls back (a budget is a semantic change, not a perf switch)
+        and is bit-identical to the classic engine exactly when the
+        budget is zero.
     """
+    if isinstance(engine, str) and engine.split(":", 1)[0] == "repacking":
+        from ..repacking import parse_repacking_spec, repacking_run
+
+        spec_policy, spec_budget = parse_repacking_spec(engine)
+        if repacker is None:
+            repacker = spec_policy
+        if budget is None:
+            budget = spec_budget
+        result = repacking_run(
+            _resolve(algorithm),
+            instance,
+            repacker=repacker,
+            budget=budget,
+            observers=observers,
+            collector=collector,
+            validate=validate,  # segment-level audit, not Packing.validate
+        )
+        return result.packing
+    if repacker is not None or budget is not None:
+        raise ConfigurationError(
+            "repacker/budget are repacking-engine knobs; pass "
+            "engine='repacking' (or a 'repacking:policy:budget' spec)"
+        )
     if engine not in ("classic", "fast", "batch", "streaming"):
         raise ConfigurationError(
             f"unknown engine {engine!r}; expected 'classic', 'fast', "
-            f"'batch', or 'streaming'"
+            f"'batch', 'streaming', or 'repacking'"
         )
     if engine == "streaming" and not observers:
         from ..streaming import streaming_run

@@ -32,6 +32,7 @@ from .invariants import (
     check_theorem_bound,
 )
 from .mutation import (
+    BudgetIgnoringRepacker,
     MutationReport,
     StaleResidualFastEngine,
     broken_fit,
@@ -41,11 +42,13 @@ from .oracles import (
     compare_with_batch,
     compare_with_fastpath,
     compare_with_reference,
+    compare_with_repacking,
     compare_with_streaming,
     cost_check,
     differential_check,
     eq1_cost,
     instrumented_equality_check,
+    repacking_budget_check,
     resume_equality_check,
     sweep_equality_check,
 )
@@ -70,6 +73,7 @@ __all__ = [
     "check_half_open",
     "check_opt_ordering",
     "check_theorem_bound",
+    "BudgetIgnoringRepacker",
     "MutationReport",
     "StaleResidualFastEngine",
     "broken_fit",
@@ -77,11 +81,13 @@ __all__ = [
     "compare_with_batch",
     "compare_with_fastpath",
     "compare_with_reference",
+    "compare_with_repacking",
     "compare_with_streaming",
     "cost_check",
     "differential_check",
     "eq1_cost",
     "instrumented_equality_check",
+    "repacking_budget_check",
     "resume_equality_check",
     "sweep_equality_check",
     "REFERENCE_POLICIES",

@@ -5,8 +5,14 @@ Drives the whole verification subsystem over a deterministic corpus
 the algorithm-free invariants, then replayed through all seven Section 7
 policies with the reference differential oracle, the classic-vs-fastpath
 twin-engine differential, the classic-vs-streaming bounded-memory
-differential, the invariant auditor, and the Eq. 1 cost
-recomputation, then the whole policy set is re-run through one batched
+differential, the classic-vs-repacking budget-0 differential (the
+migration engine's ``no_repack`` twin must be bit-identical), the
+invariant auditor, and the Eq. 1 cost
+recomputation; each instance then hosts one live budget-k repacking run
+whose move log is replayed through the independent migration-budget
+auditor (:func:`repro.verify.oracles.repacking_budget_check`,
+alternating the greedy-consolidate and budgeted-rebalance policies),
+then the whole policy set is re-run through one batched
 :class:`~repro.simulation.batch.BatchRunner` pass which must reproduce
 every assignment, bin count, and cost exactly; a stride of (instance,
 policy) pairs additionally runs the plain-vs-instrumented engine
@@ -58,9 +64,11 @@ from .oracles import (
     compare_with_batch,
     compare_with_fastpath,
     compare_with_reference,
+    compare_with_repacking,
     compare_with_streaming,
     cost_check,
     instrumented_equality_check,
+    repacking_budget_check,
     resume_equality_check,
     sweep_equality_check,
 )
@@ -156,7 +164,9 @@ class VerifyReport:
                 "stale-residual "
                 f"{'CAUGHT' if self.mutation.fastpath_caught else 'MISSED'}, "
                 "null-adversary "
-                f"{'CAUGHT' if self.mutation.null_adversary_caught else 'MISSED'}"
+                f"{'CAUGHT' if self.mutation.null_adversary_caught else 'MISSED'}, "
+                "budget-ignoring "
+                f"{'CAUGHT' if self.mutation.repacking_caught else 'MISSED'}"
             )
         if self.violations:
             lines.append(f"  VIOLATIONS ({len(self.violations)}):")
@@ -253,16 +263,36 @@ def run_verify(
                 report.violations.append((f"{where}/{policy}", v))
             for v in compare_with_streaming(packing, policy, seed=0):
                 report.violations.append((f"{where}/{policy}", v))
+            for v in compare_with_repacking(packing, policy, seed=0):
+                report.violations.append((f"{where}/{policy}", v))
             for v in audit_run(packing, policy):
                 report.violations.append((f"{where}/{policy}", v))
             for v in cost_check(packing):
                 report.violations.append((f"{where}/{policy}", v))
-            report.checks += 5
+            report.checks += 6
             pair = entry.index * len(prof.policies) + p_idx
             if prof.instrumented_stride and pair % prof.instrumented_stride == 0:
                 for v in instrumented_equality_check(inst, policy, seed=0):
                     report.violations.append((f"{where}/{policy}", v))
                 report.checks += 1
+
+        # one live budget-k repacking run per instance, replayed through
+        # the independent migration-budget auditor; policies alternate so
+        # both recourse models (per-event cap, amortized credit) are
+        # exercised across the corpus
+        if entry.index % 2 == 0:
+            for v in repacking_budget_check(
+                inst, policy="first_fit", repacker="greedy_consolidate",
+                budget=2.0, baseline_cost=cost_by_policy.get("first_fit"),
+            ):
+                report.violations.append((f"{where}/repack-audit", v))
+        else:
+            for v in repacking_budget_check(
+                inst, policy="best_fit", repacker="budgeted_rebalance",
+                budget=0.5,
+            ):
+                report.violations.append((f"{where}/repack-audit", v))
+        report.checks += 1
 
         # one batched pass over the whole policy set: shared context,
         # shared scratch buffers, shared lower bound — must agree exactly
@@ -339,6 +369,15 @@ def run_verify(
                 "mutation",
                 "NullAdversary mutant was NOT rejected by the "
                 "must-exceed-bound check",
+            ),
+        ))
+    if not report.mutation.repacking_caught:
+        report.violations.append((
+            "mutation",
+            Violation(
+                "mutation",
+                "BudgetIgnoringRepacker mutant was NOT caught by the "
+                "migration-budget auditor",
             ),
         ))
     report.checks += 1

@@ -19,6 +19,14 @@ invariant auditor catches it:
   silently opens extra bins.  Classic and fastpath each stay
   self-consistent, so only the classic-vs-fastpath differential oracle
   (:func:`~repro.verify.oracles.compare_with_fastpath`) can catch it.
+* :class:`BudgetIgnoringRepacker` — a repack policy that relocates items
+  through the repacking engine's *unchecked* move primitive, silently
+  skipping the :class:`~repro.repacking.ledger.MigrationLedger` that
+  enforces the migration budget ``k``.  The packing stays feasible and
+  the cost bookkeeping stays exact, so only the budget auditor
+  (:func:`~repro.repacking.audit.audit_migration_budget`) — which
+  replays the engine's raw move log rather than trusting the ledger —
+  can catch the over-budget event and the ledger/log disagreement.
 * the :class:`~repro.adversaries.attacks.NullAdversary` — a state-blind
   "attack" that emits random arrivals while ignoring the engine view.
   Run through the same must-exceed-bound scenario check as the real
@@ -37,12 +45,17 @@ from typing import Callable, List
 
 import numpy as np
 
+from ..algorithms.registry import make_algorithm
 from ..core.bins import Bin
+from ..core.events import EventKind
 from ..core.instance import Instance
 from ..core.items import Item
 from ..core.packing import Packing
 from ..core.vectors import EPS
 from ..adversaries.scenarios import null_adversary_outcome
+from ..repacking import audit_migration_budget, repacking_run
+from ..repacking.ledger import MoveRecord
+from ..repacking.policies import RepackPolicy, _evacuation_plan
 from ..simulation.fastpath import FastEngine
 from ..simulation.runner import run
 from ..workloads.uniform import UniformWorkload
@@ -54,6 +67,7 @@ __all__ = [
     "broken_fit",
     "EagerOpenFirstFit",
     "StaleResidualFastEngine",
+    "BudgetIgnoringRepacker",
     "MutationReport",
     "mutation_smoke_test",
 ]
@@ -124,6 +138,53 @@ class StaleResidualFastEngine(FastEngine):
     _stale_residual_bug = True
 
 
+class BudgetIgnoringRepacker(RepackPolicy):
+    """A repack policy that silently bypasses migration-budget enforcement.
+
+    ``GreedyConsolidate``'s evil twin: after a departure it evacuates the
+    first whole bin whose residents all fit elsewhere — but it executes
+    the plan through the engine's *unchecked*
+    :meth:`~repro.repacking.engine.RepackingEngine._apply_move` primitive
+    instead of :meth:`~repro.repacking.engine.RepackContext.move`, so the
+    :class:`~repro.repacking.ledger.MigrationLedger` never sees the
+    moves.  It only commits plans longer than one move, guaranteeing a
+    budget-1 run exceeds its per-event cap.  The engine's raw move log
+    still records every relocation, which is exactly the trail the
+    budget auditor replays to catch this class of bug.
+    """
+
+    name = "budget_ignoring"
+    mode = "per_event"
+    default_budget = 1.0
+
+    def after_event(self, ctx, kind, now: float) -> None:
+        if kind is not EventKind.DEPARTURE:
+            return
+        engine = ctx._engine
+        bins = ctx.open_bins()
+        if len(bins) < 2:
+            return
+        for source in bins:
+            targets = [b for b in bins if b is not source]
+            plan = _evacuation_plan(source, targets, now)
+            if not plan or len(plan) < 2:
+                continue
+            for item, dst in plan:
+                src = ctx.bin_of(item)
+                record = MoveRecord(
+                    event_index=engine._event_index,
+                    time=now,
+                    uid=item.uid,
+                    src=src.index,
+                    dst=dst.index,
+                    cost_delta=0.0,
+                )
+                # the bug: straight to the unchecked primitive, skipping
+                # ledger admission entirely
+                engine._apply_move(item, src, dst, now, record)
+            return
+
+
 @dataclass(frozen=True)
 class MutationReport:
     """Outcome of the smoke test: what each mutant triggered.
@@ -140,6 +201,8 @@ class MutationReport:
     fastpath_violations: List[Violation] = field(default_factory=list)
     null_adversary_caught: bool = True
     null_adversary_violations: List[Violation] = field(default_factory=list)
+    repacking_caught: bool = True
+    repacking_violations: List[Violation] = field(default_factory=list)
 
     @property
     def all_caught(self) -> bool:
@@ -149,6 +212,7 @@ class MutationReport:
             and self.any_fit_caught
             and self.fastpath_caught
             and self.null_adversary_caught
+            and self.repacking_caught
         )
 
 
@@ -176,6 +240,29 @@ def mutation_smoke_test(seed: int = 0) -> MutationReport:
         classic_packing, "first_fit", fast_packing=stale_packing
     )
 
+    # mutant 5: a repack policy that bypasses the migration ledger — a
+    # hand-built instance where evacuating one bin takes exactly two
+    # moves (at t=30 the heavy anchor departs bin 0, freeing room for
+    # bin 1's two residents), so a budget-1 run must exceed its cap
+    inst5 = Instance.from_tuples(
+        [
+            (0.0, 40.0, 0.3),   # anchors bin 0 open to the end
+            (1.0, 30.0, 0.7),   # fills bin 0 until t=30
+            (2.0, 35.0, 0.2),   # overflow -> bin 1
+            (3.0, 36.0, 0.2),   # joins bin 1
+            (4.0, 5.0, 0.5),    # early departure opening a repack window
+        ],
+        name="mutation-repack",
+    )
+    repack_result = repacking_run(
+        make_algorithm("first_fit"), inst5,
+        repacker=BudgetIgnoringRepacker(), budget=1.0,
+    )
+    repacking_violations = [
+        Violation("repacking-audit", problem)
+        for problem in audit_migration_budget(repack_result)
+    ]
+
     # mutant 4: the state-blind NullAdversary judged by the same
     # must-exceed-bound check as the real attacks — "caught" means the
     # check rejected it (its certified ratio fell short of the bound)
@@ -197,4 +284,6 @@ def mutation_smoke_test(seed: int = 0) -> MutationReport:
         fastpath_violations=fastpath_violations,
         null_adversary_caught=not null_outcome.passed,
         null_adversary_violations=null_violations,
+        repacking_caught=bool(repacking_violations),
+        repacking_violations=repacking_violations,
     )

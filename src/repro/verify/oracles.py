@@ -17,6 +17,19 @@ counterpart and requires the two to agree exactly:
   bounded-memory :class:`~repro.streaming.engine.StreamingEngine`
   (incremental merge, tombstone-reclaimed bins), which must reproduce
   every assignment, bin count, and Eq. 1 cost bit for bit;
+* :func:`compare_with_repacking` — the classic engine versus the
+  migration-budget :class:`~repro.repacking.engine.RepackingEngine`
+  running its budget-0 twin (``no_repack``), which performs zero moves
+  and must therefore reproduce every assignment, bin count, and Eq. 1
+  cost bit for bit — the built-in differential oracle of the
+  repacking subsystem;
+* :func:`repacking_budget_check` — a live budget-k repacking run per
+  instance, replayed through the independent
+  :func:`~repro.repacking.audit.audit_repacking` auditor: the
+  migration ledger must match the move log move for move, no event may
+  exceed its budget, residency segments must tile each item's lifetime,
+  capacity must hold under every intermediate load, and the engine's
+  cost must equal the first-principles segment recomputation;
 * :func:`instrumented_equality_check` — the engine's plain event loop
   versus its instrumented twin (identical packing; run counters that
   agree with ground truth derived from the packing itself);
@@ -58,6 +71,8 @@ __all__ = [
     "compare_with_fastpath",
     "compare_with_batch",
     "compare_with_streaming",
+    "compare_with_repacking",
+    "repacking_budget_check",
     "differential_check",
     "instrumented_equality_check",
     "cost_check",
@@ -288,6 +303,110 @@ def compare_with_streaming(
             "streaming",
             f"{policy}: streaming cost {stream_packing.cost!r} != classic "
             f"cost {packing.cost!r} (bit-identity contract)",
+        ))
+    return out
+
+
+def compare_with_repacking(
+    packing: Packing, policy: str, seed: int = 0
+) -> List[Violation]:
+    """Compare a classic-engine ``packing`` against the budget-0 repack run.
+
+    The repacking engine's ``no_repack`` twin has a migration budget of
+    zero: it replays the exact same dispatch loop as the classic engine
+    and performs no moves, so it must land on the *same* packing — same
+    bin count, same item → bin assignment, and (since a zero-move run
+    derives its packing through the identical
+    :meth:`~repro.core.packing.Packing.from_assignment` arithmetic) the
+    identical Eq. 1 cost bit for bit, so no tolerance is granted.  Any
+    divergence means the repacking event loop drifted from the classic
+    engine's semantics.  Applies to every registry policy.
+    """
+    from ..repacking import repacking_run
+
+    kwargs = {"seed": seed} if policy == "random_fit" else {}
+    result = repacking_run(make_algorithm(policy, **kwargs), packing.instance)
+    repack_packing = result.packing
+    out: List[Violation] = []
+    if result.num_moves != 0:
+        out.append(Violation(
+            "repacking",
+            f"{policy}: budget-0 no_repack run performed "
+            f"{result.num_moves} migrations",
+        ))
+    if packing.num_bins != repack_packing.num_bins:
+        out.append(Violation(
+            "repacking",
+            f"{policy}: classic engine opened {packing.num_bins} bins, "
+            f"budget-0 repacking {repack_packing.num_bins}",
+        ))
+    if dict(packing.assignment) != dict(repack_packing.assignment):
+        repack_assignment = dict(repack_packing.assignment)
+        diff = [
+            uid for uid in packing.assignment
+            if repack_assignment.get(uid) != packing.assignment[uid]
+        ]
+        out.append(Violation(
+            "repacking",
+            f"{policy}: assignments differ on items {diff[:10]}"
+            f"{'...' if len(diff) > 10 else ''} "
+            f"(classic {[packing.assignment.get(u) for u in diff[:10]]}, "
+            f"repacking {[repack_assignment.get(u) for u in diff[:10]]})",
+        ))
+    if repack_packing.cost != packing.cost:
+        out.append(Violation(
+            "repacking",
+            f"{policy}: budget-0 repacking cost {repack_packing.cost!r} != "
+            f"classic cost {packing.cost!r} (bit-identity contract)",
+        ))
+    return out
+
+
+def repacking_budget_check(
+    instance: Instance,
+    policy: str = "first_fit",
+    repacker: str = "greedy_consolidate",
+    budget: float = 2.0,
+    seed: int = 0,
+    baseline_cost: Optional[float] = None,
+) -> List[Violation]:
+    """Audit a live budget-k repacking run against the invariant auditor.
+
+    Runs ``policy`` under ``repacker`` with migration budget ``budget``
+    and replays the result through
+    :func:`~repro.repacking.audit.audit_repacking`, which re-derives
+    every invariant from the move log (never trusting the ledger that
+    *enforced* the budget): per-event/amortized budget compliance,
+    ledger/log agreement, residency segments tiling each item's
+    lifetime, capacity under every intermediate load, and the Eq. 1
+    cost recomputed from first principles.  When ``baseline_cost`` (the
+    no-recourse cost of the same policy) is supplied, the
+    ``greedy_consolidate`` never-worse guarantee is also checked: the
+    policy only commits strictly-negative-delta full-bin evacuations,
+    so its cost can never exceed the budget-0 cost.
+    """
+    from ..repacking import audit_repacking, repacking_run
+
+    kwargs = {"seed": seed} if policy == "random_fit" else {}
+    result = repacking_run(
+        make_algorithm(policy, **kwargs), instance,
+        repacker=repacker, budget=budget,
+    )
+    label = f"{policy}/{repacker}:{budget:g}"
+    out = [
+        Violation("repacking-audit", f"{label}: {problem}")
+        for problem in audit_repacking(result)
+    ]
+    if (
+        baseline_cost is not None
+        and repacker == "greedy_consolidate"
+        and result.cost > baseline_cost + _TOL * max(1.0, baseline_cost)
+    ):
+        out.append(Violation(
+            "repacking-audit",
+            f"{label}: cost {result.cost:.9g} exceeds the no-recourse "
+            f"baseline {baseline_cost:.9g} — greedy_consolidate only "
+            "commits strictly-improving evacuations",
         ))
     return out
 

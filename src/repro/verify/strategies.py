@@ -51,6 +51,7 @@ __all__ = [
     "instances",
     "adversarial_instances",
     "adversary_configs",
+    "repacking_configs",
     "policies",
 ]
 
@@ -176,6 +177,27 @@ def adversary_configs(draw) -> tuple:
         ratio_threshold=float(draw(st.sampled_from((5.0, 50.0)))),
     )
     return name, config
+
+
+@st.composite
+def repacking_configs(draw) -> tuple:
+    """A ``(repacker_name, budget)`` pair for the migration-budget engine.
+
+    Budgets are drawn on the grids each accounting mode accepts:
+    per-event policies need whole-number move caps (including the
+    degenerate 0, which must collapse to the classic engine), while the
+    amortized ``budgeted_rebalance`` draws fractional credit rates from
+    a small grid so credit-accrual boundary cases (a move becoming
+    admissible exactly at an event boundary) stay likely.
+    """
+    from ..repacking import REPACK_POLICIES
+
+    name = draw(st.sampled_from(sorted(REPACK_POLICIES)))
+    if name == "budgeted_rebalance":  # amortized: fractional credit rate
+        budget = draw(st.sampled_from((0.0, 0.25, 0.5, 1.0, 2.0)))
+    else:  # per-event: whole-number move cap
+        budget = float(draw(st.integers(0, 4)))
+    return name, budget
 
 
 def policies() -> st.SearchStrategy[str]:

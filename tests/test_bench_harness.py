@@ -187,3 +187,52 @@ class TestAdversarySuite:
         payload = json.loads(out.read_text())
         assert "adversary" in payload
         capsys.readouterr()
+
+
+class TestRepackingSuite:
+    def test_run_repacking_suite_payload(self):
+        from repro.observability.bench import (
+            REPACK_FRONTIER_GRID,
+            REPACKING_SCHEMA,
+            REPACKING_SMOKE_SCENARIOS,
+            run_repacking_suite,
+        )
+
+        payload = run_repacking_suite(REPACKING_SMOKE_SCENARIOS, repeats=1,
+                                      suite="repacking-smoke")
+        assert payload["schema"] == REPACKING_SCHEMA
+        assert payload["headline"]["gadgets_improved"] is True
+        assert len(payload["scenarios"]) == len(REPACKING_SMOKE_SCENARIOS)
+        for rec in payload["scenarios"]:
+            assert len(rec["frontier"]) == len(REPACK_FRONTIER_GRID)
+            anchor = rec["frontier"][0]
+            assert anchor["repacker"] == "no_repack"
+            assert anchor["moves"] == 0
+            assert anchor["cost"] == rec["no_recourse_cost"]
+            for point in rec["frontier"]:
+                assert point["cost"] > 0 and point["num_bins"] >= 1
+            assert rec["best"]["cost"] <= anchor["cost"]
+            assert rec["lower_bound"] <= rec["no_recourse_cost"] + 1e-9
+        # the gadget scenarios achieve a strict improvement
+        gadgets = [r for r in payload["scenarios"]
+                   if r["params"]["kind"] in ("thm5", "thm6")]
+        assert gadgets
+        for rec in gadgets:
+            assert rec["best"]["cost"] < rec["no_recourse_cost"]
+        json.loads(json.dumps(payload, allow_nan=False))
+
+    def test_cli_merges_repacking_under_core(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_core.json"
+        assert main(["bench", "--suite", "smoke", "--repeats", "1",
+                     "--output", str(out)]) == 0
+        assert main(["bench", "--suite", "repacking-smoke", "--repeats", "1",
+                     "--output", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["schema"] == SCHEMA  # core stays top-level
+        assert payload["repacking"]["headline"]["gadgets_improved"] is True
+        # a core re-run preserves the nested repacking record
+        assert main(["bench", "--suite", "smoke", "--repeats", "1",
+                     "--output", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert "repacking" in payload
+        capsys.readouterr()

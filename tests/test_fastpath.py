@@ -337,3 +337,70 @@ class TestBenchAndCli:
         payload = json.loads(open(out).read())
         assert payload["fastpath"]["suite"] == "fastpath-smoke"
         capsys.readouterr()
+
+
+class TestIneligibilityGap:
+    """Regression for the silent-eligibility gap (ROADMAP item 2).
+
+    A ``BestFit``/``WorstFit`` configured with a non-L-infinity load
+    measure has no fast kernel — the measure changes *decisions*, not
+    just bookkeeping — so a fast/batch request must fall back to the
+    classic engine *audibly*: one RuntimeWarning per distinct cause and
+    a ``fastpath_fallbacks`` counter bump on every occurrence.  Before
+    the fix, the batch paths degraded silently.
+    """
+
+    def setup_method(self):
+        from repro.simulation.engine import reset_fallback_warnings
+
+        reset_fallback_warnings()
+
+    def test_reason_names_the_decision_changing_option(self):
+        from repro.simulation.fastpath import fast_ineligibility_reason
+
+        assert fast_ineligibility_reason(make_algorithm("best_fit")) is None
+        for algo in (BestFit(measure="l1"), WorstFit(measure="lp", p=3.0)):
+            reason = fast_ineligibility_reason(algo)
+            assert reason is not None
+            assert "no fast kernel" in reason
+            assert "decision-changing" in reason
+
+    def test_simulate_fast_warns_and_counts(self, uniform_small):
+        col = StatsCollector()
+        with pytest.warns(RuntimeWarning, match="no fast kernel"):
+            fast = simulate(BestFit(measure="l1"), uniform_small,
+                            collector=col, fast=True)
+        assert col.fastpath_fallbacks == 1
+        classic = simulate(BestFit(measure="l1"), uniform_small)
+        assert dict(fast.assignment) == dict(classic.assignment)
+
+    def test_batch_runner_units_warn_and_count(self, uniform_small):
+        from repro.simulation.batch import BatchRunner
+
+        with pytest.warns(RuntimeWarning, match="no fast kernel"):
+            units = BatchRunner(uniform_small).run_units(
+                [("best_fit", {"measure": "l1"})], collect_stats=True
+            )
+        assert units[0].stats.fastpath_fallbacks == 1
+
+    def test_batch_run_many_counts_every_run_warns_once(
+        self, uniform_small, tiny_instance
+    ):
+        import warnings
+
+        from repro.simulation.batch import batch_run_many
+
+        col = StatsCollector()
+        with pytest.warns(RuntimeWarning, match="no fast kernel"):
+            batch_run_many(
+                WorstFit(measure="l1"), [uniform_small, tiny_instance],
+                collector=col,
+            )
+        assert col.fastpath_fallbacks == 2
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # a repeat warning would raise
+            batch_run_many(
+                WorstFit(measure="l1"), [uniform_small, tiny_instance],
+                collector=col,
+            )
+        assert col.fastpath_fallbacks == 4

@@ -1,0 +1,121 @@
+"""Property-based tests for the repacking engine (Hypothesis).
+
+Driven by :func:`repro.verify.strategies.repacking_configs` crossed with
+the grid-valued instance strategy: random (repacker, budget) pairs on
+random instances must never violate the hard invariants, whatever the
+policy decides to move —
+
+* capacity feasibility at every intermediate load (replayed from the
+  residency segments, not the engine's own bins);
+* the migration cap: per-event move counts within the budget for
+  per-event policies, cumulative moves within the accrued credit for
+  amortized ones — re-derived from the raw move log, never trusting the
+  ledger that enforced it;
+* segments tiling each item's ``[arrival, departure)`` exactly;
+* the Eq. 1 cost recomputed from first principles matching the engine's
+  reported cost;
+* budget zero collapsing to the classic engine bit for bit.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.algorithms.registry import make_algorithm
+from repro.repacking import (
+    audit_repacking,
+    first_principles_cost,
+    repacking_run,
+    replay_budget_check,
+)
+from repro.simulation.runner import run
+from repro.verify import strategies as sts
+
+_TOL = 1e-9
+
+
+def _algo(policy):
+    kwargs = {"seed": 0} if policy == "random_fit" else {}
+    return make_algorithm(policy, **kwargs)
+
+
+@given(
+    inst=sts.instances(max_items=14),
+    policy=sts.policies(),
+    config=sts.repacking_configs(),
+)
+def test_random_budgets_never_violate_invariants(inst, policy, config):
+    repacker, budget = config
+    result = repacking_run(_algo(policy), inst, repacker=repacker, budget=budget)
+    assert audit_repacking(result) == [], (
+        f"{policy}/{repacker}:{budget:g} failed the audit: "
+        f"{audit_repacking(result)[:3]}"
+    )
+
+
+@given(
+    inst=sts.instances(max_items=14),
+    policy=sts.policies(),
+    config=sts.repacking_configs(),
+)
+def test_migration_cap_holds_on_the_raw_move_log(inst, policy, config):
+    repacker, budget = config
+    result = repacking_run(_algo(policy), inst, repacker=repacker, budget=budget)
+    assert replay_budget_check(
+        result.moves, result.budget, result.mode, result.ledger.events
+    ) == []
+    assert tuple(result.ledger.moves) == result.moves
+    if result.mode == "per_event":
+        assert result.ledger.max_moves_per_event() <= int(result.budget)
+    else:
+        assert result.num_moves <= result.budget * result.ledger.events + _TOL
+
+
+@given(
+    inst=sts.instances(max_items=14),
+    policy=sts.policies(),
+    config=sts.repacking_configs(),
+)
+def test_first_principles_cost_matches_engine(inst, policy, config):
+    repacker, budget = config
+    result = repacking_run(_algo(policy), inst, repacker=repacker, budget=budget)
+    recomputed = first_principles_cost(inst, result.segments)
+    assert result.cost == pytest.approx(recomputed, rel=_TOL, abs=_TOL)
+    # every live item ends the run where the assignment says it is
+    for uid, segs in result.segments.items():
+        assert segs[-1][0] == result.packing.assignment[uid]
+
+
+@given(inst=sts.instances(max_items=14), policy=sts.policies())
+def test_budget_zero_collapses_to_classic(inst, policy):
+    classic = run(_algo(policy), inst)
+    for repacker in ("no_repack", "greedy_consolidate", "budgeted_rebalance"):
+        result = repacking_run(_algo(policy), inst, repacker=repacker, budget=0.0)
+        assert result.num_moves == 0
+        assert dict(result.packing.assignment) == dict(classic.assignment)
+        assert result.cost == classic.cost
+
+
+@given(inst=sts.adversarial_instances(), config=sts.repacking_configs())
+def test_invariants_hold_on_lower_bound_gadgets(inst, config):
+    """The Theorem 5/6/8 gadgets lean on simultaneous arrivals and exact
+    fits — the worst case for repack-window edge handling (same-instant
+    departers, zero-length residencies, full-bin evacuations)."""
+    repacker, budget = config
+    result = repacking_run(_algo("first_fit"), inst, repacker=repacker, budget=budget)
+    assert audit_repacking(result) == []
+
+
+@pytest.mark.fuzz
+@settings(max_examples=300, deadline=None)
+@given(
+    inst=sts.instances(max_items=20, jitter=True),
+    policy=sts.policies(),
+    config=sts.repacking_configs(),
+)
+def test_deep_jittered_budgets_never_violate_invariants(inst, policy, config):
+    """CI fuzz variant: off-grid sizes and a wider search."""
+    repacker, budget = config
+    result = repacking_run(_algo(policy), inst, repacker=repacker, budget=budget)
+    assert audit_repacking(result) == []

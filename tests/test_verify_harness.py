@@ -40,6 +40,7 @@ def test_run_verify_short_prefix_is_clean():
     assert all(o.passed for o in report.adversary_outcomes)
     assert "adversary bounds: 8/8" in report.render()
     assert "null-adversary CAUGHT" in report.render()
+    assert "budget-ignoring CAUGHT" in report.render()
 
 
 def test_run_verify_records_work_counters():
@@ -67,7 +68,23 @@ def test_mutation_smoke_test_catches_all_mutants():
     assert report.any_fit_caught
     assert report.fastpath_caught
     assert report.null_adversary_caught
+    assert report.repacking_caught
     assert report.all_caught
+
+
+def test_budget_ignoring_mutant_caught_by_budget_auditor():
+    """The ledger-bypassing repacker is flagged by the move-log replay.
+
+    Both halves of the auditor must fire: the per-event budget replay
+    (two moves in one window against a budget of one) and the
+    ledger-vs-log agreement check (the ledger recorded nothing).
+    """
+    report = mutation_smoke_test(seed=0)
+    assert report.repacking_violations
+    assert all(v.check == "repacking-audit" for v in report.repacking_violations)
+    messages = " ".join(v.message for v in report.repacking_violations)
+    assert "exceeding the per-event budget" in messages
+    assert "enforcement was bypassed" in messages
 
 
 def test_stale_residual_mutant_actually_diverges():
