@@ -7,7 +7,9 @@ all supported here via the ``measure`` parameter:
 * ``"linf"`` — max load ``w(R) = ||s(R)||_inf`` (the paper's Section 7
   experiments use this one);
 * ``"l1"``  — sum of loads ``w(R) = ||s(R)||_1``;
-* ``"lp"``  — the ``L_p`` norm for a caller-chosen ``p >= 2``.
+* ``"lp"``  — the ``L_p`` norm for a caller-chosen ``p >= 1``
+  (``p = 1`` coincides bitwise with ``"l1"``, ``p = inf`` with
+  ``"linf"``; ``p < 1`` is rejected — not a norm).
 
 Best Fit's competitive ratio is **unbounded** even for ``d = 1``
 (Theorem 7, citing Li-Tang-Cai), yet it performs well on average
@@ -65,11 +67,13 @@ class BestFit(AnyFitAlgorithm):
         super().__init__()
         self._measure_name = measure
         self._w = load_measure(measure, p)
+        #: Public load-measure configuration, read by
+        #: :func:`repro.simulation.fastpath.fast_policy_for` to resolve
+        #: the matching (measure, p) fast kernel.
+        self.measure = measure
+        self.p = float(p) if measure == "lp" else None
         if measure != "linf":
             self.name = f"best_fit_{measure}" + (f"{p:g}" if measure == "lp" else "")
-            # The fast kernel ranks bins by the L-inf load only; other
-            # measures pick different bins, so they stay classic-only.
-            self.fast_kernel = None
 
     def choose(self, item: Item, candidates: List[Bin], now: float) -> Bin:
         best = candidates[0]
@@ -94,8 +98,10 @@ class WorstFit(AnyFitAlgorithm):
     def __init__(self, measure: str = "linf", p: float = 2.0) -> None:
         super().__init__()
         self._w = load_measure(measure, p)
+        self.measure = measure  # see BestFit: read by fast_policy_for
+        self.p = float(p) if measure == "lp" else None
         if measure != "linf":
-            self.fast_kernel = None  # see BestFit: L-inf ranking only
+            self.name = f"worst_fit_{measure}" + (f"{p:g}" if measure == "lp" else "")
 
     def choose(self, item: Item, candidates: List[Bin], now: float) -> Bin:
         worst = candidates[0]

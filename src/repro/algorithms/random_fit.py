@@ -7,11 +7,13 @@ running the same instance twice gives the same packing.
 
 from __future__ import annotations
 
+import operator
 from typing import List, Optional
 
 import numpy as np
 
 from ..core.bins import Bin
+from ..core.errors import ConfigurationError
 from ..core.instance import Instance
 from ..core.items import Item
 from .base import AnyFitAlgorithm
@@ -34,7 +36,15 @@ class RandomFit(AnyFitAlgorithm):
 
     def __init__(self, seed: int = 0) -> None:
         super().__init__()
-        self.seed = int(seed)
+        try:
+            # operator.index accepts ints (and numpy integers) but rejects
+            # None/floats/strings outright instead of silently truncating
+            # or raising a bare TypeError mid-construction.
+            self.seed = operator.index(seed)
+        except TypeError:
+            raise ConfigurationError(
+                f"random_fit seed must be an integer, got {seed!r}"
+            ) from None
         self._rng: Optional[np.random.Generator] = None
 
     def start(self, instance: Instance) -> None:

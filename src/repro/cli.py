@@ -192,6 +192,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     pb.add_argument("--suite",
                     choices=["core", "smoke", "fastpath", "fastpath-smoke",
+                             "fastpath-vectorized", "fastpath-vectorized-smoke",
                              "batch", "batch-smoke",
                              "streaming", "streaming-smoke",
                              "adversary",
@@ -200,7 +201,10 @@ def _build_parser() -> argparse.ArgumentParser:
                     help="core = the BENCH_core.json grid; smoke = seconds-fast "
                          "subset; fastpath = the classic-vs-FastEngine "
                          "comparison grid (merged under the 'fastpath' key of "
-                         "the output); batch = the per-unit-vs-batched sweep "
+                         "the output); fastpath-vectorized = the trial-lockstep "
+                         "multi-trial kernel vs per-trial dispatch, plus the "
+                         "L1/Lp measure-kernel cells (nested under "
+                         "'fastpath.vectorized'); batch = the per-unit-vs-batched sweep "
                          "comparison grid (merged under the 'batch' key); "
                          "streaming = the bounded-memory long-stream grid "
                          "(events/sec + peak-RSS, merged under the "
@@ -481,14 +485,20 @@ def main(argv: Optional[List[str]] = None) -> int:
             SMOKE_SCENARIOS,
             STREAMING_SCENARIOS,
             STREAMING_SMOKE_SCENARIOS,
+            VECTORIZED_SCENARIO,
+            VECTORIZED_SMOKE_SCENARIO,
+            VECTORIZED_SMOKE_TRIALS,
+            VECTORIZED_TRIALS,
             measure_overhead,
             merge_suite,
+            merge_vectorized,
             run_adversary_suite,
             run_batch_suite,
             run_fastpath_suite,
             run_repacking_suite,
             run_streaming_suite,
             run_suite,
+            run_vectorized_suite,
             write_bench,
         )
         from .observability.sinks import JsonLinesSink, NullSink
@@ -600,6 +610,31 @@ def main(argv: Optional[List[str]] = None) -> int:
                   f"{mem['savings_bytes_per_item']:.0f} B/item; "
                   f"wrote {args.output}")
             return 0
+        if args.suite in ("fastpath-vectorized", "fastpath-vectorized-smoke"):
+            smoke = args.suite == "fastpath-vectorized-smoke"
+            scenario = VECTORIZED_SMOKE_SCENARIO if smoke else VECTORIZED_SCENARIO
+            n_trials = VECTORIZED_SMOKE_TRIALS if smoke else VECTORIZED_TRIALS
+            print(f"running {args.suite} suite ({scenario.name}, "
+                  f"{n_trials} trials, repeats={args.repeats}) ...")
+            payload = run_vectorized_suite(
+                trials_scenario=scenario, measure_scenario=scenario,
+                n_trials=n_trials, repeats=args.repeats,
+                suite=args.suite, progress=print
+            )
+            # Nest under the 'fastpath' key of an existing core payload so
+            # BENCH_core.json stays the single trajectory file.
+            out = payload
+            existing = _load_existing()
+            if isinstance(existing, dict) and existing.get("schema") == SCHEMA:
+                out = merge_vectorized(existing, payload)
+            write_bench(out, args.output)
+            head = payload["headline"]
+            print(f"suite finished in {payload['total_wall_time_s']:.1f} s; "
+                  f"headline ({head['scenario']}, {head['n_trials']} trials): "
+                  f"lockstep {head['speedup_vs_sequential']:.1f}x vs per-trial "
+                  f"dispatch, {head['speedup_vs_classic']:.1f}x vs classic, "
+                  f"identical={head['identical']}; wrote {args.output}")
+            return 0
         if args.suite in ("fastpath", "fastpath-smoke"):
             scenarios = (
                 FASTPATH_SCENARIOS if args.suite == "fastpath"
@@ -612,11 +647,17 @@ def main(argv: Optional[List[str]] = None) -> int:
                 suite=args.suite, progress=print
             )
             # Keep one trajectory file: nest under an existing core
-            # payload (preserving its batch record) when present.
+            # payload (preserving its batch record) when present.  A
+            # fastpath re-run must also carry over any nested vectorized
+            # record rather than clobbering it with the fresh payload.
             out = payload
             existing = _load_existing()
-            if isinstance(existing, dict) and existing.get("schema") == SCHEMA:
-                out = merge_suite(existing, "fastpath", payload)
+            if isinstance(existing, dict):
+                prior_vec = existing.get("fastpath", {})
+                if isinstance(prior_vec, dict) and "vectorized" in prior_vec:
+                    payload["vectorized"] = prior_vec["vectorized"]
+                if existing.get("schema") == SCHEMA:
+                    out = merge_suite(existing, "fastpath", payload)
             write_bench(out, args.output)
             head = payload["headline"]
             speedups = ", ".join(

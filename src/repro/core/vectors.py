@@ -88,12 +88,16 @@ def l1(v: np.ndarray) -> float:
 def lp(v: np.ndarray, p: float) -> float:
     """Return the :math:`L_p` norm of a non-negative vector.
 
-    ``p = inf`` is accepted and routed to :func:`linf`.
+    ``p = inf`` is accepted and routed to :func:`linf`; ``p = 1`` takes
+    the same summation path as :func:`l1` (bit-identical, since
+    ``x ** 1.0 == x`` exactly in IEEE-754).  Values ``p < 1`` are
+    rejected: they do not define a norm, matching the ``p >= 1``
+    contract of :func:`repro.algorithms.best_fit.load_measure`.
     """
+    if not p >= 1:  # also rejects NaN (and -inf, before the isinf route)
+        raise ValueError(f"p must be >= 1 for an L_p norm, got {p}")
     if np.isinf(p):
         return linf(v)
-    if p <= 0:
-        raise ValueError(f"p must be positive, got {p}")
     return float(np.sum(v**p) ** (1.0 / p))
 
 

@@ -73,6 +73,16 @@ __all__ = [
     "run_suite",
     "run_fastpath_scenario",
     "run_fastpath_suite",
+    "VECTORIZED_SCHEMA",
+    "VECTORIZED_TRIALS",
+    "VECTORIZED_SMOKE_TRIALS",
+    "VECTORIZED_SCENARIO",
+    "VECTORIZED_SMOKE_SCENARIO",
+    "MEASURE_KERNEL_SPECS",
+    "run_vectorized_trials_scenario",
+    "run_measure_kernel_cells",
+    "run_vectorized_suite",
+    "merge_vectorized",
     "run_batch_scenario",
     "run_batch_suite",
     "run_streaming_scenario",
@@ -631,6 +641,224 @@ def run_fastpath_suite(
         "scenarios": records,
     }
     return payload
+
+
+# ----------------------------------------------------------------------
+# the trial-lockstep vectorized suite (nested under fastpath/vectorized)
+# ----------------------------------------------------------------------
+
+#: Schema tag of the trial-lockstep comparison payload nested under
+#: ``BENCH_core.json``'s ``"fastpath"`` key as ``"vectorized"``.
+VECTORIZED_SCHEMA = "repro-bench-fastpath-vectorized/v1"
+
+#: Trial fan-out width of the full vectorized suite: wide enough that
+#: per-trial kernel dispatch dominates the sequential baseline (the
+#: acceptance gate compares lockstep vs per-trial dispatch at >= 64).
+VECTORIZED_TRIALS = 64
+
+#: Seconds-fast width for tests and the CI smoke leg.
+VECTORIZED_SMOKE_TRIALS = 8
+
+#: The cell the trial fan-out and measure-kernel comparisons run on.
+VECTORIZED_SCENARIO: BenchScenario = next(
+    s for s in FASTPATH_SCENARIOS if s.d == 2 and s.size == "large"
+)
+VECTORIZED_SMOKE_SCENARIO: BenchScenario = next(
+    s for s in FASTPATH_SMOKE_SCENARIOS if s.d == 2
+)
+
+#: The L1/Lp measure-kernel cells: label -> (fast policy spec,
+#: (registry name, constructor kwargs)).
+MEASURE_KERNEL_SPECS = (
+    ("best_fit_l1", "best_fit:l1", ("best_fit", {"measure": "l1"})),
+    ("best_fit_l2", "best_fit:lp:2.0", ("best_fit", {"measure": "lp", "p": 2.0})),
+    ("worst_fit_l1", "worst_fit:l1", ("worst_fit", {"measure": "l1"})),
+)
+
+
+def run_vectorized_trials_scenario(
+    scenario: BenchScenario,
+    n_trials: int = VECTORIZED_TRIALS,
+    repeats: int = 3,
+) -> Dict[str, Any]:
+    """Time an M-trial ``random_fit`` fan-out: lockstep vs per-trial.
+
+    Both timings go through :meth:`BatchRunner.run_trials` — the same
+    shared-context dispatch path — differing only in the ``vectorized``
+    flag, so the comparison isolates the trial-lockstep kernel from
+    per-trial re-dispatch.  The classic baseline is one seeded classic
+    run extrapolated to the fan-out width (running the full fan-out
+    classically would dominate the whole suite's wall time for no
+    information: classic trials are independent and identical in cost).
+    The ``identical`` flag requires per-trial cost/bin agreement between
+    both dispatch modes *and* bit-identity of the lockstep seed-0
+    assignment against the classic engine.
+    """
+    from ..simulation.batch import BatchRunner
+    from ..simulation.fastpath import FastEngine
+
+    instance = scenario.build_instance()
+    seeds = list(range(n_trials))
+    sequential_s = float("inf")
+    seq_units = None
+    for _ in range(max(1, repeats)):
+        runner = BatchRunner(instance)
+        t0 = time.perf_counter()
+        seq_units = runner.run_trials(seeds, vectorized=False)
+        sequential_s = min(sequential_s, time.perf_counter() - t0)
+    vectorized_s = float("inf")
+    vec_units = None
+    for _ in range(max(1, repeats)):
+        runner = BatchRunner(instance)
+        t0 = time.perf_counter()
+        vec_units = runner.run_trials(seeds, vectorized=True)
+        vectorized_s = min(vectorized_s, time.perf_counter() - t0)
+    classic_per_trial_s = float("inf")
+    classic = None
+    for _ in range(max(1, repeats)):
+        algo = make_algorithm("random_fit", seed=seeds[0])
+        t0 = time.perf_counter()
+        classic = run(algo, instance)
+        classic_per_trial_s = min(classic_per_trial_s, time.perf_counter() - t0)
+    classic_extrapolated_s = classic_per_trial_s * n_trials
+    identical = (
+        [(u.cost, u.num_bins) for u in seq_units]
+        == [(u.cost, u.num_bins) for u in vec_units]
+    )
+    lock0 = FastEngine(instance, "random_fit", backend="vectorized").run_trials(
+        seeds[:1]
+    )[0]
+    identical = identical and lock0 == dict(classic.assignment)
+    return {
+        "name": scenario.name,
+        "params": scenario.params(),
+        "n_trials": n_trials,
+        "sequential_s": sequential_s,
+        "vectorized_s": vectorized_s,
+        "classic_per_trial_s": classic_per_trial_s,
+        "classic_extrapolated_s": classic_extrapolated_s,
+        "speedup_vs_sequential": (
+            sequential_s / vectorized_s if vectorized_s > 0 else 0.0
+        ),
+        "speedup_vs_classic": (
+            classic_extrapolated_s / vectorized_s if vectorized_s > 0 else 0.0
+        ),
+        "identical": identical,
+    }
+
+
+def run_measure_kernel_cells(
+    scenario: BenchScenario, repeats: int = 3
+) -> Dict[str, Any]:
+    """Time classic vs the numpy fast kernel for the L1/Lp measure cells.
+
+    The measure variants were fast-ineligible before the L1/Lp kernels
+    landed; these cells pin their speedup (and bit-identity) into the
+    trajectory file the same way the default-measure grid does.
+    """
+    from ..simulation.fastpath import FastEngine
+
+    instance = scenario.build_instance()
+    cells: Dict[str, Any] = {}
+    for label, spec, (base, kwargs) in MEASURE_KERNEL_SPECS:
+        classic_s = float("inf")
+        classic = None
+        for _ in range(max(1, repeats)):
+            algo = make_algorithm(base, **kwargs)
+            t0 = time.perf_counter()
+            classic = run(algo, instance)
+            classic_s = min(classic_s, time.perf_counter() - t0)
+        fast_s = float("inf")
+        fast = None
+        for _ in range(max(1, repeats)):
+            t0 = time.perf_counter()
+            fast = FastEngine(instance, spec).run()
+            fast_s = min(fast_s, time.perf_counter() - t0)
+        cells[label] = {
+            "spec": spec,
+            "classic_s": classic_s,
+            "fast_numpy_s": fast_s,
+            "speedup_numpy": classic_s / fast_s if fast_s > 0 else 0.0,
+            "cost": classic.cost,
+            "num_bins": classic.num_bins,
+            "identical": dict(fast.assignment) == dict(classic.assignment),
+        }
+    return cells
+
+
+def run_vectorized_suite(
+    trials_scenario: Optional[BenchScenario] = None,
+    measure_scenario: Optional[BenchScenario] = None,
+    n_trials: int = VECTORIZED_TRIALS,
+    repeats: int = 3,
+    suite: str = "fastpath-vectorized",
+    progress=None,
+) -> Dict[str, Any]:
+    """Run the trial-lockstep + measure-kernel suite; return its payload."""
+    trials_scenario = trials_scenario or VECTORIZED_SCENARIO
+    measure_scenario = measure_scenario or trials_scenario
+    t0 = time.perf_counter()
+    trials = run_vectorized_trials_scenario(
+        trials_scenario, n_trials=n_trials, repeats=repeats
+    )
+    if progress is not None:
+        progress(
+            f"  {trials['name']}: {n_trials} trials, lockstep "
+            f"{trials['vectorized_s']:.2f} s vs per-trial "
+            f"{trials['sequential_s']:.2f} s "
+            f"({trials['speedup_vs_sequential']:.2f}x), "
+            f"classic-extrapolated {trials['classic_extrapolated_s']:.1f} s "
+            f"({trials['speedup_vs_classic']:.1f}x), "
+            f"identical={trials['identical']}"
+        )
+    measure = run_measure_kernel_cells(measure_scenario, repeats=repeats)
+    if progress is not None:
+        for label, cell in measure.items():
+            progress(
+                f"  {measure_scenario.name} {label}: classic "
+                f"{cell['classic_s']:.2f} s, fast {cell['fast_numpy_s']:.3f} s "
+                f"({cell['speedup_numpy']:.1f}x), "
+                f"identical={cell['identical']}"
+            )
+    identical = trials["identical"] and all(
+        c["identical"] for c in measure.values()
+    )
+    return {
+        "schema": VECTORIZED_SCHEMA,
+        "suite": suite,
+        "generated_unix": time.time(),
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "repeats": repeats,
+        "n_trials": n_trials,
+        "trials": trials,
+        "measure_kernels": measure,
+        "headline": {
+            "scenario": trials["name"],
+            "n_trials": n_trials,
+            "speedup_vs_sequential": trials["speedup_vs_sequential"],
+            "speedup_vs_classic": trials["speedup_vs_classic"],
+            "identical": identical,
+        },
+        "total_wall_time_s": time.perf_counter() - t0,
+    }
+
+
+def merge_vectorized(
+    core_payload: Dict[str, Any], vectorized_payload: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Nest a vectorized suite payload under ``fastpath.vectorized``.
+
+    The trial-lockstep record rides inside the existing ``"fastpath"``
+    block of ``BENCH_core.json`` (creating it when absent) so the
+    twin-engine trajectory stays one sub-document.
+    """
+    merged = dict(core_payload)
+    fastpath = dict(merged.get("fastpath") or {})
+    fastpath["vectorized"] = vectorized_payload
+    merged["fastpath"] = fastpath
+    return merged
+
 
 
 def _unit_key_tuples(sweep: Dict[str, Any]) -> Dict[str, List[tuple]]:

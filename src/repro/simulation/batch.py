@@ -295,7 +295,9 @@ class BatchRunner:
         :func:`~repro.simulation.fastpath.choose_backend` heuristic.
     """
 
-    __slots__ = ("source", "backend", "_instance", "_lb", "_ctx", "_engine")
+    __slots__ = (
+        "source", "backend", "_instance", "_lb", "_ctx", "_engine", "_vec_engine",
+    )
 
     def __init__(self, source: BatchSource, backend: Optional[str] = None) -> None:
         self.source = source
@@ -304,6 +306,7 @@ class BatchRunner:
         self._lb: Optional[float] = None
         self._ctx: Optional[ReplayContext] = None
         self._engine: Optional[FastEngine] = None
+        self._vec_engine: Optional[FastEngine] = None
 
     @property
     def instance(self) -> Instance:
@@ -441,19 +444,57 @@ class BatchRunner:
         seeds: Iterable[int],
         policy: str = "random_fit",
         instance_index: int = 0,
+        vectorized: Optional[bool] = None,
     ):
         """M seeded ``random_fit`` trials through one batched invocation.
 
         One :meth:`FastEngine.run_trials
-        <repro.simulation.fastpath.FastEngine.run_trials>` call replays
-        the shared context once per seed; each trial's aggregates are bit
-        identical to a fresh per-unit run with that seed.
+        <repro.simulation.fastpath.FastEngine.run_trials>` call serves
+        every seed; each trial's aggregates are bit-identical to a fresh
+        per-unit run with that seed.
+
+        ``vectorized`` selects the trial-lockstep kernel tier (all
+        trials advance through one event array over a
+        ``[trials, slots, d]`` residual tensor).  The default ``None``
+        auto-selects via :func:`~repro.simulation.fastpath.choose_trials_backend`:
+        lockstep whenever numpy is available and more than one seed is
+        requested, unless this runner (or ``REPRO_FASTPATH_BACKEND``)
+        pins a different backend.  ``False`` forces the sequential
+        re-armed single-trial path.
         """
         from .parallel import UnitResult
+        from .fastpath import PYTHON_BACKEND, VECTORIZED_BACKEND, choose_trials_backend
 
-        engine = self._fast_engine(policy, 0, None)
+        seed_list = [int(s) for s in seeds]
+        if vectorized is None:
+            backend = self.backend
+            if backend is None:
+                backend = choose_trials_backend(self.instance, len(seed_list))
+            use_vec = backend == VECTORIZED_BACKEND
+        else:
+            use_vec = bool(vectorized)
+
+        if use_vec:
+            ctx = self._ctx
+            if ctx is None or ctx.backend == PYTHON_BACKEND:
+                # the lockstep tier needs numpy-layout context arrays; a
+                # fresh one doubles as the shared context when none is
+                # cached yet (numpy and vectorized layouts are identical)
+                ctx = ReplayContext(self.instance, VECTORIZED_BACKEND)
+                if self._ctx is None:
+                    self._ctx = ctx
+            if self._vec_engine is None:
+                self._vec_engine = FastEngine(
+                    ctx.instance, policy, seed=0,
+                    backend=VECTORIZED_BACKEND, context=ctx,
+                )
+            else:
+                self._vec_engine.reset(policy=policy, seed=0, context=ctx)
+            engine = self._vec_engine
+        else:
+            engine = self._fast_engine(policy, 0, None)
         out: List["UnitResult"] = []
-        for assignment in engine.run_trials(seeds):
+        for assignment in engine.run_trials(seed_list):
             cost, num_bins = self._cost_and_bins(assignment)
             out.append(
                 UnitResult(
@@ -490,7 +531,7 @@ class BatchRunner:
         policy, seed = resolved
         engine = self._fast_engine(policy, seed, collector)
         return Packing.from_assignment(
-            self.instance, engine.run_assignment(), algorithm=policy
+            self.instance, engine.run_assignment(), algorithm=algo.name
         )
 
 
@@ -535,7 +576,9 @@ def batch_run_many(
             )
         else:
             engine.reset(policy=policy, seed=seed, collector=collector, context=ctx)
-        packing = Packing.from_assignment(inst, engine.run_assignment(), algorithm=policy)
+        packing = Packing.from_assignment(
+            inst, engine.run_assignment(), algorithm=algo.name
+        )
         if validate:
             packing.validate()
         packings.append(packing)

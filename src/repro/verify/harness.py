@@ -51,11 +51,13 @@ from time import perf_counter
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..adversaries.scenarios import ScenarioOutcome, must_exceed_report
+from ..algorithms.best_fit import BestFit, WorstFit
 from ..algorithms.registry import PAPER_ALGORITHMS, make_algorithm
 from ..core.errors import ConfigurationError, SolverLimitError
 from ..observability.stats import RunStats, StatsCollector
 from ..optimum.lower_bounds import opt_lower_bound
 from ..optimum.opt_cost import optimum_cost, optimum_cost_bounds
+from ..simulation.fastpath import FastEngine, available_backends
 from ..simulation.runner import run
 from .generators import corpus
 from .invariants import Violation, audit_instance, audit_run
@@ -76,6 +78,21 @@ from .oracles import (
 __all__ = ["VerifyProfile", "PROFILES", "VerifyReport", "run_verify"]
 
 _TOL = 1e-9
+
+#: Load-measure kernel variants cycled across the corpus: each instance
+#: runs one classic (name, factory) pair against its fast-kernel spec,
+#: so the L1/Lp eligibility closure is differential-tested on every
+#: corpus shape without multiplying the per-instance work.
+_MEASURE_VARIANTS: Tuple[Tuple[str, Callable[[], object], str], ...] = (
+    ("best_fit_l1", lambda: BestFit(measure="l1"), "best_fit:l1"),
+    ("best_fit_l2", lambda: BestFit(measure="lp", p=2.0), "best_fit:lp:2.0"),
+    ("worst_fit_l1", lambda: WorstFit(measure="l1"), "worst_fit:l1"),
+    ("worst_fit_lp3", lambda: WorstFit(measure="lp", p=3.0), "worst_fit:lp:3.0"),
+)
+
+#: Seeds of the lockstep-trials oracle (small: it runs on a stride of
+#: corpus instances, on top of the full per-policy differential set).
+_LOCKSTEP_SEEDS = (0, 1, 2, 3)
 
 
 @dataclass(frozen=True)
@@ -299,6 +316,48 @@ def run_verify(
         for v in compare_with_batch(inst, packing_by_policy, seed=0):
             report.violations.append((f"{where}/batch", v))
         report.checks += 1
+
+        # one load-measure kernel variant per instance (cycled): classic
+        # BestFit/WorstFit under l1/lp versus the keyed fast kernel
+        vname, vfactory, vspec = _MEASURE_VARIANTS[
+            entry.index % len(_MEASURE_VARIANTS)
+        ]
+        vpacking = run(vfactory(), inst, collector=col)
+        report.runs += 1
+        for v in compare_with_fastpath(vpacking, vspec, seed=0):
+            report.violations.append((f"{where}/{vname}", v))
+        report.checks += 1
+
+        # trial-lockstep oracle (strided): the vectorized tier's batched
+        # random_fit trials must reproduce the sequential numpy replays
+        # bit for bit — and seed 0 must match the classic packing above
+        if "vectorized" in available_backends() and entry.index % 4 == 0:
+            vec = FastEngine(inst, "random_fit", backend="vectorized").run_trials(
+                _LOCKSTEP_SEEDS
+            )
+            ref = FastEngine(inst, "random_fit", backend="numpy").run_trials(
+                _LOCKSTEP_SEEDS
+            )
+            if vec != ref:
+                report.violations.append((
+                    f"{where}/lockstep",
+                    Violation(
+                        "lockstep",
+                        "vectorized run_trials diverged from sequential "
+                        f"numpy replays on seeds {_LOCKSTEP_SEEDS}",
+                    ),
+                ))
+            classic_rf = packing_by_policy.get("random_fit")
+            if classic_rf is not None and vec and vec[0] != dict(classic_rf.assignment):
+                report.violations.append((
+                    f"{where}/lockstep",
+                    Violation(
+                        "lockstep",
+                        "vectorized run_trials seed 0 diverged from the "
+                        "classic random_fit packing",
+                    ),
+                ))
+            report.checks += 1
 
         if prof.exact_opt_max_items and inst.n <= prof.exact_opt_max_items:
             for v in _exact_opt_check(inst, cost_by_policy):

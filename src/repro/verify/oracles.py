@@ -59,7 +59,8 @@ from ..core.instance import Instance
 from ..core.intervals import union_length
 from ..core.packing import Packing
 from ..observability.stats import StatsCollector
-from ..simulation.fastpath import FAST_POLICIES, FastEngine
+from ..core.errors import ConfigurationError
+from ..simulation.fastpath import FAST_POLICIES, FastEngine, parse_policy_spec
 from ..simulation.parallel import parallel_sweep
 from ..simulation.runner import run
 from .invariants import Violation
@@ -153,7 +154,12 @@ def compare_with_fastpath(
     building a fresh :class:`~repro.simulation.fastpath.FastEngine`.
     """
     if policy not in FAST_POLICIES:
-        return []
+        # Measure-variant specs ("best_fit:l1", "worst_fit:lp:3.0") are
+        # fast-eligible too; skip only genuinely kernel-less policies.
+        try:
+            parse_policy_spec(policy)
+        except ConfigurationError:
+            return []
     if fast_packing is None:
         fast_packing = FastEngine(
             packing.instance, policy, seed=seed, backend=backend

@@ -236,3 +236,68 @@ class TestRepackingSuite:
         payload = json.loads(out.read_text())
         assert "repacking" in payload
         capsys.readouterr()
+
+class TestVectorizedSuite:
+    def test_run_vectorized_suite_payload(self):
+        from repro.observability.bench import (
+            MEASURE_KERNEL_SPECS,
+            VECTORIZED_SCHEMA,
+            VECTORIZED_SMOKE_SCENARIO,
+            run_vectorized_suite,
+        )
+
+        payload = run_vectorized_suite(
+            trials_scenario=VECTORIZED_SMOKE_SCENARIO,
+            measure_scenario=VECTORIZED_SMOKE_SCENARIO,
+            n_trials=8, repeats=1, suite="fastpath-vectorized-smoke",
+        )
+        assert payload["schema"] == VECTORIZED_SCHEMA
+        head = payload["headline"]
+        assert head["n_trials"] == 8
+        # bit-identity is the acceptance bar; speed is asserted only at
+        # full scale (the CI fastpath-vectorized leg), not at smoke scale
+        assert head["identical"] is True
+        assert payload["trials"]["identical"] is True
+        cells = payload["measure_kernels"]
+        assert set(cells) == {name for name, _, _ in MEASURE_KERNEL_SPECS}
+        for cell in cells.values():
+            assert cell["identical"] is True
+            assert cell["fast_numpy_s"] > 0 and cell["classic_s"] > 0
+        json.loads(json.dumps(payload, allow_nan=False))
+
+    def test_cli_merges_vectorized_under_fastpath(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_core.json"
+        assert main(["bench", "--suite", "smoke", "--repeats", "1",
+                     "--output", str(out)]) == 0
+        assert main(["bench", "--suite", "fastpath-smoke", "--repeats", "1",
+                     "--output", str(out)]) == 0
+        assert main(["bench", "--suite", "fastpath-vectorized-smoke",
+                     "--repeats", "1", "--output", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["schema"] == SCHEMA  # core stays top-level
+        vec = payload["fastpath"]["vectorized"]
+        assert vec["suite"] == "fastpath-vectorized-smoke"
+        assert vec["headline"]["identical"] is True
+        # a fastpath re-run must carry the nested vectorized record over
+        assert main(["bench", "--suite", "fastpath-smoke", "--repeats", "1",
+                     "--output", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["fastpath"]["suite"] == "fastpath-smoke"
+        assert "vectorized" in payload["fastpath"]
+        # ... and a core re-run carries the whole fastpath record (with
+        # the nested vectorized payload) as a companion suite
+        assert main(["bench", "--suite", "smoke", "--repeats", "1",
+                     "--output", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert "vectorized" in payload["fastpath"]
+        capsys.readouterr()
+
+    def test_vectorized_without_core_writes_standalone(self, tmp_path, capsys):
+        from repro.observability.bench import VECTORIZED_SCHEMA
+
+        out = tmp_path / "bench.json"
+        assert main(["bench", "--suite", "fastpath-vectorized-smoke",
+                     "--repeats", "1", "--output", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["schema"] == VECTORIZED_SCHEMA
+        capsys.readouterr()

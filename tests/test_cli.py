@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import pytest
 
 from repro.cli import main
@@ -59,5 +61,5 @@ def test_figure3_rejects_unknown_algorithm():
 def test_figure4_csv_export(capsys, tmp_path):
     path = str(tmp_path / "fig4.csv")
     assert main(["figure4", "--scale", "smoke", "--csv", path]) == 0
-    text = open(path).read()
+    text = Path(path).read_text()
     assert text.startswith("d,mu,algorithm")

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+from pathlib import Path
 
 import pytest
 
@@ -21,7 +22,7 @@ def test_search_saves_instance(capsys, tmp_path):
     assert main(["search", "--algorithm", "first_fit", "--budget", "5",
                  "--hill-climb", "3", "--n", "6", "--mu", "2",
                  "--save", path]) == 0
-    payload = json.loads(open(path).read())
+    payload = json.loads(Path(path).read_text())
     assert payload["items"]
 
 
@@ -56,14 +57,14 @@ def test_generate_then_run_roundtrip(capsys, tmp_path):
 def test_generate_trace_workload(tmp_path):
     path = str(tmp_path / "trace.json")
     assert main(["generate", path, "--workload", "trace"]) == 0
-    payload = json.loads(open(path).read())
+    payload = json.loads(Path(path).read_text())
     assert len(payload["items"]) > 5
 
 
 def test_generate_poisson_workload(tmp_path):
     path = str(tmp_path / "poisson.json")
     assert main(["generate", path, "--workload", "poisson", "--d", "3"]) == 0
-    payload = json.loads(open(path).read())
+    payload = json.loads(Path(path).read_text())
     assert len(payload["capacity"]) == 3
 
 

@@ -11,6 +11,7 @@ runner / parallel-sweep / bench / CLI integration points.
 from __future__ import annotations
 
 import json
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -96,10 +97,13 @@ class TestFastPolicyFor:
     def test_random_fit_carries_seed(self):
         assert fast_policy_for(make_algorithm("random_fit", seed=7)) == ("random_fit", 7)
 
-    def test_nondefault_measure_is_ineligible(self):
-        # BestFit(l1) ranks candidates differently from the linf kernel
-        assert fast_policy_for(BestFit(measure="l1")) is None
-        assert fast_policy_for(WorstFit(measure="lp")) is None
+    def test_nondefault_measure_resolves_to_measure_kernel(self):
+        # the L1/Lp kernels closed the measure-eligibility gap: a
+        # non-linf BestFit/WorstFit now resolves to a measure-qualified
+        # policy spec instead of silently falling back to classic
+        assert fast_policy_for(BestFit(measure="l1")) == ("best_fit:l1", 0)
+        assert fast_policy_for(WorstFit(measure="lp")) == ("worst_fit:lp:2.0", 0)
+        assert fast_policy_for(BestFit(measure="lp", p=3.0)) == ("best_fit:lp:3.0", 0)
         assert fast_policy_for(BestFit()) == ("best_fit", 0)
 
     def test_subclass_is_ineligible(self):
@@ -226,19 +230,39 @@ class TestIntegration:
         assert col.snapshot().fastpath_runs == 1
 
     def test_simulate_fast_falls_back_for_ineligible_algorithm(self, uniform_small):
-        algo = BestFit(measure="l1")  # no fast kernel for the l1 measure
+        from repro.simulation.engine import reset_fallback_warnings
+
+        reset_fallback_warnings()
+        # an unregistered subclass (quantum billing changes decisions)
+        algo = make_algorithm("quantum_aware_move_to_front", quantum=5.0)
         col = StatsCollector()
-        fast = simulate(algo, uniform_small, collector=col, fast=True)
-        classic = simulate(BestFit(measure="l1"), uniform_small)
+        with pytest.warns(RuntimeWarning, match="no fast kernel"):
+            fast = simulate(algo, uniform_small, collector=col, fast=True)
+        classic = simulate(
+            make_algorithm("quantum_aware_move_to_front", quantum=5.0), uniform_small
+        )
         assert fast.assignment == classic.assignment
         assert col.snapshot().fastpath_runs == 0
 
+    def test_simulate_fast_uses_measure_kernel(self, uniform_small):
+        # regression for the measure-eligibility gap: BestFit(l1) now
+        # runs on the fast engine and matches classic bit-for-bit
+        col = StatsCollector()
+        fast = simulate(BestFit(measure="l1"), uniform_small, collector=col, fast=True)
+        classic = simulate(BestFit(measure="l1"), uniform_small)
+        assert fast.assignment == classic.assignment
+        assert col.snapshot().fastpath_runs == 1
+        assert col.fastpath_fallbacks == 0
+
     def test_simulate_fast_falls_back_with_observers(self, uniform_small):
+        from repro.simulation.engine import reset_fallback_warnings
         from repro.simulation.instrumentation import LeaderTracker
 
+        reset_fallback_warnings()
         col = StatsCollector()
-        packing = simulate(make_algorithm("move_to_front"), uniform_small,
-                           observers=[LeaderTracker()], collector=col, fast=True)
+        with pytest.warns(RuntimeWarning, match="observers requested"):
+            packing = simulate(make_algorithm("move_to_front"), uniform_small,
+                               observers=[LeaderTracker()], collector=col, fast=True)
         # observers force the classic engine; result still correct
         assert col.snapshot().fastpath_runs == 0
         assert packing.assignment == run("move_to_front", uniform_small).assignment
@@ -325,7 +349,7 @@ class TestBenchAndCli:
                      "--output", out]) == 0
         assert main(["bench", "--suite", "fastpath-smoke", "--repeats", "1",
                      "--output", out]) == 0
-        payload = json.loads(open(out).read())
+        payload = json.loads(Path(out).read_text())
         assert payload["schema"] == "repro-bench/v1"
         fp = payload["fastpath"]
         assert fp["schema"] == "repro-bench-fastpath/v1"
@@ -334,7 +358,7 @@ class TestBenchAndCli:
         # a core re-run must keep the nested fastpath payload
         assert main(["bench", "--suite", "smoke", "--repeats", "1",
                      "--output", out]) == 0
-        payload = json.loads(open(out).read())
+        payload = json.loads(Path(out).read_text())
         assert payload["fastpath"]["suite"] == "fastpath-smoke"
         capsys.readouterr()
 
@@ -342,12 +366,14 @@ class TestBenchAndCli:
 class TestIneligibilityGap:
     """Regression for the silent-eligibility gap (ROADMAP item 2).
 
-    A ``BestFit``/``WorstFit`` configured with a non-L-infinity load
-    measure has no fast kernel — the measure changes *decisions*, not
-    just bookkeeping — so a fast/batch request must fall back to the
-    classic engine *audibly*: one RuntimeWarning per distinct cause and
-    a ``fastpath_fallbacks`` counter bump on every occurrence.  Before
-    the fix, the batch paths degraded silently.
+    A policy with no fast kernel — an unregistered subclass whose
+    options change *decisions*, not just bookkeeping — must fall back
+    to the classic engine *audibly*: one RuntimeWarning per distinct
+    cause and a ``fastpath_fallbacks`` counter bump on every
+    occurrence.  Before the fix, the batch paths degraded silently.
+    (``BestFit``/``WorstFit`` measure variants, the original specimens
+    here, gained real L1/Lp kernels and are exercised by the
+    eligibility tests instead.)
     """
 
     def setup_method(self):
@@ -355,23 +381,36 @@ class TestIneligibilityGap:
 
         reset_fallback_warnings()
 
-    def test_reason_names_the_decision_changing_option(self):
+    def test_reason_names_the_ineligible_class(self):
         from repro.simulation.fastpath import fast_ineligibility_reason
 
         assert fast_ineligibility_reason(make_algorithm("best_fit")) is None
-        for algo in (BestFit(measure="l1"), WorstFit(measure="lp", p=3.0)):
-            reason = fast_ineligibility_reason(algo)
-            assert reason is not None
-            assert "no fast kernel" in reason
-            assert "decision-changing" in reason
+        assert fast_ineligibility_reason(BestFit(measure="l1")) is None
+        assert fast_ineligibility_reason(WorstFit(measure="lp", p=3.0)) is None
+        reason = fast_ineligibility_reason(QuantumAwareMoveToFront(quantum=5.0))
+        assert reason is not None
+        assert "no fast kernel" in reason
+        assert "QuantumAwareMoveToFront" in reason
+
+    def test_reason_names_a_cleared_kernel(self):
+        # an instance whose decision-changing option cleared the
+        # class-level fast_kernel marker keeps its distinct reason
+        from repro.simulation.fastpath import fast_ineligibility_reason
+
+        algo = make_algorithm("best_fit")
+        algo.fast_kernel = None
+        reason = fast_ineligibility_reason(algo)
+        assert reason is not None
+        assert "no fast kernel" in reason
+        assert "decision-changing" in reason
 
     def test_simulate_fast_warns_and_counts(self, uniform_small):
         col = StatsCollector()
+        algo = QuantumAwareMoveToFront(quantum=5.0)
         with pytest.warns(RuntimeWarning, match="no fast kernel"):
-            fast = simulate(BestFit(measure="l1"), uniform_small,
-                            collector=col, fast=True)
+            fast = simulate(algo, uniform_small, collector=col, fast=True)
         assert col.fastpath_fallbacks == 1
-        classic = simulate(BestFit(measure="l1"), uniform_small)
+        classic = simulate(QuantumAwareMoveToFront(quantum=5.0), uniform_small)
         assert dict(fast.assignment) == dict(classic.assignment)
 
     def test_batch_runner_units_warn_and_count(self, uniform_small):
@@ -379,7 +418,8 @@ class TestIneligibilityGap:
 
         with pytest.warns(RuntimeWarning, match="no fast kernel"):
             units = BatchRunner(uniform_small).run_units(
-                [("best_fit", {"measure": "l1"})], collect_stats=True
+                [("quantum_aware_move_to_front", {"quantum": 5.0})],
+                collect_stats=True,
             )
         assert units[0].stats.fastpath_fallbacks == 1
 
@@ -393,14 +433,198 @@ class TestIneligibilityGap:
         col = StatsCollector()
         with pytest.warns(RuntimeWarning, match="no fast kernel"):
             batch_run_many(
-                WorstFit(measure="l1"), [uniform_small, tiny_instance],
+                QuantumAwareMoveToFront(quantum=5.0),
+                [uniform_small, tiny_instance],
                 collector=col,
             )
         assert col.fastpath_fallbacks == 2
         with warnings.catch_warnings():
             warnings.simplefilter("error")  # a repeat warning would raise
             batch_run_many(
-                WorstFit(measure="l1"), [uniform_small, tiny_instance],
+                QuantumAwareMoveToFront(quantum=5.0),
+                [uniform_small, tiny_instance],
                 collector=col,
             )
         assert col.fastpath_fallbacks == 4
+
+
+# ----------------------------------------------------------------------
+# L1/Lp measure kernels (the measure-eligibility gap, closed)
+# ----------------------------------------------------------------------
+class TestMeasureKernels:
+    MEASURE_SPECS = (
+        ("best_fit:l1", lambda: BestFit(measure="l1")),
+        ("best_fit:lp:3.0", lambda: BestFit(measure="lp", p=3.0)),
+        ("worst_fit:l1", lambda: WorstFit(measure="l1")),
+        ("worst_fit:lp:2.0", lambda: WorstFit(measure="lp", p=2.0)),
+    )
+
+    def test_parse_policy_spec_accepts_measure_specs(self):
+        from repro.simulation.fastpath import parse_policy_spec
+
+        assert parse_policy_spec("best_fit") == ("best_fit", "linf", None)
+        assert parse_policy_spec("best_fit:l1") == ("best_fit", "l1", None)
+        assert parse_policy_spec("worst_fit:lp:3.0") == ("worst_fit", "lp", 3.0)
+        assert parse_policy_spec("best_fit:linf") == ("best_fit", "linf", None)
+
+    def test_parse_policy_spec_rejects_malformed(self):
+        from repro.simulation.fastpath import parse_policy_spec
+
+        for bad in (
+            "harmonic",            # unknown base policy
+            "first_fit:l1",        # no measure knob on this kernel
+            "best_fit:l7",         # unknown measure
+            "best_fit:lp",         # missing exponent
+            "best_fit:lp:x",       # non-float exponent
+            "best_fit:lp:0.5",     # p < 1 is not a norm
+            "best_fit:lp:nan",     # NaN exponent
+        ):
+            with pytest.raises(ConfigurationError):
+                parse_policy_spec(bad)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_measure_kernels_match_classic(self, backend, churny_instance):
+        for spec, factory in self.MEASURE_SPECS:
+            classic = simulate(factory(), churny_instance)
+            fast = FastEngine(churny_instance, spec, backend=backend).run()
+            assert dict(fast.assignment) == dict(classic.assignment), (spec, backend)
+            assert fast.algorithm == classic.algorithm
+
+    def test_lp_p1_runs_the_l1_kernel_bitwise(self, churny_instance):
+        # lp with p = 1 normalises to the l1 kernel; both replays must
+        # produce the same assignment as the classic lp(p=1) algorithm
+        classic = simulate(BestFit(measure="lp", p=1.0), churny_instance)
+        via_lp = FastEngine(churny_instance, "best_fit:lp:1.0").run()
+        via_l1 = FastEngine(churny_instance, "best_fit:l1").run()
+        assert dict(via_lp.assignment) == dict(classic.assignment)
+        assert dict(via_lp.assignment) == dict(via_l1.assignment)
+
+    def test_lp_inf_runs_the_linf_kernel(self, churny_instance):
+        classic = simulate(BestFit(measure="lp", p=float("inf")), churny_instance)
+        fast = FastEngine(churny_instance, "best_fit:lp:inf").run()
+        assert dict(fast.assignment) == dict(classic.assignment)
+
+    def test_measure_variant_no_longer_counts_as_fallback(self, uniform_small):
+        # before the L1/Lp kernels, this config bumped fastpath_fallbacks
+        col = StatsCollector()
+        simulate(BestFit(measure="l1"), uniform_small, collector=col, fast=True)
+        assert col.fastpath_fallbacks == 0
+        assert col.snapshot().fastpath_runs == 1
+
+
+# ----------------------------------------------------------------------
+# trial-lockstep vectorized tier
+# ----------------------------------------------------------------------
+class TestLockstepTrials:
+    SEEDS = (0, 1, 2, 5, 11, 42)
+
+    def test_lockstep_matches_per_seed_runs(self, churny_instance):
+        vec = FastEngine(churny_instance, "random_fit", backend="vectorized")
+        lockstep = vec.run_trials(self.SEEDS)
+        assert len(lockstep) == len(self.SEEDS)
+        for seed, got in zip(self.SEEDS, lockstep):
+            single = FastEngine(
+                churny_instance, "random_fit", seed=seed, backend="numpy"
+            ).run_assignment()
+            classic = simulate(
+                make_algorithm("random_fit", seed=seed), churny_instance
+            )
+            assert got == single, seed
+            assert got == dict(classic.assignment), seed
+
+    def test_lockstep_trials_differ_across_seeds(self, churny_instance):
+        # distinct per-trial Generator streams: seeds must not collapse
+        # onto one shared draw sequence
+        out = FastEngine(churny_instance, "random_fit", backend="vectorized").run_trials(
+            (0, 1)
+        )
+        assert out[0] != out[1]
+
+    def test_numpy_backend_run_trials_loops_sequentially(self, churny_instance):
+        npy = FastEngine(churny_instance, "random_fit", backend="numpy")
+        vec = FastEngine(churny_instance, "random_fit", backend="vectorized")
+        assert npy.run_trials(self.SEEDS) == vec.run_trials(self.SEEDS)
+
+    def test_run_trials_rejects_non_random_policies(self, churny_instance):
+        eng = FastEngine(churny_instance, "first_fit", backend="vectorized")
+        with pytest.raises(ConfigurationError):
+            eng.run_trials((0, 1))
+
+    def test_lockstep_slot_growth(self):
+        # 150 simultaneous unit items force every trial's shared slot
+        # capacity to double past the initial allocation mid-run
+        items = [Item(0.0, 5.0, np.array([1.0]), uid) for uid in range(150)]
+        inst = Instance(items)
+        out = FastEngine(inst, "random_fit", backend="vectorized").run_trials((0, 3))
+        for seed, got in zip((0, 3), out):
+            single = FastEngine(inst, "random_fit", seed=seed).run_assignment()
+            assert got == single
+
+    def test_lockstep_compaction(self):
+        # strictly sequential items: bins die continuously, exercising
+        # the per-trial stable compaction path
+        items = [
+            Item(float(2 * k), float(2 * k + 1), np.array([1.0]), k)
+            for k in range(120)
+        ]
+        inst = Instance(items)
+        out = FastEngine(inst, "random_fit", backend="vectorized").run_trials((0, 7))
+        for seed, got in zip((0, 7), out):
+            single = FastEngine(inst, "random_fit", seed=seed).run_assignment()
+            assert got == single
+
+    def test_choose_trials_backend(self, churny_instance, monkeypatch):
+        from repro.simulation.fastpath import choose_trials_backend
+
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        assert choose_trials_backend(churny_instance, 8) == "vectorized"
+        assert choose_trials_backend(churny_instance, 2) == "vectorized"
+        assert choose_trials_backend(churny_instance, 1) != "vectorized"
+        monkeypatch.setenv(BACKEND_ENV, "python")
+        assert choose_trials_backend(churny_instance, 8) == "python"
+
+    def test_batch_runner_auto_selects_lockstep(self, churny_instance, monkeypatch):
+        from repro.simulation.batch import BatchRunner
+
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        seeds = list(range(6))
+        auto = BatchRunner(churny_instance).run_trials(seeds)
+        forced_seq = BatchRunner(churny_instance).run_trials(seeds, vectorized=False)
+        assert [(u.cost, u.num_bins) for u in auto] == \
+            [(u.cost, u.num_bins) for u in forced_seq]
+
+    def test_batch_runner_vectorized_param_forces_lockstep(self, churny_instance):
+        from repro.simulation.batch import BatchRunner
+
+        seeds = list(range(4))
+        vec = BatchRunner(churny_instance).run_trials(seeds, vectorized=True)
+        seq = BatchRunner(churny_instance).run_trials(seeds, vectorized=False)
+        assert [(u.cost, u.num_bins) for u in vec] == \
+            [(u.cost, u.num_bins) for u in seq]
+
+
+# ----------------------------------------------------------------------
+# seed validation (the raw-TypeError bugfix)
+# ----------------------------------------------------------------------
+class TestSeedValidation:
+    def test_random_fit_rejects_non_integer_seed(self):
+        from repro.algorithms.random_fit import RandomFit
+
+        for bad in (None, 1.5, "7"):
+            with pytest.raises(ConfigurationError):
+                RandomFit(seed=bad)
+
+    def test_random_fit_accepts_index_like_seed(self):
+        from repro.algorithms.random_fit import RandomFit
+
+        assert RandomFit(seed=np.int64(9)).seed == 9
+        assert RandomFit(seed=True).seed == 1  # operator.index semantics
+
+    def test_fast_policy_for_rejects_non_integer_seed_attr(self):
+        algo = make_algorithm("random_fit", seed=3)
+        algo.seed = 2.5  # simulate post-construction corruption
+        assert fast_policy_for(algo) is None
+        from repro.simulation.fastpath import fast_ineligibility_reason
+
+        reason = fast_ineligibility_reason(algo)
+        assert reason is not None and "seed" in reason

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+from pathlib import Path
 
 import pytest
 
@@ -77,5 +78,5 @@ class TestSchema:
     def test_file_is_human_readable(self, cells, tmp_path):
         path = str(tmp_path / "out.json")
         save_cells(cells, path)
-        text = open(path).read()
+        text = Path(path).read_text()
         assert "move_to_front" in text and "\n" in text

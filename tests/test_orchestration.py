@@ -131,7 +131,8 @@ class TestCheckpointStore:
         lines = path.read_text().splitlines(keepends=True)
         path.write_text(lines[0] + lines[1][: len(lines[1]) // 2])  # torn write
         (tmp_path / MANIFEST).unlink()  # force adoption path (hash changed)
-        reloaded = CheckpointStore(str(tmp_path), fingerprint="fp")
+        with pytest.warns(RuntimeWarning, match="undecodable record"):
+            reloaded = CheckpointStore(str(tmp_path), fingerprint="fp")
         assert len(reloaded) == 1  # the intact record before the tear survives
 
     def test_tmp_files_ignored(self, tmp_path):

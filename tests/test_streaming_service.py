@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import io
 import json
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -190,7 +191,7 @@ class TestSnapshotRestore:
         back = PlacementService.restore_from(path)
         assert back.snapshot() == svc.snapshot()
         # tampering must be detected
-        doc = json.loads(open(path).read())
+        doc = json.loads(Path(path).read_text())
         doc["state"]["cost_closed"] = 999.0
         with open(path, "w") as fh:
             json.dump(doc, fh)

@@ -83,17 +83,26 @@ class TestNorms:
     def test_lp_p2(self):
         assert lp(np.array([3.0, 4.0]), 2) == pytest.approx(5.0)
 
-    def test_lp_p1_equals_l1(self):
-        v = np.array([0.2, 0.7, 0.1])
-        assert lp(v, 1) == pytest.approx(l1(v))
+    def test_lp_p1_equals_l1_bitwise(self):
+        # the p = 1 contract is *bitwise*: lp routes to l1's exact sum
+        # instead of taking the pow/root round-trip
+        rng = np.random.default_rng(7)
+        for d in (1, 2, 5, 9):
+            v = rng.random(d)
+            assert lp(v, 1) == l1(v)
+            assert lp(v, 1.0) == l1(v)
 
     def test_lp_inf_routes_to_linf(self):
         v = np.array([0.2, 0.7])
         assert lp(v, np.inf) == linf(v)
+        assert lp(v, float("inf")) == linf(v)
 
     def test_lp_invalid_p(self):
-        with pytest.raises(ValueError):
-            lp(np.array([1.0]), 0.0)
+        # the aligned contract: any p >= 1 is a norm, anything below
+        # (or NaN) is rejected everywhere with the same rule
+        for bad in (0.0, 0.5, -1.0, float("nan")):
+            with pytest.raises(ValueError):
+                lp(np.array([1.0]), bad)
 
     def test_lp_large_p_approaches_linf(self):
         v = np.array([0.5, 0.9])

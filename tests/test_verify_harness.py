@@ -30,7 +30,8 @@ def test_run_verify_short_prefix_is_clean():
     report = run_verify("quick", instances=len(CORPUS_RECIPES))
     assert report.ok
     assert report.instances_checked == len(CORPUS_RECIPES)
-    assert report.runs == len(CORPUS_RECIPES) * 7
+    # 7 default policies plus one cycled measure-variant (l1/lp) run
+    assert report.runs == len(CORPUS_RECIPES) * 8
     assert report.violations == []
     assert report.mutation is not None and report.mutation.all_caught
     assert "all invariants held" in report.render()
@@ -49,9 +50,10 @@ def test_run_verify_records_work_counters():
     report = run_verify("quick", instances=4, collector=collector)
     assert report.ok
     n_items = sum(e.instance.n for e in corpus_list(4, seed=PROFILES["quick"].seed))
-    # 7 policies x every event; the instrumented-differential oracle runs
-    # extra engine passes through its own collectors, not this one
-    assert report.stats.events == 7 * 2 * n_items
+    # 7 policies plus the cycled measure-variant run x every event; the
+    # instrumented-differential oracle runs extra engine passes through
+    # its own collectors, not this one
+    assert report.stats.events == 8 * 2 * n_items
     assert report.stats.fit_checks >= report.stats.candidate_scans
     assert report.stats.dispatch_time_s > 0
     assert collector.snapshot().events == report.stats.events
