@@ -32,6 +32,14 @@ Counter semantics
     kernel (ineligible) or because the kernel failed and the run
     degraded gracefully.  Deterministic for a fixed (algorithm,
     instance, engine-request) triple.
+``fastpath_backend``
+    Which kernel backend (``"numpy"``/``"python"``/``"vectorized"``/
+    ``"numba"``) executed the observed fastpath runs — ``""`` when no
+    fastpath run was observed, ``"mixed"`` when several backends were.
+    Recorded so bench and sweep regressions are attributable to a tier
+    without re-deriving the chooser's decision; an execution fact, so
+    :meth:`RunStats.deterministic_part` zeroes it like
+    ``streaming_runs``.
 ``streaming_runs`` / ``stream_flushes`` / ``peak_live_items``
     The streaming-engine path (:mod:`repro.streaming`): how many runs
     the streaming engine executed, how many periodic cost flushes it
@@ -120,6 +128,7 @@ class RunStats:
     fit_checks: int = 0
     fastpath_runs: int = 0
     fastpath_fallbacks: int = 0
+    fastpath_backend: str = ""
     streaming_runs: int = 0
     stream_flushes: int = 0
     peak_live_items: int = 0
@@ -180,6 +189,7 @@ class RunStats:
         if not parts:
             return cls()
         names = {p.algorithm for p in parts}
+        backends = {p.fastpath_backend for p in parts if p.fastpath_backend}
         rss = [p.peak_rss_bytes for p in parts if p.peak_rss_bytes is not None]
         return cls(
             algorithm=names.pop() if len(names) == 1 else "mixed",
@@ -194,6 +204,9 @@ class RunStats:
             fit_checks=sum(p.fit_checks for p in parts),
             fastpath_runs=sum(p.fastpath_runs for p in parts),
             fastpath_fallbacks=sum(p.fastpath_fallbacks for p in parts),
+            fastpath_backend=(
+                backends.pop() if len(backends) == 1 else ("mixed" if backends else "")
+            ),
             streaming_runs=sum(p.streaming_runs for p in parts),
             stream_flushes=sum(p.stream_flushes for p in parts),
             peak_live_items=max(p.peak_live_items for p in parts),
@@ -227,6 +240,7 @@ class RunStats:
         """
         return replace(
             self,
+            fastpath_backend="",
             streaming_runs=0,
             stream_flushes=0,
             peak_live_items=0,
@@ -275,6 +289,7 @@ class StatsCollector:
         "fit_checks",
         "fastpath_runs",
         "fastpath_fallbacks",
+        "fastpath_backend",
         "streaming_runs",
         "stream_flushes",
         "peak_live_items",
@@ -304,6 +319,7 @@ class StatsCollector:
         self.fit_checks = 0
         self.fastpath_runs = 0
         self.fastpath_fallbacks = 0
+        self.fastpath_backend = ""
         self.streaming_runs = 0
         self.stream_flushes = 0
         self.peak_live_items = 0
@@ -389,6 +405,21 @@ class StatsCollector:
             self.peak_open_bins = peak_open_bins
         self.dispatch_time_s += dispatch_time_s
 
+    def note_fastpath_backend(self, backend: str) -> None:
+        """Record which kernel backend executed a fastpath run.
+
+        The first noted backend is kept; observing a different one later
+        degrades the field to ``"mixed"`` (same unanimity rule as
+        :meth:`RunStats.aggregate` applies across processes).
+        """
+        if not backend:
+            return
+        current = self.fastpath_backend
+        if not current:
+            self.fastpath_backend = backend
+        elif current != backend:
+            self.fastpath_backend = "mixed"
+
     def run_finished(self, wall_time_s: float, context: Optional[Mapping[str, Any]] = None) -> None:
         """Close out one run: totals, optional RSS sample, sink emission."""
         self.runs += 1
@@ -419,6 +450,7 @@ class StatsCollector:
             fit_checks=self.fit_checks,
             fastpath_runs=self.fastpath_runs,
             fastpath_fallbacks=self.fastpath_fallbacks,
+            fastpath_backend=self.fastpath_backend,
             streaming_runs=self.streaming_runs,
             stream_flushes=self.stream_flushes,
             peak_live_items=self.peak_live_items,
@@ -447,6 +479,7 @@ class StatsCollector:
         self.fit_checks = 0
         self.fastpath_runs = 0
         self.fastpath_fallbacks = 0
+        self.fastpath_backend = ""
         self.streaming_runs = 0
         self.stream_flushes = 0
         self.peak_live_items = 0

@@ -359,6 +359,33 @@ def run_verify(
                 ))
             report.checks += 1
 
+        # numba backend-parity oracle (strided, offset from the lockstep
+        # stride): the JIT tier must replay the classic packing bit for
+        # bit under the measure-variant spec of this instance, and its
+        # batched random_fit trials must match the sequential numpy
+        # replays exactly
+        if "numba" in available_backends() and entry.index % 4 == 2:
+            for v in compare_with_fastpath(
+                vpacking, vspec, seed=0, backend="numba"
+            ):
+                report.violations.append((f"{where}/numba-{vname}", v))
+            nmb = FastEngine(inst, "random_fit", backend="numba").run_trials(
+                _LOCKSTEP_SEEDS
+            )
+            ref_nmb = FastEngine(inst, "random_fit", backend="numpy").run_trials(
+                _LOCKSTEP_SEEDS
+            )
+            if nmb != ref_nmb:
+                report.violations.append((
+                    f"{where}/numba-lockstep",
+                    Violation(
+                        "lockstep",
+                        "numba run_trials diverged from sequential numpy "
+                        f"replays on seeds {_LOCKSTEP_SEEDS}",
+                    ),
+                ))
+            report.checks += 1
+
         if prof.exact_opt_max_items and inst.n <= prof.exact_opt_max_items:
             for v in _exact_opt_check(inst, cost_by_policy):
                 report.violations.append((where, v))

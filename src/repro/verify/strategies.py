@@ -53,6 +53,7 @@ __all__ = [
     "adversary_configs",
     "repacking_configs",
     "policies",
+    "trial_seeds",
 ]
 
 #: The dimension grid the verification subsystem sweeps.
@@ -203,3 +204,16 @@ def repacking_configs(draw) -> tuple:
 def policies() -> st.SearchStrategy[str]:
     """One of the seven Section 7 registry policy names."""
     return st.sampled_from(PAPER_ALGORITHMS)
+
+
+def trial_seeds() -> st.SearchStrategy[int]:
+    """A ``random_fit`` trial seed: small values plus boundary-ish ones.
+
+    Mixes the dense low range (where corpus runs live) with a few large
+    seeds so seed-derived RNG streams are pinned across the whole
+    ``default_rng`` input domain the engines accept.
+    """
+    return st.one_of(
+        st.integers(0, 16),
+        st.sampled_from((12345, 2**31 - 1, 2**63 - 1)),
+    )

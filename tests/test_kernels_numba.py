@@ -1,0 +1,170 @@
+"""Unit tests for the numba kernel module's state machine and helpers.
+
+Everything here runs without numba installed: the availability state
+machine is driven through its env knobs (``REPRO_NUMBA_DISABLE``,
+``REPRO_NUMBA_PYFUNC``), and the kernel helpers — the pairwise summer,
+the ufunc-faithful pow ladder, the replay drivers — execute as plain
+Python functions under pyfunc mode, which is exactly the code numba
+jits on an equipped host.  Bit-identity of the full replay against the
+classic engine lives in ``test_fastpath_differential.py``; this file
+pins the pieces those end-to-end runs can't isolate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.simulation import kernels_numba as knl
+
+
+@pytest.fixture(autouse=True)
+def _fresh_state(monkeypatch):
+    # start from a clean slate: host-level env pins (e.g. a CI leg
+    # exporting REPRO_NUMBA_DISABLE=1) must not leak into these tests
+    monkeypatch.delenv(knl.DISABLE_ENV, raising=False)
+    monkeypatch.delenv(knl.PYFUNC_ENV, raising=False)
+    knl.reset_state()
+    yield
+    knl.reset_state()
+
+
+# ----------------------------------------------------------------------
+# availability state machine
+# ----------------------------------------------------------------------
+class TestStateMachine:
+    def test_disable_env_wins(self, monkeypatch):
+        monkeypatch.setenv(knl.DISABLE_ENV, "1")
+        assert not knl.numba_available()
+        assert not knl.kernels_ready()
+        assert knl.DISABLE_ENV in knl.unavailable_reason()
+
+    def test_disable_env_any_nonempty_value_trips(self, monkeypatch):
+        # the knob is presence-based: any non-empty value disables,
+        # empty/unset does not
+        for on in ("1", "0", "false"):
+            knl.reset_state()
+            monkeypatch.setenv(knl.DISABLE_ENV, on)
+            assert knl.DISABLE_ENV in knl.unavailable_reason()
+        knl.reset_state()
+        monkeypatch.setenv(knl.DISABLE_ENV, "")
+        assert knl.DISABLE_ENV not in knl.unavailable_reason()
+
+    def test_pyfunc_mode_is_ready_without_numba(self, monkeypatch):
+        monkeypatch.setenv(knl.PYFUNC_ENV, "1")
+        assert knl.kernels_ready()
+        assert knl.pyfunc_mode()
+        assert knl.unavailable_reason() == ""
+
+    def test_disable_beats_pyfunc(self, monkeypatch):
+        monkeypatch.setenv(knl.PYFUNC_ENV, "1")
+        monkeypatch.setenv(knl.DISABLE_ENV, "1")
+        assert not knl.kernels_ready()
+        assert not knl.pyfunc_mode()
+
+    def test_mark_broken_sticks_until_reset(self, monkeypatch):
+        monkeypatch.setenv(knl.PYFUNC_ENV, "1")
+        assert knl.kernels_ready()
+        knl.mark_broken("kernel exploded (test)")
+        assert not knl.kernels_ready()
+        assert "kernel exploded" in knl.unavailable_reason()
+        knl.reset_state()
+        monkeypatch.setenv(knl.PYFUNC_ENV, "1")
+        assert knl.kernels_ready()
+
+    def test_warmup_raises_when_unavailable(self, monkeypatch):
+        monkeypatch.setenv(knl.DISABLE_ENV, "1")
+        with pytest.raises(ConfigurationError):
+            knl.warmup()
+
+    def test_warmup_pyfunc_is_free_and_warm(self, monkeypatch):
+        monkeypatch.setenv(knl.PYFUNC_ENV, "1")
+        assert knl.warmup() == 0.0
+        assert knl.is_warm()
+        assert knl.jit_compile_seconds() == 0.0
+
+    def test_unavailable_reason_names_numba_when_missing(self, monkeypatch):
+        monkeypatch.delenv(knl.DISABLE_ENV, raising=False)
+        monkeypatch.delenv(knl.PYFUNC_ENV, raising=False)
+        if knl.numba_available():  # host has numba: nothing to assert
+            pytest.skip("numba importable on this host")
+        assert "numba" in knl.unavailable_reason()
+
+
+# ----------------------------------------------------------------------
+# kernel helpers (pyfunc mode = the exact code numba jits)
+# ----------------------------------------------------------------------
+class TestPairwiseSum:
+    @pytest.mark.parametrize(
+        "n", [0, 1, 2, 7, 8, 9, 16, 31, 127, 128, 129, 255, 256, 300, 1000]
+    )
+    def test_matches_numpy_pairwise_bitwise(self, n):
+        rng = np.random.default_rng(n + 1)
+        a = rng.random(n + 3) * 3.0  # offset start: lo need not be 0
+        mine = knl._pairwise_sum(a, 3, n)
+        ref = float(np.add.reduce(a[3:3 + n]))
+        assert np.float64(mine).view(np.int64) == np.float64(ref).view(
+            np.int64
+        ), n
+
+
+class TestPowLadder:
+    def test_shortcut_exponents(self):
+        rng = np.random.default_rng(7)
+        for x in rng.random(64) * 5.0:
+            assert knl._npy_pow(x, 2.0) == x * x
+            assert knl._npy_pow(x, 1.0) == x
+            assert knl._npy_pow(x, 0.5) == np.sqrt(x)
+
+    def test_generic_exponent_matches_the_ufunc(self):
+        """The generic branch must reproduce ``np.power`` — the exact
+        operation the numpy backend's ``v**p`` applies per element."""
+        rng = np.random.default_rng(11)
+        xs = rng.random(256) * 8.0
+        for y in (2.5, 3.0, 4.7):
+            mine = np.array([knl._npy_pow(x, y) for x in xs])
+            ref = np.power(xs, y)
+            assert np.array_equal(
+                mine.view(np.int64), ref.view(np.int64)
+            ), y
+
+    def test_lp_pow_exact_true_in_pyfunc_mode(self, monkeypatch):
+        monkeypatch.setenv(knl.PYFUNC_ENV, "1")
+        # pyfunc kernels call the ufunc itself: exact by construction
+        assert knl.lp_pow_exact(2.5)
+        assert knl.lp_pow_exact(3.0)
+
+
+class TestReplayDrivers:
+    def _tiny(self):
+        # two items, both fit one bin: order [0, 1], d=1
+        order = np.array([0, 1], dtype=np.int64)
+        sizes = np.array([[0.4], [0.4]])
+        slack = np.array([1.0 + 1e-9])
+        return order, sizes, slack
+
+    def test_replay_pyfunc_first_fit(self, monkeypatch):
+        monkeypatch.setenv(knl.PYFUNC_ENV, "1")
+        order, sizes, slack = self._tiny()
+        bin_of, bins, closed, peak, scans, checks = knl.replay(
+            order, sizes, slack, 2, 1, "first_fit"
+        )
+        assert list(bin_of) == [0, 0]
+        assert bins == 1 and peak == 1
+
+    def test_replay_trials_matches_per_seed_replays(self, monkeypatch):
+        monkeypatch.setenv(knl.PYFUNC_ENV, "1")
+        rng = np.random.default_rng(3)
+        n, d = 24, 2
+        sizes = rng.random((n, d)) * 0.6
+        order = np.arange(n, dtype=np.int64)
+        slack = np.ones(d) + 1e-9
+        seeds = [0, 1, 5]
+        mat = knl.replay_trials(order, sizes, slack, n, d, seeds)
+        assert mat.shape == (len(seeds), n)
+        for row, seed in zip(mat, seeds):
+            solo = knl.replay(
+                order, sizes, slack, n, d, "random_fit", seed=seed
+            )[0]
+            assert list(row) == list(solo), seed
